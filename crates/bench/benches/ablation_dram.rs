@@ -1,0 +1,74 @@
+//! Ablation: DRAM device fidelity knobs — row-buffer policy (open vs
+//! closed page) and refresh (off, as in the paper, vs DDR3-class).
+//!
+//! Each configuration's isolated and streaming latencies are printed so
+//! the architectural effect is visible next to the simulation cost.
+
+use cameo_memsim::{Dram, DramConfig, RefreshParams, RowPolicy};
+use cameo_types::{ByteSize, Cycle};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn stream_latency(config: DramConfig) -> f64 {
+    let mut d = Dram::new(config);
+    let mut now = Cycle::ZERO;
+    let mut sum = 0u64;
+    let n = 10_000u64;
+    for i in 0..n {
+        let done = d.read_line(now, i);
+        sum += (done - now).raw();
+        now = now + Cycle::new(20);
+    }
+    sum as f64 / n as f64
+}
+
+fn ablate_row_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_row_policy");
+    for (label, policy) in [
+        ("open_page", RowPolicy::OpenPage),
+        ("closed_page", RowPolicy::ClosedPage),
+    ] {
+        let mut cfg = DramConfig::off_chip(ByteSize::from_mib(96));
+        cfg.row_policy = policy;
+        eprintln!(
+            "[ablation] {label}: streaming avg latency {:.1} cycles",
+            stream_latency(cfg)
+        );
+        group.bench_function(label, |b| {
+            let mut d = Dram::new(cfg);
+            let mut now = Cycle::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                now = now + Cycle::new(20);
+                black_box(d.read_line(now, i % 100_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablate_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_refresh");
+    for (label, refresh) in [("off", None), ("ddr3", Some(RefreshParams::ddr3()))] {
+        let mut cfg = DramConfig::off_chip(ByteSize::from_mib(96));
+        cfg.refresh = refresh;
+        eprintln!(
+            "[ablation] refresh {label}: streaming avg latency {:.1} cycles",
+            stream_latency(cfg)
+        );
+        group.bench_function(label, |b| {
+            let mut d = Dram::new(cfg);
+            let mut now = Cycle::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                now = now + Cycle::new(20);
+                black_box(d.read_line(now, i % 100_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_row_policy, ablate_refresh);
+criterion_main!(benches);

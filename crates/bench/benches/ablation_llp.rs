@@ -1,0 +1,92 @@
+//! Ablation: Line Location Predictor table size (1 / 64 / 256 / 1024
+//! entries per core) and predictor kind (SAM / LLP / Perfect).
+//!
+//! Criterion measures controller throughput per configuration; each run
+//! also prints the resulting prediction accuracy so the quality side of the
+//! trade-off (the paper settles on 256 entries) is visible in the bench
+//! log.
+
+use cameo::{Cameo, CameoConfig, LltDesign, PredictorKind};
+use cameo_types::{Access, AccessKind, ByteSize, CoreId, Cycle};
+use cameo_workloads::{by_name, TraceConfig, TraceGenerator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn controller(entries: usize, predictor: PredictorKind) -> Cameo {
+    Cameo::new(CameoConfig {
+        stacked: ByteSize::from_mib(4),
+        off_chip: ByteSize::from_mib(12),
+        llt: LltDesign::CoLocated,
+        predictor,
+        cores: 1,
+        llp_entries: entries,
+    })
+}
+
+fn trace() -> TraceGenerator {
+    TraceGenerator::new(
+        by_name("omnetpp").unwrap(),
+        TraceConfig {
+            scale: 512,
+            seed: 7,
+            core_offset_pages: 0,
+        },
+    )
+}
+
+fn drive(cameo: &mut Cameo, generator: &mut TraceGenerator, events: usize) {
+    let mut now = Cycle::ZERO;
+    for _ in 0..events {
+        let e = generator.next_event();
+        let access = Access {
+            core: CoreId(0),
+            line: e.line,
+            pc: e.pc,
+            kind: if e.is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        };
+        now = black_box(cameo.access(now, &access)).completion;
+    }
+}
+
+fn ablate_table_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llp_table_size");
+    for entries in [1usize, 64, 256, 1024] {
+        // Report the accuracy this table size reaches on the shared trace.
+        let mut probe = controller(entries, PredictorKind::Llp);
+        let mut generator = trace();
+        drive(&mut probe, &mut generator, 100_000);
+        eprintln!(
+            "[ablation] llp entries {entries}: accuracy {:.1}% ({} bytes/core)",
+            probe.stats().cases.accuracy().unwrap_or(0.0) * 100.0,
+            entries * 2 / 8,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            let mut cameo = controller(n, PredictorKind::Llp);
+            let mut generator = trace();
+            b.iter(|| drive(&mut cameo, &mut generator, 256));
+        });
+    }
+    group.finish();
+}
+
+fn ablate_predictor_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llp_predictor_kind");
+    for (label, kind) in [
+        ("sam", PredictorKind::SerialAccess),
+        ("llp", PredictorKind::Llp),
+        ("perfect", PredictorKind::Perfect),
+    ] {
+        group.bench_function(label, |b| {
+            let mut cameo = controller(256, kind);
+            let mut generator = trace();
+            b.iter(|| drive(&mut cameo, &mut generator, 256));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_table_size, ablate_predictor_kind);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation: LLT hardware designs (Ideal / Embedded / Co-Located) — the
+//! burst-of-five LEAD overhead versus the reserved-region indirection.
+//!
+//! Criterion measures controller throughput per design; the isolated H/M
+//! latencies (Figure 8) are printed alongside, so both the simulation cost
+//! and the architectural latency of each design are in one log.
+
+use cameo::{Cameo, CameoConfig, LltDesign, PredictorKind};
+use cameo_types::{Access, AccessKind, ByteSize, CoreId, Cycle, LineAddr};
+use cameo_workloads::{by_name, TraceConfig, TraceGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn controller(llt: LltDesign) -> Cameo {
+    Cameo::new(CameoConfig {
+        stacked: ByteSize::from_mib(4),
+        off_chip: ByteSize::from_mib(12),
+        llt,
+        predictor: PredictorKind::SerialAccess,
+        cores: 1,
+        llp_entries: 256,
+    })
+}
+
+fn isolated_latencies(llt: LltDesign) -> (u64, u64) {
+    let mut h = controller(llt);
+    let hit = h
+        .access(
+            Cycle::ZERO,
+            &Access::read(CoreId(0), LineAddr::new(7), 0x40),
+        )
+        .completion
+        .raw();
+    let mut m = controller(llt);
+    let stacked_lines = ByteSize::from_mib(4).lines();
+    let miss = m
+        .access(
+            Cycle::ZERO,
+            &Access::read(CoreId(0), LineAddr::new(stacked_lines + 7), 0x40),
+        )
+        .completion
+        .raw();
+    (hit, miss)
+}
+
+fn ablate_llt_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llt_design");
+    for (label, design) in [
+        ("ideal", LltDesign::Ideal),
+        ("embedded", LltDesign::Embedded),
+        ("co_located", LltDesign::CoLocated),
+    ] {
+        let (h, m) = isolated_latencies(design);
+        eprintln!("[ablation] {label}: isolated H {h} cycles, M {m} cycles");
+        group.bench_function(label, |b| {
+            let mut cameo = controller(design);
+            let mut generator = TraceGenerator::new(
+                by_name("xalancbmk").unwrap(),
+                TraceConfig {
+                    scale: 512,
+                    seed: 3,
+                    core_offset_pages: 0,
+                },
+            );
+            let mut now = Cycle::ZERO;
+            b.iter(|| {
+                let e = generator.next_event();
+                let access = Access {
+                    core: CoreId(0),
+                    line: e.line,
+                    pc: e.pc,
+                    kind: if e.is_write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                };
+                now = black_box(cameo.access(now, &access)).completion;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_llt_design);
+criterion_main!(benches);

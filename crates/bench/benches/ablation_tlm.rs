@@ -1,0 +1,57 @@
+//! Ablation: TLM-Freq epoch length — how often the OS rebalances hot pages
+//! into stacked frames (paper Section VI-D ignores software cost; the
+//! bandwidth cost of each choice is what this sweeps).
+
+use cameo_sim::experiments::{run_benchmark, OrgKind};
+use cameo_sim::SystemConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config(freq_epoch: u64) -> SystemConfig {
+    SystemConfig {
+        scale: 512,
+        cores: 2,
+        instructions_per_core: 300_000,
+        freq_epoch,
+        ..SystemConfig::default()
+    }
+}
+
+fn ablate_freq_epoch(c: &mut Criterion) {
+    let bench = cameo_workloads::by_name("xalancbmk").unwrap();
+    let mut group = c.benchmark_group("tlm_freq_epoch");
+    group.sample_size(10);
+    for epoch in [5_000u64, 20_000, 80_000] {
+        let cfg = config(epoch);
+        let baseline = run_benchmark(&bench, OrgKind::Baseline, &cfg);
+        let freq = run_benchmark(&bench, OrgKind::TlmFreq, &cfg);
+        eprintln!(
+            "[ablation] epoch {epoch}: speedup {:.2}x, migrated pages {}",
+            freq.speedup_over(&baseline),
+            freq.migrated_pages,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &e| {
+            let cfg = config(e);
+            b.iter(|| black_box(run_benchmark(&bench, OrgKind::TlmFreq, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn ablate_dynamic_vs_static(c: &mut Criterion) {
+    let bench = cameo_workloads::by_name("milc").unwrap();
+    let mut group = c.benchmark_group("tlm_policy");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("static", OrgKind::TlmStatic),
+        ("dynamic", OrgKind::TlmDynamic),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = config(20_000);
+            b.iter(|| black_box(run_benchmark(&bench, kind, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_freq_epoch, ablate_dynamic_vs_static);
+criterion_main!(benches);

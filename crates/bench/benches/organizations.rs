@@ -1,0 +1,70 @@
+//! Criterion benchmark of full-organization access throughput: how many
+//! simulated memory accesses per second each design point sustains on the
+//! host. Useful for keeping the simulator fast as it grows.
+
+use cameo_sim::experiments::{build_org, OrgKind};
+use cameo_sim::org::MemoryOrganization;
+use cameo_sim::SystemConfig;
+use cameo_types::{Access, AccessKind, CoreId, Cycle};
+use cameo_workloads::{by_name, MissStream, TraceConfig, TraceGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn drive(org: &mut dyn MemoryOrganization, generator: &mut TraceGenerator, n: usize) {
+    let mut now = Cycle::ZERO;
+    for _ in 0..n {
+        let e = generator.next_event();
+        let access = Access {
+            core: CoreId(0),
+            line: e.line,
+            pc: e.pc,
+            kind: if e.is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        };
+        let r = org.access(now, &access);
+        now = now
+            + Cycle::new(e.gap_instructions).later(r.completion.saturating_sub(Cycle::new(100)));
+    }
+}
+
+fn bench_organizations(c: &mut Criterion) {
+    let config = SystemConfig {
+        scale: 512,
+        cores: 1,
+        ..SystemConfig::default()
+    };
+    let bench = by_name("omnetpp").unwrap();
+    let mut group = c.benchmark_group("org_access");
+    for kind in [
+        OrgKind::Baseline,
+        OrgKind::AlloyCache,
+        OrgKind::TlmStatic,
+        OrgKind::TlmDynamic,
+        OrgKind::cameo_default(),
+        OrgKind::DoubleUse,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut org = build_org(&bench, kind, &config);
+            let mut generator = TraceGenerator::new(
+                bench,
+                TraceConfig {
+                    scale: config.scale,
+                    seed: 5,
+                    core_offset_pages: 0,
+                },
+            );
+            // Warm residency so the benchmark measures the steady state.
+            drive(org.as_mut(), &mut generator, 20_000);
+            b.iter(|| {
+                drive(org.as_mut(), &mut generator, 64);
+                black_box(org.faults())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_organizations);
+criterion_main!(benches);

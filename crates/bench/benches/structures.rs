@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the hot data structures: LLT
+//! lookup/promote, LLP predict/train, DRAM timing step, cache probes, and
+//! trace generation.
+
+use cameo::congruence::CongruenceMap;
+use cameo::llp::LineLocationPredictor;
+use cameo::llt::{LineLocationTable, Slot};
+use cameo_cachesim::alloy::AlloyDirectory;
+use cameo_cachesim::{CacheConfig, SetAssocCache};
+use cameo_memsim::{Dram, DramConfig};
+use cameo_types::{ByteSize, CoreId, Cycle, LineAddr};
+use cameo_workloads::{by_name, TraceConfig, TraceGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_llt(c: &mut Criterion) {
+    let map = CongruenceMap::new(1 << 19, 4);
+    let mut llt = LineLocationTable::new(map);
+    let total = map.total_lines();
+    let mut i = 0u64;
+    c.bench_function("llt_locate", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(llt.locate(LineAddr::new(i % total)))
+        })
+    });
+    c.bench_function("llt_promote", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(llt.promote(LineAddr::new(i % total)))
+        })
+    });
+}
+
+fn bench_llp(c: &mut Criterion) {
+    let mut llp = LineLocationPredictor::new(16, 256);
+    let mut pc = 0u64;
+    c.bench_function("llp_predict", |b| {
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            black_box(llp.predict(CoreId((pc % 16) as u16), pc))
+        })
+    });
+    c.bench_function("llp_train", |b| {
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            llp.train(CoreId((pc % 16) as u16), pc, Slot::new((pc % 4) as u8));
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut dram = Dram::new(DramConfig::stacked(ByteSize::from_mib(32)));
+    let lines = ByteSize::from_mib(32).lines();
+    let mut now = Cycle::ZERO;
+    let mut i = 0u64;
+    c.bench_function("dram_read_line", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            now += Cycle::new(2);
+            black_box(dram.read_line(now, i % lines))
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut l3 = SetAssocCache::new(CacheConfig {
+        capacity: ByteSize::from_kib(256),
+        ways: 16,
+        latency: Cycle::new(24),
+    });
+    let mut dir = AlloyDirectory::new(1 << 19);
+    let mut i = 0u64;
+    c.bench_function("l3_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(l3.access(LineAddr::new(i % (1 << 20)), i % 3 == 0))
+        })
+    });
+    c.bench_function("alloy_probe_fill", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = LineAddr::new(i % (1 << 22));
+            if !dir.probe(line) {
+                dir.fill(line, false);
+            }
+            black_box(dir.set_of(line))
+        })
+    });
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let spec = by_name("gcc").unwrap();
+    let mut generator = TraceGenerator::new(
+        spec,
+        TraceConfig {
+            scale: 128,
+            seed: 1,
+            core_offset_pages: 0,
+        },
+    );
+    c.bench_function("trace_next_event", |b| {
+        b.iter(|| black_box(generator.next_event()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_llt,
+    bench_llp,
+    bench_dram,
+    bench_caches,
+    bench_tracegen
+);
+criterion_main!(benches);

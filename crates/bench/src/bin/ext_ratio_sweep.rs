@@ -1,0 +1,73 @@
+//! Extension experiment: stacked-DRAM fraction sweep.
+//!
+//! The paper's introduction argues stacked DRAM will grow to "a quarter or
+//! even half of the overall capacity" and evaluates the quarter point
+//! (congruence ratio 4). This sweep holds total memory constant and varies
+//! the stacked share — ratio 2 (half), 4 (quarter, the paper's point) and
+//! 8 (eighth) — showing how CAMEO's advantage moves with the split.
+
+use cameo::{LltDesign, PredictorKind};
+use cameo_bench::{print_header, Cli};
+use cameo_sim::org::{AlloyCacheOrg, BaselineOrg, CameoOrg, MemoryOrganization};
+use cameo_sim::report::Table;
+use cameo_sim::runner::Runner;
+use cameo_types::ByteSize;
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Extension — stacked fraction sweep", &cli);
+    let cfg = &cli.config;
+    let total = cfg.total_memory();
+    let ratios = [2u64, 4, 8];
+
+    let mut headers = vec!["bench".to_owned()];
+    for r in ratios {
+        headers.push(format!("cache 1/{r}"));
+        headers.push(format!("CAMEO 1/{r}"));
+    }
+    let mut table = Table::new(headers);
+
+    for bench in &cli.benches {
+        let mut row = vec![bench.name.to_owned()];
+        for ratio in ratios {
+            eprintln!("[run] {} ratio 1/{}", bench.name, ratio);
+            let stacked = ByteSize::from_bytes(total.bytes() / ratio);
+            let off_chip = total - stacked;
+            // Baseline for this split: the off-chip share alone.
+            let mut base = BaselineOrg::new(off_chip, cfg.seed ^ 0xBEEF);
+            let baseline = Runner::new(*bench, cfg).run(&mut base);
+
+            let mut alloy: Box<dyn MemoryOrganization> = Box::new(AlloyCacheOrg::new(
+                stacked,
+                off_chip,
+                cfg.cores,
+                cfg.seed ^ 0xBEEF,
+            ));
+            let cache = Runner::new(*bench, cfg).run(alloy.as_mut());
+
+            let mut cameo_org = CameoOrg::new(
+                stacked,
+                off_chip,
+                LltDesign::CoLocated,
+                PredictorKind::Llp,
+                cfg.cores,
+                cfg.llp_entries,
+                cfg.seed ^ 0xBEEF,
+            );
+            let cameo_stats = Runner::new(*bench, cfg).run(&mut cameo_org);
+
+            row.push(format!("{:.2}x", cache.speedup_over(&baseline)));
+            row.push(format!("{:.2}x", cameo_stats.speedup_over(&baseline)));
+        }
+        table.row(row);
+    }
+    println!(
+        "Stacked fraction sweep — total memory fixed at {total}, speedups vs a\n\
+         baseline with only that split's off-chip share\n"
+    );
+    cli.emit(&table);
+    println!(
+        "\nAs the stacked share grows, a cache forfeits ever more OS-visible\n\
+         capacity; CAMEO's advantage widens — the paper's core motivation."
+    );
+}

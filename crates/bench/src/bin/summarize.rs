@@ -1,0 +1,141 @@
+//! One-stop dashboard: runs a benchmark through every organization and
+//! prints the full picture — speedups with bars, service breakdown,
+//! bandwidth, latency histogram, prediction cases.
+//!
+//! ```text
+//! cargo run --release -p cameo-bench --bin summarize -- --bench gcc
+//! ```
+
+use cameo::llp::PredictionCase;
+use cameo_bench::{print_header, Cli};
+use cameo_sim::experiments::{run_benchmark, OrgKind};
+use cameo_sim::report::{bar_chart, ratio, Table};
+use cameo_sim::RunStats;
+
+fn latency_histogram(stats: &RunStats) -> String {
+    let mut out = String::new();
+    let max = stats.latency_histogram.iter().max().copied().unwrap_or(0);
+    if max == 0 {
+        return out;
+    }
+    for (k, &count) in stats.latency_histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let width = (count as f64 / max as f64 * 40.0).round() as usize;
+        out.push_str(&format!(
+            "  {:>9}+ cyc  {} {}\n",
+            1u64 << k,
+            "▉".repeat(width.max(1)),
+            count
+        ));
+    }
+    out
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let bench = cli.benches[0];
+    print_header("summary", &cli);
+    println!(
+        "== {} ({}, L3 MPKI {}, footprint {:.1} GB full-scale) ==\n",
+        bench.name,
+        bench.category,
+        bench.mpki,
+        bench.footprint.as_gib()
+    );
+
+    let kinds = [
+        OrgKind::Baseline,
+        OrgKind::AlloyCache,
+        OrgKind::TlmStatic,
+        OrgKind::TlmDynamic,
+        OrgKind::TlmFreq,
+        OrgKind::cameo_default(),
+        OrgKind::DoubleUse,
+    ];
+    let mut runs: Vec<(OrgKind, RunStats)> = Vec::new();
+    for kind in kinds {
+        eprintln!("[run] {}", kind.label());
+        runs.push((kind, run_benchmark(&bench, kind, &cli.config)));
+    }
+    let baseline = runs[0].1.clone();
+
+    // Speedup bars.
+    let bars: Vec<(String, f64)> = runs
+        .iter()
+        .skip(1)
+        .map(|(k, s)| (k.label().to_owned(), s.speedup_over(&baseline)))
+        .collect();
+    println!("speedup over baseline:\n{}", bar_chart(&bars, 40));
+
+    // Detail table.
+    let mut table = Table::new(vec![
+        "design",
+        "CPI",
+        "stacked%",
+        "avg lat",
+        "faults",
+        "stacked BW",
+        "off-chip BW",
+        "storage BW",
+    ]);
+    for (kind, s) in &runs {
+        let n = s.bandwidth.normalized_to(&baseline.bandwidth);
+        table.row(vec![
+            kind.label().to_owned(),
+            format!("{:.2}", s.cpi()),
+            format!("{:.0}", s.stacked_service_rate().unwrap_or(0.0) * 100.0),
+            format!("{:.0}", s.avg_read_latency().unwrap_or(0.0)),
+            s.faults.to_string(),
+            ratio(n.stacked),
+            ratio(n.off_chip),
+            ratio(n.storage),
+        ]);
+    }
+    cli.emit(&table);
+
+    // CAMEO internals.
+    if let Some((_, cameo_run)) = runs
+        .iter()
+        .find(|(k, _)| matches!(k, OrgKind::Cameo { .. }))
+    {
+        if let Some(cases) = cameo_run.cases {
+            println!("\nCAMEO prediction cases (Table III taxonomy):");
+            use PredictionCase::*;
+            for (label, case) in [
+                (
+                    "stacked, predicted stacked  (fast)",
+                    StackedPredictedStacked,
+                ),
+                (
+                    "stacked, predicted off-chip (wasted BW)",
+                    StackedPredictedOffChip,
+                ),
+                (
+                    "off-chip, predicted stacked (slow)",
+                    OffChipPredictedStacked,
+                ),
+                (
+                    "off-chip, predicted right   (fast)",
+                    OffChipPredictedCorrect,
+                ),
+                (
+                    "off-chip, predicted wrong   (slow+BW)",
+                    OffChipPredictedWrong,
+                ),
+            ] {
+                println!(
+                    "  {label:<42} {:>5.1}%",
+                    cases.fraction(case).unwrap_or(0.0) * 100.0
+                );
+            }
+            println!(
+                "  overall accuracy: {:.1}%",
+                cases.accuracy().unwrap_or(0.0) * 100.0
+            );
+        }
+        println!("\nCAMEO read-latency distribution:");
+        print!("{}", latency_histogram(cameo_run));
+    }
+}

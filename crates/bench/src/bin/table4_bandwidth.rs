@@ -1,0 +1,103 @@
+//! Table IV: bandwidth usage in memory and storage, normalized to the
+//! baseline, averaged per workload category.
+
+use cameo_bench::{print_header, Cli};
+use cameo_sim::experiments::{run_benchmark, OrgKind};
+use cameo_sim::report::{ratio, Table};
+use cameo_sim::RunStats;
+use cameo_workloads::Category;
+
+fn mean(values: &[f64]) -> Option<f64> {
+    (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+}
+
+struct CategoryAverages {
+    stacked: Option<f64>,
+    off_chip: Option<f64>,
+    storage: Option<f64>,
+}
+
+fn averages(
+    runs: &[(Category, RunStats, RunStats)], // (category, run, baseline)
+    category: Category,
+) -> CategoryAverages {
+    let mut stacked = Vec::new();
+    let mut off = Vec::new();
+    let mut storage = Vec::new();
+    for (cat, run, base) in runs {
+        if *cat != category {
+            continue;
+        }
+        let n = run.bandwidth.normalized_to(&base.bandwidth);
+        if let Some(v) = n.stacked {
+            stacked.push(v);
+        }
+        if let Some(v) = n.off_chip {
+            off.push(v);
+        }
+        if let Some(v) = n.storage {
+            storage.push(v);
+        }
+    }
+    CategoryAverages {
+        stacked: mean(&stacked),
+        off_chip: mean(&off),
+        storage: mean(&storage),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Table IV — bandwidth usage", &cli);
+    let kinds = [
+        OrgKind::AlloyCache,
+        OrgKind::TlmStatic,
+        OrgKind::TlmDynamic,
+        OrgKind::cameo_default(),
+    ];
+
+    let mut table = Table::new(vec![
+        "design",
+        "Cap:stacked",
+        "Cap:off-chip",
+        "Cap:storage",
+        "Lat:stacked",
+        "Lat:off-chip",
+    ]);
+    table.row(vec![
+        "Baseline".to_owned(),
+        "n/a".to_owned(),
+        "1.00x".to_owned(),
+        "1.00x".to_owned(),
+        "n/a".to_owned(),
+        "1.00x".to_owned(),
+    ]);
+    for kind in kinds {
+        let mut runs = Vec::new();
+        for bench in &cli.benches {
+            eprintln!("[run] {} {}", bench.name, kind.label());
+            let base = run_benchmark(bench, OrgKind::Baseline, &cli.config);
+            let run = run_benchmark(bench, kind, &cli.config);
+            runs.push((bench.category, run, base));
+        }
+        let cap = averages(&runs, Category::CapacityLimited);
+        let lat = averages(&runs, Category::LatencyLimited);
+        table.row(vec![
+            kind.label().to_owned(),
+            ratio(cap.stacked),
+            ratio(cap.off_chip),
+            ratio(cap.storage),
+            ratio(lat.stacked),
+            ratio(lat.off_chip),
+        ]);
+    }
+    println!(
+        "Table IV — bandwidth usage in memory and storage (bytes transferred,\n\
+         normalized to baseline; stacked normalized to baseline off-chip)\n"
+    );
+    cli.emit(&table);
+    println!(
+        "\npaper: Cache 1.93/0.55/1.00 | TLM-Stat 0.26/0.74/0.78 | \
+         TLM-Dyn 2.54/2.19/0.78 | CAMEO 1.89/1.07/0.79 (Capacity columns)"
+    );
+}

@@ -1,0 +1,133 @@
+//! Trace tooling: record benchmark miss streams to `.cameotrace` files,
+//! inspect them, and replay them through any memory organization.
+//!
+//! ```text
+//! trace_tools record <bench> <out-file> [--events N] [--scale N] [--seed N]
+//! trace_tools info   <file>
+//! trace_tools replay <file> [--org cameo|cache|baseline]
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use cameo_sim::experiments::{build_org, OrgKind};
+use cameo_sim::runner::Runner;
+use cameo_sim::SystemConfig;
+use cameo_trace::{TraceFile, TraceWriter};
+use cameo_workloads::{by_name, MissStream, TraceConfig, TraceGenerator};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace_tools record <bench> <out-file> [--events N] [--scale N] [--seed N]\n  \
+         trace_tools info <file>\n  trace_tools replay <file> [--org cameo|cache|baseline]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or(default))
+        .unwrap_or(default)
+}
+
+fn record(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (name, path) = match (args.first(), args.get(1)) {
+        (Some(n), Some(p)) => (n.clone(), p.clone()),
+        _ => return Err("record needs <bench> <out-file>".into()),
+    };
+    let spec = by_name(&name).ok_or("unknown benchmark")?;
+    let events = flag(args, "--events", 100_000);
+    let scale = flag(args, "--scale", 128);
+    let seed = flag(args, "--seed", 42);
+    let mut generator = TraceGenerator::new(
+        spec,
+        TraceConfig {
+            scale,
+            seed,
+            core_offset_pages: 0,
+        },
+    );
+    let sink = BufWriter::new(File::create(&path)?);
+    TraceWriter::record(sink, &name, &mut generator, events)?;
+    println!("recorded {events} events of {name} (scale 1/{scale}, seed {seed}) to {path}");
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("info needs <file>")?;
+    let trace = TraceFile::read(BufReader::new(File::open(path)?))?;
+    let reads = trace.events.iter().filter(|e| !e.is_write).count();
+    let instructions: u64 = trace.events.iter().map(|e| e.gap_instructions).sum();
+    let pages: std::collections::HashSet<u64> =
+        trace.events.iter().map(|e| e.line.page().raw()).collect();
+    println!("name:        {}", trace.name);
+    println!("events:      {}", trace.events.len());
+    println!("reads:       {reads}");
+    println!("writes:      {}", trace.events.len() - reads);
+    println!(
+        "mpki:        {:.1}",
+        trace.events.len() as f64 * 1000.0 / instructions.max(1) as f64
+    );
+    println!(
+        "pages:       {} touched / {} footprint",
+        pages.len(),
+        trace.footprint_pages
+    );
+    Ok(())
+}
+
+fn replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("replay needs <file>")?;
+    let kind = match args
+        .iter()
+        .position(|a| a == "--org")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("cameo") => OrgKind::cameo_default(),
+        Some("cache") => OrgKind::AlloyCache,
+        Some("baseline") => OrgKind::Baseline,
+        Some(other) => return Err(format!("unknown org {other}").into()),
+    };
+    let trace = TraceFile::read(BufReader::new(File::open(path)?))?;
+    let spec = by_name(&trace.name).ok_or("trace names an unknown benchmark")?;
+    let config = SystemConfig {
+        cores: 1,
+        instructions_per_core: 2_000_000,
+        ..SystemConfig::default()
+    };
+    let mut org = build_org(&spec, kind, &config);
+    let replay: Box<dyn MissStream> = Box::new(trace.into_replay());
+    let stats = Runner::new(spec, &config).run_with_streams(org.as_mut(), vec![replay]);
+    println!(
+        "{} on {}: CPI {:.2}, {} reads ({:.0}% stacked), avg latency {:.0} cycles, {} faults",
+        kind.label(),
+        stats.bench,
+        stats.cpi(),
+        stats.demand_reads,
+        stats.stacked_service_rate().unwrap_or(0.0) * 100.0,
+        stats.avg_read_latency().unwrap_or(0.0),
+        stats.faults,
+    );
+    Ok(())
+}

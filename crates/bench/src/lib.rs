@@ -1,0 +1,280 @@
+//! Shared harness for the figure/table binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale N          capacity scale factor (default 128)
+//! --cores N          rate-mode cores (default 8)
+//! --instructions N   measured+warmup instructions per core (default 12M)
+//! --seed N           deterministic seed (default 42)
+//! --bench NAME       restrict to one benchmark (repeatable)
+//! --quick            small smoke-test configuration
+//! --csv              emit CSV instead of an aligned table
+//! ```
+//!
+//! and prints the regenerated rows/series of one paper table or figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use cameo_sim::experiments::{gmean, run_benchmark, OrgKind};
+use cameo_sim::report::Table;
+use cameo_sim::{RunStats, SystemConfig};
+use cameo_workloads::{suite, BenchSpec, Category};
+
+/// Parsed command line shared by all figure binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// System configuration assembled from the flags.
+    pub config: SystemConfig,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+    /// The benchmarks to run.
+    pub benches: Vec<BenchSpec>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut config = SystemConfig::default();
+        let mut csv = false;
+        let mut names: Vec<String> = Vec::new();
+        let mut it = args.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => config.scale = need(&mut it, "--scale").parse().expect("--scale"),
+                "--cores" => config.cores = need(&mut it, "--cores").parse().expect("--cores"),
+                "--instructions" => {
+                    config.instructions_per_core = need(&mut it, "--instructions")
+                        .parse()
+                        .expect("--instructions")
+                }
+                "--seed" => config.seed = need(&mut it, "--seed").parse().expect("--seed"),
+                "--mlp" => config.mlp = need(&mut it, "--mlp").parse().expect("--mlp"),
+                "--ipc" => config.ipc = need(&mut it, "--ipc").parse().expect("--ipc"),
+                "--bench" => names.push(need(&mut it, "--bench")),
+                "--quick" => {
+                    config.scale = 512;
+                    config.cores = 2;
+                    config.instructions_per_core = 200_000;
+                }
+                "--csv" => csv = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale N --cores N --instructions N --seed N --mlp N \
+                         --bench NAME (repeatable) --quick --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        config.validate();
+        let benches = if names.is_empty() {
+            suite()
+        } else {
+            names
+                .iter()
+                .map(|n| {
+                    cameo_workloads::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}"))
+                })
+                .collect()
+        };
+        Self {
+            config,
+            csv,
+            benches,
+        }
+    }
+
+    /// Prints a table in the selected format.
+    pub fn emit(&self, table: &Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{table}");
+        }
+    }
+}
+
+/// All per-benchmark runs of one experiment: `results[bench][kind]`.
+pub struct SpeedupGrid {
+    /// The organizations compared, in column order.
+    pub kinds: Vec<OrgKind>,
+    /// Per-benchmark baseline stats.
+    pub baselines: BTreeMap<String, RunStats>,
+    /// Per-benchmark, per-organization stats.
+    pub runs: BTreeMap<String, Vec<RunStats>>,
+    /// Benchmark order.
+    pub order: Vec<BenchSpec>,
+}
+
+impl SpeedupGrid {
+    /// Runs the baseline plus every `kind` for every benchmark in `cli`,
+    /// printing progress to stderr.
+    pub fn collect(kinds: &[OrgKind], cli: &Cli) -> Self {
+        let mut baselines = BTreeMap::new();
+        let mut runs = BTreeMap::new();
+        for bench in &cli.benches {
+            eprintln!("[run] {} baseline", bench.name);
+            let base = run_benchmark(bench, OrgKind::Baseline, &cli.config);
+            let mut row = Vec::with_capacity(kinds.len());
+            for kind in kinds {
+                eprintln!("[run] {} {}", bench.name, kind.label());
+                row.push(run_benchmark(bench, *kind, &cli.config));
+            }
+            baselines.insert(bench.name.to_owned(), base);
+            runs.insert(bench.name.to_owned(), row);
+        }
+        Self {
+            kinds: kinds.to_vec(),
+            baselines,
+            runs,
+            order: cli.benches.clone(),
+        }
+    }
+
+    /// Speedup of `kind` (by column index) on `bench`.
+    pub fn speedup(&self, bench: &str, col: usize) -> f64 {
+        self.runs[bench][col].speedup_over(&self.baselines[bench])
+    }
+
+    /// Renders the classic per-benchmark speedup table with per-category
+    /// and overall geometric means (the layout of Figures 2, 9, 12, 13,
+    /// 15).
+    pub fn speedup_table(&self) -> Table {
+        let mut headers = vec!["bench".to_owned(), "category".to_owned()];
+        headers.extend(self.kinds.iter().map(|k| k.label().to_owned()));
+        let mut table = Table::new(headers);
+        for bench in &self.order {
+            let mut row = vec![bench.name.to_owned(), bench.category.to_string()];
+            for col in 0..self.kinds.len() {
+                row.push(format!("{:.2}x", self.speedup(bench.name, col)));
+            }
+            table.row(row);
+        }
+        for (label, filter) in [
+            ("Gmean Capacity", Some(Category::CapacityLimited)),
+            ("Gmean Latency", Some(Category::LatencyLimited)),
+            ("Gmean ALL", None),
+        ] {
+            let selected: Vec<&BenchSpec> = self
+                .order
+                .iter()
+                .filter(|b| filter.is_none_or(|c| b.category == c))
+                .collect();
+            if selected.is_empty() {
+                continue;
+            }
+            let mut row = vec![label.to_owned(), String::new()];
+            for col in 0..self.kinds.len() {
+                let g = gmean(selected.iter().map(|b| self.speedup(b.name, col)))
+                    .expect("non-empty category");
+                row.push(format!("{g:.2}x"));
+            }
+            table.row(row);
+        }
+        table
+    }
+
+    /// Geometric-mean speedup of one column over all benchmarks.
+    pub fn gmean_all(&self, col: usize) -> f64 {
+        gmean(self.order.iter().map(|b| self.speedup(b.name, col))).expect("benchmarks present")
+    }
+
+    /// ASCII bar chart of the overall geometric means — a terminal
+    /// rendition of the figure's summary bars.
+    pub fn gmean_chart(&self) -> String {
+        let rows: Vec<(String, f64)> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(col, kind)| (kind.label().to_owned(), self.gmean_all(col)))
+            .collect();
+        cameo_sim::report::bar_chart(&rows, 40)
+    }
+}
+
+/// Prints the standard experiment header (configuration echo) to stderr.
+pub fn print_header(what: &str, cli: &Cli) {
+    eprintln!(
+        "== {what} | scale 1/{} ({} stacked + {} off-chip), {} cores, {} instr/core, seed {} ==",
+        cli.config.scale,
+        cli.config.stacked(),
+        cli.config.off_chip(),
+        cli.config.cores,
+        cli.config.instructions_per_core,
+        cli.config.seed,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Cli {
+        Cli::from_args(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = args("");
+        assert_eq!(cli.config.scale, 128);
+        assert_eq!(cli.benches.len(), 17);
+        assert!(!cli.csv);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = args("--scale 128 --cores 4 --instructions 1000000 --seed 7 --csv");
+        assert_eq!(cli.config.scale, 128);
+        assert_eq!(cli.config.cores, 4);
+        assert_eq!(cli.config.instructions_per_core, 1_000_000);
+        assert_eq!(cli.config.seed, 7);
+        assert!(cli.csv);
+    }
+
+    #[test]
+    fn bench_filter() {
+        let cli = args("--bench mcf --bench milc");
+        let names: Vec<&str> = cli.benches.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["mcf", "milc"]);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let cli = args("--quick");
+        assert_eq!(cli.config.scale, 512);
+        assert_eq!(cli.config.cores, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_bench_rejected() {
+        args("--bench nosuch");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_rejected() {
+        args("--frobnicate");
+    }
+}

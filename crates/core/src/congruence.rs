@@ -1,0 +1,198 @@
+//! Congruence-group address arithmetic (paper Section IV-A).
+//!
+//! With `N` lines of stacked DRAM and a total visible space of `ratio × N`
+//! lines, every requested line address decomposes into a *group*
+//! (`line % N` — the paper's "bottom log2(N) bits") and a *way*
+//! (`line / N`). All lines of a group contend for the single stacked slot
+//! of that group, exactly like lines contending for a set in a cache.
+
+use cameo_types::LineAddr;
+
+use crate::llt::Slot;
+
+/// Maps requested line addresses to (congruence group, way) pairs and back.
+///
+/// # Examples
+///
+/// ```
+/// use cameo::congruence::CongruenceMap;
+/// use cameo_types::LineAddr;
+///
+/// let map = CongruenceMap::new(1024, 4);
+/// let line = LineAddr::new(3 * 1024 + 17);
+/// assert_eq!(map.group_of(line), 17);
+/// assert_eq!(map.way_of(line), 3);
+/// assert_eq!(map.line_of(17, 3), line);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CongruenceMap {
+    groups: u64,
+    ratio: u8,
+}
+
+impl CongruenceMap {
+    /// Creates a map with `groups` congruence groups (the stacked line
+    /// count) and `ratio` ways per group (total / stacked capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or `ratio < 2` (a ratio of 1 would mean
+    /// no off-chip memory and nothing to swap).
+    pub fn new(groups: u64, ratio: u8) -> Self {
+        assert!(groups > 0, "need at least one congruence group");
+        assert!(ratio >= 2, "ratio must be at least 2");
+        Self { groups, ratio }
+    }
+
+    /// Number of congruence groups (== stacked lines).
+    #[inline]
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Lines per congruence group.
+    #[inline]
+    pub fn ratio(&self) -> u8 {
+        self.ratio
+    }
+
+    /// Total visible lines (`groups × ratio`).
+    #[inline]
+    pub fn total_lines(&self) -> u64 {
+        self.groups * u64::from(self.ratio)
+    }
+
+    /// Congruence group of a requested line.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is outside the visible space.
+    #[inline]
+    pub fn group_of(&self, line: LineAddr) -> u64 {
+        debug_assert!(line.raw() < self.total_lines(), "line out of space");
+        line.raw() % self.groups
+    }
+
+    /// Way (position within the group) of a requested line.
+    #[inline]
+    pub fn way_of(&self, line: LineAddr) -> u8 {
+        debug_assert!(line.raw() < self.total_lines(), "line out of space");
+        (line.raw() / self.groups) as u8
+    }
+
+    /// Reconstructs the requested line address of `(group, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or `way` is out of range.
+    #[inline]
+    pub fn line_of(&self, group: u64, way: u8) -> LineAddr {
+        assert!(group < self.groups, "group out of range");
+        assert!(way < self.ratio, "way out of range");
+        LineAddr::new(u64::from(way) * self.groups + group)
+    }
+
+    /// Device-local line a physical slot of `group` refers to: slot 0 is
+    /// stacked-DRAM line `group`; slot `k ≥ 1` is off-chip line
+    /// `(k−1) × groups + group`.
+    #[inline]
+    pub fn device_line(&self, group: u64, slot: Slot) -> u64 {
+        match slot.raw() {
+            0 => group,
+            k => u64::from(k - 1) * self.groups + group,
+        }
+    }
+}
+
+/// Divides by 31 using the residue trick the paper's footnote 5 describes
+/// (31 = 32 − 1), suitable for a few adders in hardware: repeatedly add the
+/// quotient's spill until the remainder settles.
+///
+/// Used to locate a congruence group's LEAD within the 31-LEADs-per-row
+/// co-located layout. Matches `x / 31` exactly.
+///
+/// # Examples
+///
+/// ```
+/// use cameo::congruence::div31;
+///
+/// assert_eq!(div31(0), 0);
+/// assert_eq!(div31(30), 0);
+/// assert_eq!(div31(31), 1);
+/// assert_eq!(div31(123_456_789), 123_456_789 / 31);
+/// ```
+pub fn div31(x: u64) -> u64 {
+    // q ≈ x/32 + x/32² + x/32³ ... converges because 1/31 = Σ 1/32^k.
+    let mut q = 0u64;
+    let mut r = x;
+    while r >= 31 {
+        let step = r >> 5; // r / 32
+        let step = step.max(1);
+        q += step;
+        r -= step * 31;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_way_round_trip() {
+        let map = CongruenceMap::new(128, 4);
+        for raw in [0u64, 1, 127, 128, 300, 511] {
+            let line = LineAddr::new(raw);
+            let g = map.group_of(line);
+            let w = map.way_of(line);
+            assert_eq!(map.line_of(g, w), line);
+        }
+    }
+
+    #[test]
+    fn paper_example_four_lines_per_group() {
+        // 4 GB stacked, 12 GB off-chip: groups = stacked lines, ratio 4.
+        let map = CongruenceMap::new(4, 4);
+        // Lines A, B, C, D of Figure 4 are ways 0..4 of one group.
+        let a = map.line_of(2, 0);
+        let b = map.line_of(2, 1);
+        assert_eq!(map.group_of(a), map.group_of(b));
+        assert_ne!(map.way_of(a), map.way_of(b));
+    }
+
+    #[test]
+    fn device_lines() {
+        let map = CongruenceMap::new(100, 4);
+        assert_eq!(map.device_line(7, Slot::new(0)), 7); // stacked
+        assert_eq!(map.device_line(7, Slot::new(1)), 7); // first off-chip third
+        assert_eq!(map.device_line(7, Slot::new(2)), 107);
+        assert_eq!(map.device_line(7, Slot::new(3)), 207);
+    }
+
+    #[test]
+    fn total_lines() {
+        assert_eq!(CongruenceMap::new(10, 4).total_lines(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be at least 2")]
+    fn degenerate_ratio_rejected() {
+        CongruenceMap::new(10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "way out of range")]
+    fn way_bounds_checked() {
+        CongruenceMap::new(10, 4).line_of(0, 4);
+    }
+
+    #[test]
+    fn div31_matches_division() {
+        for x in 0..10_000u64 {
+            assert_eq!(div31(x), x / 31, "x = {x}");
+        }
+        for x in [u64::MAX, u64::MAX / 2, 1 << 40, (1 << 40) - 1] {
+            assert_eq!(div31(x), x / 31, "x = {x}");
+        }
+    }
+}

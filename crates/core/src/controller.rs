@@ -1,0 +1,867 @@
+//! The CAMEO memory controller: glues the LLT design and the location
+//! predictor to the two DRAM timing models.
+
+use cameo_memsim::{Dram, DramConfig};
+use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind};
+
+use crate::congruence::{div31, CongruenceMap};
+use crate::llp::{LineLocationPredictor, PredictionCase, PredictionCaseCounts};
+use crate::llt::{LineLocationTable, Slot};
+use crate::swap_filter::{PageActivityTable, SwapPolicy};
+
+/// Transfer size of one LEAD (66 bytes of payload, moved as a burst of five
+/// — 80 bytes — on the 16-byte stacked bus; paper Section IV-D).
+pub const LEAD_BYTES: u32 = 66;
+
+/// Where the Line Location Table physically lives (paper Section IV-C/D).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LltDesign {
+    /// Zero-latency, zero-storage oracle — an upper bound.
+    Ideal,
+    /// The paper's Figure 6(a) strawman: the whole table in on-chip SRAM.
+    /// Lookups cost an L3-like [`SRAM_LLT_CYCLES`] before every memory
+    /// access but no DRAM traffic. The paper dismisses it as impractical —
+    /// the 64 MB table would displace the entire L3 — but it is the
+    /// cleanest latency reference between Ideal and Embedded, so it is
+    /// modeled here.
+    Sram,
+    /// Table stored in a reserved region of stacked DRAM; every access
+    /// serializes behind the table read.
+    Embedded,
+    /// Entry co-located with the group's stacked data line as a LEAD; a
+    /// stacked-resident access needs one probe, an off-chip access pays
+    /// serialization unless predicted.
+    CoLocated,
+}
+
+/// Lookup latency of the (impractical) SRAM-resident LLT: the paper notes
+/// it would be "as high as the L3 cache (24 cycles)".
+pub const SRAM_LLT_CYCLES: u64 = 24;
+
+/// How the controller decides whether to launch the off-chip access in
+/// parallel (paper Section V).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PredictorKind {
+    /// Serial Access Memory: always probe stacked first (equivalently,
+    /// always predict "stacked").
+    SerialAccess,
+    /// The paper's PC-indexed last-location predictor.
+    Llp,
+    /// Oracle that always predicts the true location.
+    Perfect,
+}
+
+/// Configuration of a CAMEO memory system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CameoConfig {
+    /// Stacked-DRAM capacity (defines the congruence-group count).
+    pub stacked: ByteSize,
+    /// Off-chip capacity; must be a multiple of `stacked`.
+    pub off_chip: ByteSize,
+    /// LLT hardware design.
+    pub llt: LltDesign,
+    /// Location-prediction scheme (only meaningful for
+    /// [`LltDesign::CoLocated`]; other designs ignore it).
+    pub predictor: PredictorKind,
+    /// Number of cores (one predictor table each).
+    pub cores: u16,
+    /// LLP entries per core table (power of two).
+    pub llp_entries: usize,
+}
+
+/// Activity counters of the controller, including the Table III prediction
+/// taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CameoStats {
+    /// Demand reads serviced.
+    pub demand_reads: u64,
+    /// Writes serviced.
+    pub demand_writes: u64,
+    /// Demand reads serviced by stacked DRAM.
+    pub serviced_stacked: u64,
+    /// Demand reads serviced by off-chip DRAM.
+    pub serviced_off_chip: u64,
+    /// Useless parallel off-chip fetches (prediction cases 2 and 5).
+    pub wasted_off_chip_fetches: u64,
+    /// Prediction-case counters (reads under the Co-Located design).
+    pub cases: PredictionCaseCounts,
+}
+
+impl CameoStats {
+    /// Fraction of demand reads serviced by stacked DRAM.
+    pub fn stacked_service_rate(&self) -> Option<f64> {
+        (self.demand_reads > 0).then(|| self.serviced_stacked as f64 / self.demand_reads as f64)
+    }
+}
+
+/// Result of one access through the controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Cycle the demanded data is available.
+    pub completion: Cycle,
+    /// Device that serviced the demand.
+    pub serviced_by: MemKind,
+    /// Prediction classification, when a prediction was made.
+    pub case: Option<PredictionCase>,
+}
+
+/// The CAMEO controller (paper Sections IV and V).
+///
+/// Owns the two DRAM devices, the LLT contents, and the predictor; exposes a
+/// single [`Cameo::access`] entry point that charges all timing and swap
+/// traffic.
+///
+/// Swap writes (install of the promoted line, writeback of the demoted
+/// line, LLT update) are issued as *posted* traffic: they occupy banks and
+/// buses — creating back-pressure for later accesses — but do not extend
+/// the completion time of the access that triggered them, mirroring the
+/// paper's use of existing writeback/fill queues.
+#[derive(Clone, Debug)]
+pub struct Cameo {
+    config: CameoConfig,
+    map: CongruenceMap,
+    llt: LineLocationTable,
+    llp: LineLocationPredictor,
+    stacked: Dram,
+    off_chip: Dram,
+    stats: CameoStats,
+    swap_policy: SwapPolicy,
+    page_activity: PageActivityTable,
+    accesses_since_decay: u64,
+}
+
+impl Cameo {
+    /// Builds a CAMEO system with identity-mapped lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off_chip` is not a positive multiple of `stacked`, or if
+    /// the resulting ratio exceeds 8, or if `cores == 0`, or if
+    /// `llp_entries` is not a power of two.
+    pub fn new(config: CameoConfig) -> Self {
+        let stacked_lines = config.stacked.lines();
+        let off_lines = config.off_chip.lines();
+        assert!(stacked_lines > 0, "stacked capacity must be non-zero");
+        assert!(
+            off_lines > 0 && off_lines.is_multiple_of(stacked_lines),
+            "off-chip capacity must be a positive multiple of stacked capacity"
+        );
+        let ratio = 1 + off_lines / stacked_lines;
+        assert!(ratio <= 8, "congruence ratio {ratio} exceeds supported 8");
+        let map = CongruenceMap::new(stacked_lines, ratio as u8);
+        Self {
+            map,
+            llt: LineLocationTable::new(map),
+            llp: LineLocationPredictor::new(config.cores, config.llp_entries),
+            stacked: Dram::new(DramConfig::stacked(config.stacked)),
+            off_chip: Dram::new(DramConfig::off_chip(config.off_chip)),
+            stats: CameoStats::default(),
+            config,
+            swap_policy: SwapPolicy::Always,
+            // 64 K x 6-bit counters (48 KB) — big enough that aliasing
+            // does not make every page look hot at memory-scale footprints.
+            page_activity: PageActivityTable::new(64 * 1024),
+            accesses_since_decay: 0,
+        }
+    }
+
+    /// Selects the swap policy (default [`SwapPolicy::Always`]). The
+    /// frequency-filtered variant is the extension the paper sketches at
+    /// the end of Section VI-D.
+    pub fn set_swap_policy(&mut self, policy: SwapPolicy) {
+        self.swap_policy = policy;
+    }
+
+    /// The active swap policy.
+    pub fn swap_policy(&self) -> SwapPolicy {
+        self.swap_policy
+    }
+
+    /// Records page activity and decides whether an off-chip hit on `line`
+    /// should be swapped into stacked DRAM.
+    fn should_swap(&mut self, line: LineAddr) -> bool {
+        self.accesses_since_decay += 1;
+        if self.accesses_since_decay >= 65_536 {
+            self.accesses_since_decay = 0;
+            self.page_activity.decay();
+        }
+        let count = self.page_activity.record(line);
+        match self.swap_policy {
+            SwapPolicy::Always => true,
+            SwapPolicy::HotPagesOnly { threshold } => count >= threshold,
+        }
+    }
+
+    /// The configuration this controller was built with.
+    #[inline]
+    pub fn config(&self) -> &CameoConfig {
+        &self.config
+    }
+
+    /// Controller counters (service locations, prediction cases).
+    #[inline]
+    pub fn stats(&self) -> &CameoStats {
+        &self.stats
+    }
+
+    /// The stacked-DRAM device (for bandwidth accounting).
+    #[inline]
+    pub fn stacked(&self) -> &Dram {
+        &self.stacked
+    }
+
+    /// The off-chip DRAM device (for bandwidth accounting).
+    #[inline]
+    pub fn off_chip(&self) -> &Dram {
+        &self.off_chip
+    }
+
+    /// The Line Location Table contents.
+    #[inline]
+    pub fn llt(&self) -> &LineLocationTable {
+        &self.llt
+    }
+
+    /// Resets controller and device counters, keeping all mapping state
+    /// (used when the measured region starts after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CameoStats::default();
+        self.stacked.reset_stats();
+        self.off_chip.reset_stats();
+    }
+
+    /// Charges the DRAM traffic of faulting a 4 KiB page *in* at requested
+    /// physical page `page_first_line`: a bulk write to the device that
+    /// holds the page's identity location (all 64 lines of a page share one
+    /// way, so they home to one device; individual lines that have been
+    /// swapped elsewhere make this an approximation of the device split,
+    /// not of the total bytes).
+    pub fn bulk_page_write(&mut self, now: Cycle, page_first_line: LineAddr) {
+        let group = self.map.group_of(page_first_line);
+        let way = page_first_line.raw() / self.map.groups();
+        if way == 0 {
+            self.stacked
+                .access(now, group, true, cameo_types::PAGE_BYTES as u32);
+        } else {
+            let dev = (way - 1) * self.map.groups() + group;
+            self.off_chip
+                .access(now, dev, true, cameo_types::PAGE_BYTES as u32);
+        }
+    }
+
+    /// Charges the DRAM traffic of reading a dirty 4 KiB page *out* before
+    /// eviction to storage. Same device-homing rule as
+    /// [`Cameo::bulk_page_write`].
+    pub fn bulk_page_read(&mut self, now: Cycle, page_first_line: LineAddr) {
+        let group = self.map.group_of(page_first_line);
+        let way = page_first_line.raw() / self.map.groups();
+        if way == 0 {
+            self.stacked
+                .access(now, group, false, cameo_types::PAGE_BYTES as u32);
+        } else {
+            let dev = (way - 1) * self.map.groups() + group;
+            self.off_chip
+                .access(now, dev, false, cameo_types::PAGE_BYTES as u32);
+        }
+    }
+
+    /// OS-visible capacity: total memory minus what the LLT design reserves
+    /// (none for Ideal, `stacked/64` for Embedded — the 64 MB table of the
+    /// paper's 4 GB + 12 GB system — and `stacked/32` for Co-Located, the
+    /// one-line-in-32 sacrificed per row for LEAD storage).
+    pub fn visible_capacity(&self) -> ByteSize {
+        let total = self.config.stacked + self.config.off_chip;
+        let reserve = match self.config.llt {
+            // Ideal is free; SRAM spends on-chip storage, not memory space.
+            LltDesign::Ideal | LltDesign::Sram => ByteSize::ZERO,
+            LltDesign::Embedded => self.config.stacked.scale_down(64),
+            LltDesign::CoLocated => self.config.stacked.scale_down(32),
+        };
+        total - reserve
+    }
+
+    /// Device line of the LEAD for `group` under the co-located layout:
+    /// 31 LEADs per 32-line row, via the paper's `X + X/31` fixup
+    /// (footnote 5), wrapped to the device size.
+    fn lead_line(&self, group: u64) -> u64 {
+        (group + div31(group)) % self.map.groups()
+    }
+
+    /// Device line of the Embedded-LLT entry for `group`: one-byte entries,
+    /// 64 per line, in the reserved region at the start of the device.
+    fn embedded_llt_line(&self, group: u64) -> u64 {
+        group / 64
+    }
+
+    /// Services one post-LLC request, charging all timing and swap traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line lies outside the visible space.
+    pub fn access(&mut self, now: Cycle, access: &Access) -> AccessResult {
+        debug_assert!(
+            access.line.raw() < self.map.total_lines(),
+            "line outside memory space"
+        );
+        if access.kind.is_write() {
+            self.stats.demand_writes += 1;
+            return self.write(now, access);
+        }
+        self.stats.demand_reads += 1;
+        let result = match self.config.llt {
+            LltDesign::Ideal => self.read_ideal(now, access.line),
+            LltDesign::Sram => self.read_ideal(now + Cycle::new(SRAM_LLT_CYCLES), access.line),
+            LltDesign::Embedded => self.read_embedded(now, access.line),
+            LltDesign::CoLocated => self.read_co_located(now, access),
+        };
+        match result.serviced_by {
+            MemKind::Stacked => self.stats.serviced_stacked += 1,
+            MemKind::OffChip => self.stats.serviced_off_chip += 1,
+        }
+        result
+    }
+
+    /// Performs the swap bookkeeping after an off-chip demand read: promote
+    /// the line in the LLT, install it in stacked DRAM, write the displaced
+    /// line to the vacated off-chip slot. `victim_in_hand` is true when the
+    /// displaced line's data already arrived with a LEAD probe.
+    fn swap_after_off_chip_read(
+        &mut self,
+        at: Cycle,
+        line: LineAddr,
+        group: u64,
+        vacated: Slot,
+        victim_in_hand: bool,
+    ) {
+        let promoted = self.llt.promote(line);
+        debug_assert!(promoted.is_some(), "line was off-chip; promote must swap");
+        if !victim_in_hand {
+            // Read the displaced line out of stacked DRAM before overwriting.
+            self.stacked.read_line(at, group);
+        }
+        match self.config.llt {
+            LltDesign::Ideal | LltDesign::Sram => {
+                self.stacked.write_line(at, group);
+            }
+            LltDesign::Embedded => {
+                self.stacked.write_line(at, group);
+                // Update the table entry in the reserved region.
+                self.stacked.write_line(at, self.embedded_llt_line(group));
+            }
+            LltDesign::CoLocated => {
+                // One LEAD write carries both the data and the entry.
+                self.stacked
+                    .access(at, self.lead_line(group), true, LEAD_BYTES);
+            }
+        }
+        // Install the displaced line into the slot the requested line left.
+        self.off_chip
+            .write_line(at, self.map.device_line(group, vacated));
+    }
+
+    fn read_ideal(&mut self, now: Cycle, line: LineAddr) -> AccessResult {
+        let group = self.map.group_of(line);
+        let slot = self.llt.locate(line);
+        if slot.is_stacked() {
+            AccessResult {
+                completion: self.stacked.read_line(now, group),
+                serviced_by: MemKind::Stacked,
+                case: None,
+            }
+        } else {
+            let completion = self
+                .off_chip
+                .read_line(now, self.map.device_line(group, slot));
+            if self.should_swap(line) {
+                self.swap_after_off_chip_read(now, line, group, slot, false);
+            }
+            AccessResult {
+                completion,
+                serviced_by: MemKind::OffChip,
+                case: None,
+            }
+        }
+    }
+
+    fn read_embedded(&mut self, now: Cycle, line: LineAddr) -> AccessResult {
+        let group = self.map.group_of(line);
+        let lookup_done = self.stacked.read_line(now, self.embedded_llt_line(group));
+        let slot = self.llt.locate(line);
+        if slot.is_stacked() {
+            AccessResult {
+                completion: self.stacked.read_line(lookup_done, group),
+                serviced_by: MemKind::Stacked,
+                case: None,
+            }
+        } else {
+            let completion = self
+                .off_chip
+                .read_line(lookup_done, self.map.device_line(group, slot));
+            if self.should_swap(line) {
+                self.swap_after_off_chip_read(lookup_done, line, group, slot, false);
+            }
+            AccessResult {
+                completion,
+                serviced_by: MemKind::OffChip,
+                case: None,
+            }
+        }
+    }
+
+    fn read_co_located(&mut self, now: Cycle, access: &Access) -> AccessResult {
+        let line = access.line;
+        let group = self.map.group_of(line);
+        let actual = self.llt.locate(line);
+        let predicted = match self.config.predictor {
+            PredictorKind::SerialAccess => Slot::STACKED,
+            PredictorKind::Llp => self.llp.predict(access.core, access.pc),
+            PredictorKind::Perfect => actual,
+        };
+        // Clamp predictions outside this configuration's ratio (can happen
+        // when a smaller ratio reuses a trained table) to serial access.
+        let predicted = if predicted.raw() >= self.map.ratio() {
+            Slot::STACKED
+        } else {
+            predicted
+        };
+        let case = PredictionCase::classify(predicted, actual);
+        self.stats.cases.record(case);
+        if case.wastes_bandwidth() {
+            self.stats.wasted_off_chip_fetches += 1;
+        }
+        if matches!(self.config.predictor, PredictorKind::Llp) {
+            self.llp.train(access.core, access.pc, actual);
+        }
+
+        // The verifying LEAD probe always happens.
+        let probe_done = self
+            .stacked
+            .access(now, self.lead_line(group), false, LEAD_BYTES);
+        // A predicted-off-chip fetch launches in parallel with the probe.
+        // A fetch the LLT verification disproves is squashed at the bank
+        // queue: it wastes bus bandwidth (Table IV) but does not hold a
+        // bank against later demand reads.
+        let parallel_fetch = (!predicted.is_stacked()).then(|| {
+            let target = self.map.device_line(group, predicted);
+            if case == PredictionCase::OffChipPredictedCorrect {
+                self.off_chip.read_line(now, target)
+            } else {
+                self.off_chip.read_squashed(now, target)
+            }
+        });
+
+        let (completion, serviced_by) = match case {
+            PredictionCase::StackedPredictedStacked | PredictionCase::StackedPredictedOffChip => {
+                (probe_done, MemKind::Stacked)
+            }
+            PredictionCase::OffChipPredictedCorrect => {
+                let fetch = parallel_fetch.expect("off-chip prediction fetched");
+                // Data usable once the LLT entry has verified the prediction.
+                (probe_done.later(fetch), MemKind::OffChip)
+            }
+            PredictionCase::OffChipPredictedStacked | PredictionCase::OffChipPredictedWrong => {
+                // Serialized correct fetch after the probe reveals the slot.
+                let fetch = self
+                    .off_chip
+                    .read_line(probe_done, self.map.device_line(group, actual));
+                (fetch, MemKind::OffChip)
+            }
+        };
+        if serviced_by == MemKind::OffChip && self.should_swap(line) {
+            // The LEAD probe already delivered the displaced line's data.
+            self.swap_after_off_chip_read(now, line, group, actual, true);
+        }
+        AccessResult {
+            completion,
+            serviced_by,
+            case: Some(case),
+        }
+    }
+
+    /// Writes (LLC dirty writebacks) update the line in place — a line
+    /// being evicted from the LLC is not evidence of reuse, so CAMEO does
+    /// not promote on writes.
+    fn write(&mut self, now: Cycle, access: &Access) -> AccessResult {
+        let line = access.line;
+        let group = self.map.group_of(line);
+        let slot = self.llt.locate(line);
+        // The write's location lookup is free training data for the LLP.
+        if matches!(self.config.predictor, PredictorKind::Llp) {
+            self.llp.train(access.core, access.pc, slot);
+        }
+        let (completion, serviced_by) = match self.config.llt {
+            LltDesign::Ideal | LltDesign::Sram => {
+                let start = if self.config.llt == LltDesign::Sram {
+                    now + Cycle::new(SRAM_LLT_CYCLES)
+                } else {
+                    now
+                };
+                if slot.is_stacked() {
+                    (self.stacked.write_line(start, group), MemKind::Stacked)
+                } else {
+                    (
+                        self.off_chip
+                            .write_line(start, self.map.device_line(group, slot)),
+                        MemKind::OffChip,
+                    )
+                }
+            }
+            LltDesign::Embedded => {
+                let lookup = self.stacked.read_line(now, self.embedded_llt_line(group));
+                if slot.is_stacked() {
+                    (self.stacked.write_line(lookup, group), MemKind::Stacked)
+                } else {
+                    (
+                        self.off_chip
+                            .write_line(lookup, self.map.device_line(group, slot)),
+                        MemKind::OffChip,
+                    )
+                }
+            }
+            LltDesign::CoLocated => {
+                // Locate by probing the LEAD, then write in place.
+                let probe = self
+                    .stacked
+                    .access(now, self.lead_line(group), false, LEAD_BYTES);
+                if slot.is_stacked() {
+                    (
+                        self.stacked
+                            .access(probe, self.lead_line(group), true, LEAD_BYTES),
+                        MemKind::Stacked,
+                    )
+                } else {
+                    (
+                        self.off_chip
+                            .write_line(probe, self.map.device_line(group, slot)),
+                        MemKind::OffChip,
+                    )
+                }
+            }
+        };
+        AccessResult {
+            completion,
+            serviced_by,
+            case: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_types::CoreId;
+
+    fn cameo(llt: LltDesign, predictor: PredictorKind) -> Cameo {
+        Cameo::new(CameoConfig {
+            stacked: ByteSize::from_kib(64), // 1024 lines
+            off_chip: ByteSize::from_kib(192),
+            llt,
+            predictor,
+            cores: 2,
+            llp_entries: 64,
+        })
+    }
+
+    fn read(line: u64) -> Access {
+        Access::read(CoreId(0), LineAddr::new(line), 0x400000 + line * 4)
+    }
+
+    #[test]
+    fn ratio_and_visibility() {
+        let c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        assert_eq!(c.map.ratio(), 4);
+        assert_eq!(
+            c.visible_capacity(),
+            ByteSize::from_kib(256) - ByteSize::from_kib(2)
+        );
+        let e = cameo(LltDesign::Embedded, PredictorKind::SerialAccess);
+        assert_eq!(
+            e.visible_capacity(),
+            ByteSize::from_kib(256) - ByteSize::from_kib(1)
+        );
+        let i = cameo(LltDesign::Ideal, PredictorKind::Perfect);
+        assert_eq!(i.visible_capacity(), ByteSize::from_kib(256));
+    }
+
+    #[test]
+    fn off_chip_read_swaps_line_in() {
+        let mut c = cameo(LltDesign::Ideal, PredictorKind::SerialAccess);
+        let line = 2048; // way 2, group 0
+        let r1 = c.access(Cycle::ZERO, &read(line));
+        assert_eq!(r1.serviced_by, MemKind::OffChip);
+        // Second access to the same line is now stacked-resident.
+        let r2 = c.access(r1.completion, &read(line));
+        assert_eq!(r2.serviced_by, MemKind::Stacked);
+        assert_eq!(c.llt().swaps(), 1);
+        // The displaced line (way 0, group 0) is now off-chip at slot 2.
+        let r3 = c.access(r2.completion, &read(0));
+        assert_eq!(r3.serviced_by, MemKind::OffChip);
+    }
+
+    #[test]
+    fn stacked_read_is_faster_than_off_chip() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let hit = c.access(Cycle::ZERO, &read(5)).completion;
+        let mut c2 = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let miss = c2.access(Cycle::ZERO, &read(5 + 2048)).completion;
+        assert!(hit < miss, "hit {hit:?} vs miss {miss:?}");
+    }
+
+    #[test]
+    fn embedded_serializes_even_hits() {
+        let mut e = cameo(LltDesign::Embedded, PredictorKind::SerialAccess);
+        let mut cl = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let hit_embedded = e.access(Cycle::ZERO, &read(5)).completion;
+        let hit_colocated = cl.access(Cycle::ZERO, &read(5)).completion;
+        assert!(hit_colocated < hit_embedded);
+    }
+
+    #[test]
+    fn perfect_prediction_hides_serialization() {
+        let line = 7 + 1024; // off-chip way 1
+        let mut serial = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let mut perfect = cameo(LltDesign::CoLocated, PredictorKind::Perfect);
+        let t_serial = serial.access(Cycle::ZERO, &read(line)).completion;
+        let t_perfect = perfect.access(Cycle::ZERO, &read(line)).completion;
+        assert!(t_perfect < t_serial);
+        assert_eq!(
+            perfect
+                .stats()
+                .cases
+                .count(PredictionCase::OffChipPredictedCorrect),
+            1
+        );
+        assert_eq!(perfect.stats().cases.accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn llp_learns_last_location() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // Same PC touches two off-chip lines of different groups, same way:
+        // after the first (mispredicted serial), the second is predicted.
+        let a = Access::read(CoreId(0), LineAddr::new(1024 + 1), 0x88);
+        let b = Access::read(CoreId(0), LineAddr::new(1024 + 2), 0x88);
+        let r1 = c.access(Cycle::ZERO, &a);
+        assert_eq!(r1.case, Some(PredictionCase::OffChipPredictedStacked));
+        let r2 = c.access(r1.completion, &b);
+        assert_eq!(r2.case, Some(PredictionCase::OffChipPredictedCorrect));
+    }
+
+    #[test]
+    fn wrong_off_chip_prediction_counts_waste() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // Train PC to slot 1, then access a line residing at slot 2.
+        let train = Access::read(CoreId(0), LineAddr::new(1024), 0x44); // way 1
+        let r1 = c.access(Cycle::ZERO, &train);
+        assert_eq!(r1.serviced_by, MemKind::OffChip);
+        let other = Access::read(CoreId(0), LineAddr::new(2048 + 5), 0x44); // way 2
+        let r2 = c.access(r1.completion, &other);
+        assert_eq!(r2.case, Some(PredictionCase::OffChipPredictedWrong));
+        assert_eq!(c.stats().wasted_off_chip_fetches, 1);
+    }
+
+    #[test]
+    fn stacked_resident_wrong_prediction_wastes_bandwidth_only() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // Train PC to an off-chip slot...
+        let r1 = c.access(
+            Cycle::ZERO,
+            &Access::read(CoreId(0), LineAddr::new(1024), 0x44),
+        );
+        // ...then access a stacked-resident line with the same PC.
+        let r2 = c.access(
+            r1.completion,
+            &Access::read(CoreId(0), LineAddr::new(7), 0x44),
+        );
+        assert_eq!(r2.case, Some(PredictionCase::StackedPredictedOffChip));
+        assert_eq!(r2.serviced_by, MemKind::Stacked);
+    }
+
+    #[test]
+    fn writes_do_not_promote() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let w = Access::write(CoreId(0), LineAddr::new(1024 + 9), 0x10);
+        let r = c.access(Cycle::ZERO, &w);
+        assert_eq!(r.serviced_by, MemKind::OffChip);
+        assert_eq!(c.llt().swaps(), 0);
+        assert_eq!(c.stats().demand_writes, 1);
+        // Still off-chip on a subsequent read.
+        let rd = c.access(r.completion, &read(1024 + 9));
+        assert_eq!(rd.serviced_by, MemKind::OffChip);
+    }
+
+    #[test]
+    fn service_counters_partition_reads() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        let mut now = Cycle::ZERO;
+        for i in 0..50u64 {
+            let r = c.access(now, &read(i * 37 % 4096));
+            now = r.completion;
+        }
+        let s = c.stats();
+        assert_eq!(s.demand_reads, 50);
+        assert_eq!(s.serviced_stacked + s.serviced_off_chip, 50);
+        assert_eq!(s.cases.total(), 50);
+    }
+
+    #[test]
+    fn swap_traffic_reaches_devices() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        c.access(Cycle::ZERO, &read(1024)); // off-chip: swap
+                                            // Stacked: LEAD probe (read) + LEAD install (write).
+        assert_eq!(c.stacked().stats().demand_reads, 1);
+        assert_eq!(c.stacked().stats().writes, 1);
+        // Off-chip: demand read + displaced-line install.
+        assert_eq!(c.off_chip().stats().demand_reads, 1);
+        assert_eq!(c.off_chip().stats().writes, 1);
+    }
+
+    #[test]
+    fn ideal_swap_reads_victim() {
+        let mut c = cameo(LltDesign::Ideal, PredictorKind::SerialAccess);
+        c.access(Cycle::ZERO, &read(1024));
+        // Victim must be read out of stacked before being overwritten.
+        assert_eq!(c.stacked().stats().demand_reads, 1);
+        assert_eq!(c.stacked().stats().writes, 1);
+    }
+
+    #[test]
+    fn embedded_write_serializes_behind_lookup() {
+        let mut e = cameo(LltDesign::Embedded, PredictorKind::SerialAccess);
+        let mut i = cameo(LltDesign::Ideal, PredictorKind::SerialAccess);
+        let w = Access::write(CoreId(0), LineAddr::new(5), 0x10);
+        let t_embedded = e.access(Cycle::ZERO, &w).completion;
+        let t_ideal = i.access(Cycle::ZERO, &w).completion;
+        assert!(t_embedded > t_ideal, "{t_embedded:?} !> {t_ideal:?}");
+        // The lookup is a stacked read even though the payload is a write.
+        assert_eq!(e.stacked().stats().demand_reads, 1);
+    }
+
+    #[test]
+    fn bulk_page_traffic_routes_by_way() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // Way 0 page: stacked device.
+        c.bulk_page_write(Cycle::ZERO, LineAddr::new(0));
+        assert_eq!(c.stacked().stats().bytes_written, 4096);
+        assert_eq!(c.off_chip().stats().bytes_written, 0);
+        // Way 2 page: off-chip device.
+        c.bulk_page_write(Cycle::ZERO, LineAddr::new(2048));
+        assert_eq!(c.off_chip().stats().bytes_written, 4096);
+        // Reads likewise.
+        c.bulk_page_read(Cycle::ZERO, LineAddr::new(1024));
+        assert_eq!(c.off_chip().stats().bytes_read, 4096);
+        c.bulk_page_read(Cycle::ZERO, LineAddr::new(64));
+        assert_eq!(c.stacked().stats().bytes_read, 4096);
+    }
+
+    #[test]
+    fn reset_stats_preserves_llt_state() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        let r = c.access(Cycle::ZERO, &read(1024));
+        assert_eq!(r.serviced_by, MemKind::OffChip);
+        c.reset_stats();
+        assert_eq!(c.stats().demand_reads, 0);
+        assert_eq!(c.stacked().stats().accesses(), 0);
+        // The promoted line is still stacked-resident.
+        let r2 = c.access(Cycle::new(1), &read(1024));
+        assert_eq!(r2.serviced_by, MemKind::Stacked);
+        assert_eq!(c.llt().swaps(), 1); // swap count is mapping state, kept
+    }
+
+    #[test]
+    fn llp_trains_on_writes() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // A write locates an off-chip line (no promotion), teaching the LLP.
+        let w = Access::write(CoreId(0), LineAddr::new(1024 + 7), 0x60);
+        c.access(Cycle::ZERO, &w);
+        // A read from the same PC to a line at the same slot is predicted.
+        let r = c.access(
+            Cycle::new(1000),
+            &Access::read(CoreId(0), LineAddr::new(1024 + 8), 0x60),
+        );
+        assert_eq!(r.case, Some(PredictionCase::OffChipPredictedCorrect));
+    }
+
+    #[test]
+    fn squashed_speculation_still_counts_waste() {
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        // Train to off-chip slot 1, then touch a stacked-resident line from
+        // the same PC: the wasted fetch consumes off-chip read bandwidth.
+        let r1 = c.access(
+            Cycle::ZERO,
+            &Access::read(CoreId(0), LineAddr::new(1024), 0x44),
+        );
+        let before = c.off_chip().stats().bytes_read;
+        let r2 = c.access(
+            r1.completion,
+            &Access::read(CoreId(0), LineAddr::new(3), 0x44),
+        );
+        assert_eq!(r2.case, Some(PredictionCase::StackedPredictedOffChip));
+        assert!(c.off_chip().stats().bytes_read > before);
+        assert_eq!(c.stats().wasted_off_chip_fetches, 1);
+    }
+
+    #[test]
+    fn hot_pages_only_filters_cold_swaps() {
+        use crate::swap_filter::SwapPolicy;
+        let mut c = cameo(LltDesign::CoLocated, PredictorKind::SerialAccess);
+        c.set_swap_policy(SwapPolicy::HotPagesOnly { threshold: 3 });
+        let line = 1024 + 9;
+        // First two reads: page not hot yet — serviced off-chip, no swap.
+        let r1 = c.access(Cycle::ZERO, &read(line));
+        let r2 = c.access(r1.completion, &read(line));
+        assert_eq!(r2.serviced_by, MemKind::OffChip);
+        assert_eq!(c.llt().swaps(), 0);
+        // Third read crosses the threshold: the line is promoted.
+        let r3 = c.access(r2.completion, &read(line));
+        assert_eq!(r3.serviced_by, MemKind::OffChip); // promoted *after* service
+        let r4 = c.access(r3.completion, &read(line));
+        assert_eq!(r4.serviced_by, MemKind::Stacked);
+        assert_eq!(c.llt().swaps(), 1);
+    }
+
+    #[test]
+    fn sram_llt_between_ideal_and_embedded() {
+        let hit_latency = |llt| {
+            let mut c = cameo(llt, PredictorKind::SerialAccess);
+            c.access(Cycle::ZERO, &read(5)).completion.raw()
+        };
+        let ideal = hit_latency(LltDesign::Ideal);
+        let sram = hit_latency(LltDesign::Sram);
+        assert_eq!(sram, ideal + SRAM_LLT_CYCLES);
+        // For an off-chip line the SRAM lookup (24 cycles) beats the
+        // Embedded design's DRAM lookup (~40 cycles).
+        let miss_latency = |llt| {
+            let mut c = cameo(llt, PredictorKind::SerialAccess);
+            c.access(Cycle::ZERO, &read(5 + 1024)).completion.raw()
+        };
+        assert!(
+            miss_latency(LltDesign::Sram) < miss_latency(LltDesign::Embedded),
+            "sram miss {} !< embedded miss {}",
+            miss_latency(LltDesign::Sram),
+            miss_latency(LltDesign::Embedded)
+        );
+        // SRAM spends no memory capacity.
+        let c = cameo(LltDesign::Sram, PredictorKind::SerialAccess);
+        assert_eq!(c.visible_capacity(), ByteSize::from_kib(256));
+    }
+
+    #[test]
+    fn always_policy_is_default() {
+        let c = cameo(LltDesign::CoLocated, PredictorKind::Llp);
+        assert_eq!(c.swap_policy(), crate::swap_filter::SwapPolicy::Always);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of stacked")]
+    fn non_multiple_capacity_rejected() {
+        Cameo::new(CameoConfig {
+            stacked: ByteSize::from_kib(64),
+            off_chip: ByteSize::from_kib(100),
+            llt: LltDesign::Ideal,
+            predictor: PredictorKind::SerialAccess,
+            cores: 1,
+            llp_entries: 64,
+        });
+    }
+}

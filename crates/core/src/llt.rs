@@ -1,0 +1,341 @@
+//! The Line Location Table (paper Section IV-B): per-group permutation of
+//! line locations.
+//!
+//! Each congruence group's entry records, for every way of the group, the
+//! physical *slot* the way's line currently occupies. Slot 0 is the group's
+//! stacked-DRAM location; slots `1..ratio` are its off-chip locations. The
+//! entry is always a permutation — swapping preserves the
+//! exactly-one-copy-of-every-line invariant that distinguishes CAMEO from a
+//! cache.
+
+use cameo_types::LineAddr;
+
+use crate::congruence::CongruenceMap;
+
+/// A physical slot within a congruence group. Slot 0 is stacked DRAM.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Slot(u8);
+
+impl Slot {
+    /// The stacked-DRAM slot of every group.
+    pub const STACKED: Slot = Slot(0);
+
+    /// Wraps a raw slot index.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw slot index.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the group's stacked-DRAM slot.
+    #[inline]
+    pub const fn is_stacked(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_stacked() {
+            f.write_str("slot0(stacked)")
+        } else {
+            write!(f, "slot{}(off-chip)", self.0)
+        }
+    }
+}
+
+/// One LLT entry: the way→slot permutation of a congruence group, packed
+/// four bits per way (supports ratios up to 8; the paper's configuration
+/// uses ratio 4 with two bits per way and one byte per entry).
+///
+/// # Examples
+///
+/// ```
+/// use cameo::llt::{LltEntry, Slot};
+///
+/// let mut e = LltEntry::identity(4);
+/// assert_eq!(e.slot_of(2), Slot::new(2));
+/// e.promote(2); // swap way 2 into the stacked slot
+/// assert_eq!(e.slot_of(2), Slot::STACKED);
+/// assert_eq!(e.slot_of(0), Slot::new(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LltEntry {
+    packed: u32,
+    ratio: u8,
+}
+
+impl LltEntry {
+    /// The identity permutation: way `i` at slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= ratio <= 8`.
+    pub fn identity(ratio: u8) -> Self {
+        assert!((2..=8).contains(&ratio), "ratio must be in 2..=8");
+        let mut packed = 0u32;
+        for way in 0..ratio {
+            packed |= u32::from(way) << (way * 4);
+        }
+        Self { packed, ratio }
+    }
+
+    /// Ways in this entry's group.
+    #[inline]
+    pub fn ratio(&self) -> u8 {
+        self.ratio
+    }
+
+    /// Physical slot of `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `way` is out of range.
+    #[inline]
+    pub fn slot_of(&self, way: u8) -> Slot {
+        debug_assert!(way < self.ratio, "way out of range");
+        Slot(((self.packed >> (way * 4)) & 0xF) as u8)
+    }
+
+    /// Way currently occupying `slot` (the inverse permutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn way_at(&self, slot: Slot) -> u8 {
+        assert!(slot.0 < self.ratio, "slot out of range");
+        (0..self.ratio)
+            .find(|&w| self.slot_of(w) == slot)
+            .expect("entry is a permutation")
+    }
+
+    fn set_slot(&mut self, way: u8, slot: Slot) {
+        let shift = way * 4;
+        self.packed = (self.packed & !(0xF << shift)) | (u32::from(slot.0) << shift);
+    }
+
+    /// Swaps `way` into the stacked slot (slot 0), displacing whichever way
+    /// was there into `way`'s old slot. Returns the displaced way and the
+    /// slot it moved to.
+    ///
+    /// Calling this on a way already in the stacked slot is a no-op and
+    /// returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn promote(&mut self, way: u8) -> Option<(u8, Slot)> {
+        assert!(way < self.ratio, "way out of range");
+        let old_slot = self.slot_of(way);
+        if old_slot.is_stacked() {
+            return None;
+        }
+        let displaced = self.way_at(Slot::STACKED);
+        self.set_slot(way, Slot::STACKED);
+        self.set_slot(displaced, old_slot);
+        Some((displaced, old_slot))
+    }
+
+    /// Checks the permutation invariant (every slot held by exactly one
+    /// way). Intended for tests and debug assertions.
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = 0u16;
+        for way in 0..self.ratio {
+            let s = self.slot_of(way).0;
+            if s >= self.ratio || seen & (1 << s) != 0 {
+                return false;
+            }
+            seen |= 1 << s;
+        }
+        true
+    }
+
+    /// Serializes to the byte the paper stores per entry (two bits per way,
+    /// valid only for ratio ≤ 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio > 4`.
+    pub fn to_paper_byte(&self) -> u8 {
+        assert!(self.ratio <= 4, "paper encoding is two bits per way");
+        let mut b = 0u8;
+        for way in 0..self.ratio {
+            b |= self.slot_of(way).0 << (way * 2);
+        }
+        b
+    }
+}
+
+/// The full Line Location Table: one [`LltEntry`] per congruence group,
+/// initialized to the identity mapping (paper Figure 5's starting state).
+///
+/// This is the *contents* of the table; where those contents physically
+/// live (SRAM, a reserved stacked region, or co-located LEADs) — and what
+/// latency that costs — is decided by the controller's
+/// [`LltDesign`](crate::LltDesign).
+#[derive(Clone, Debug)]
+pub struct LineLocationTable {
+    map: CongruenceMap,
+    entries: Vec<LltEntry>,
+    swaps: u64,
+}
+
+impl LineLocationTable {
+    /// Creates an identity-mapped table for `map`.
+    pub fn new(map: CongruenceMap) -> Self {
+        let entries = vec![LltEntry::identity(map.ratio()); map.groups() as usize];
+        Self {
+            map,
+            entries,
+            swaps: 0,
+        }
+    }
+
+    /// The congruence mapping this table is built over.
+    #[inline]
+    pub fn congruence(&self) -> &CongruenceMap {
+        &self.map
+    }
+
+    /// Total swaps performed since construction.
+    #[inline]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Entry of `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[inline]
+    pub fn entry(&self, group: u64) -> &LltEntry {
+        &self.entries[group as usize]
+    }
+
+    /// Physical slot of a requested line.
+    #[inline]
+    pub fn locate(&self, line: LineAddr) -> Slot {
+        let group = self.map.group_of(line);
+        let way = self.map.way_of(line);
+        self.entries[group as usize].slot_of(way)
+    }
+
+    /// Swaps `line` into its group's stacked slot, returning the requested
+    /// address of the displaced line and the off-chip slot it moved to, or
+    /// `None` if `line` was already stacked-resident.
+    pub fn promote(&mut self, line: LineAddr) -> Option<(LineAddr, Slot)> {
+        let group = self.map.group_of(line);
+        let way = self.map.way_of(line);
+        let (displaced_way, slot) = self.entries[group as usize].promote(way)?;
+        self.swaps += 1;
+        Some((self.map.line_of(group, displaced_way), slot))
+    }
+
+    /// Fraction of groups still in their identity mapping (useful to watch
+    /// swap churn in experiments).
+    pub fn identity_fraction(&self) -> f64 {
+        let identity = LltEntry::identity(self.map.ratio());
+        let n = self.entries.iter().filter(|e| **e == identity).count();
+        n as f64 / self.entries.len() as f64
+    }
+
+    /// Storage the table would occupy with the paper's one-byte entries.
+    pub fn storage_bytes(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_entry() {
+        let e = LltEntry::identity(4);
+        for w in 0..4 {
+            assert_eq!(e.slot_of(w), Slot::new(w));
+            assert_eq!(e.way_at(Slot::new(w)), w);
+        }
+        assert!(e.is_permutation());
+        assert_eq!(e.to_paper_byte(), 0b11_10_01_00);
+    }
+
+    #[test]
+    fn promote_swaps_with_stacked() {
+        let mut e = LltEntry::identity(4);
+        let (displaced, slot) = e.promote(3).expect("way 3 was off-chip");
+        assert_eq!(displaced, 0);
+        assert_eq!(slot, Slot::new(3));
+        assert_eq!(e.slot_of(3), Slot::STACKED);
+        assert_eq!(e.slot_of(0), Slot::new(3));
+        assert!(e.is_permutation());
+        // Promoting the stacked way is a no-op.
+        assert_eq!(e.promote(3), None);
+    }
+
+    #[test]
+    fn figure5_request_sequence() {
+        // Paper Figure 5: identity; request B (way 1) → A and B swap;
+        // request D (way 3) → B and D swap; B ends at D's old slot.
+        let mut e = LltEntry::identity(4);
+        e.promote(1);
+        assert_eq!(e.slot_of(1), Slot::STACKED); // B in stacked
+        assert_eq!(e.slot_of(0), Slot::new(1)); // A at B's old slot
+        e.promote(3);
+        assert_eq!(e.slot_of(3), Slot::STACKED); // D in stacked
+        assert_eq!(e.slot_of(1), Slot::new(3)); // B moved within off-chip
+        assert_eq!(e.slot_of(0), Slot::new(1));
+        assert_eq!(e.slot_of(2), Slot::new(2)); // C untouched
+        assert!(e.is_permutation());
+    }
+
+    #[test]
+    fn table_locate_and_promote() {
+        let map = CongruenceMap::new(8, 4);
+        let mut llt = LineLocationTable::new(map);
+        let line = map.line_of(5, 2);
+        assert_eq!(llt.locate(line), Slot::new(2));
+        let (displaced, slot) = llt.promote(line).expect("off-chip line");
+        assert_eq!(displaced, map.line_of(5, 0));
+        assert_eq!(slot, Slot::new(2));
+        assert_eq!(llt.locate(line), Slot::STACKED);
+        assert_eq!(llt.locate(displaced), Slot::new(2));
+        assert_eq!(llt.swaps(), 1);
+    }
+
+    #[test]
+    fn identity_fraction_decreases() {
+        let map = CongruenceMap::new(4, 4);
+        let mut llt = LineLocationTable::new(map);
+        assert_eq!(llt.identity_fraction(), 1.0);
+        llt.promote(map.line_of(0, 1));
+        assert_eq!(llt.identity_fraction(), 0.75);
+    }
+
+    #[test]
+    fn storage_is_one_byte_per_group() {
+        // At the paper's scale (64 M groups) this is the 64 MB table of
+        // Section IV-C; here verified on a small instance.
+        let map = CongruenceMap::new(4096, 4);
+        let llt = LineLocationTable::new(map);
+        assert_eq!(llt.storage_bytes(), 4096);
+    }
+
+    #[test]
+    fn slot_display() {
+        assert_eq!(Slot::STACKED.to_string(), "slot0(stacked)");
+        assert_eq!(Slot::new(2).to_string(), "slot2(off-chip)");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in 2..=8")]
+    fn huge_ratio_rejected() {
+        LltEntry::identity(9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Published DRAM technology data points behind the paper's Figure 3
+//! ("DRAM Capacity and Bandwidth", collected from device specifications).
+//!
+//! These are static datasheet constants, not simulation outputs; the
+//! `fig03_dram_specs` bench binary prints them as the figure's series.
+
+/// One DRAM technology data point: per-device capacity and peak bandwidth.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DramSpec {
+    /// Technology / product name.
+    pub name: &'static str,
+    /// Per-device (module/stack) capacity in gigabytes.
+    pub capacity_gb: f64,
+    /// Peak bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Whether this is a die-stacked technology.
+    pub stacked: bool,
+}
+
+/// Data points for the paper's Figure 3, from the cited specifications
+/// (Micron DDR3, JEDEC DDR4, JEDEC HBM, Micron HMC 1.0 / Gen2, LPDDR).
+pub const DRAM_SPECS: &[DramSpec] = &[
+    DramSpec {
+        name: "LPDDR2",
+        capacity_gb: 1.0,
+        bandwidth_gbs: 8.5,
+        stacked: false,
+    },
+    DramSpec {
+        name: "DDR3-1600",
+        capacity_gb: 8.0,
+        bandwidth_gbs: 12.8,
+        stacked: false,
+    },
+    DramSpec {
+        name: "DDR4-3200",
+        capacity_gb: 16.0,
+        bandwidth_gbs: 25.6,
+        stacked: false,
+    },
+    DramSpec {
+        name: "HMC 1.0",
+        capacity_gb: 0.5,
+        bandwidth_gbs: 128.0,
+        stacked: true,
+    },
+    DramSpec {
+        name: "HMC Gen2",
+        capacity_gb: 4.0,
+        bandwidth_gbs: 160.0,
+        stacked: true,
+    },
+    DramSpec {
+        name: "HBM (JESD235)",
+        capacity_gb: 4.0,
+        bandwidth_gbs: 128.0,
+        stacked: true,
+    },
+];
+
+/// Ratio of best stacked to best commodity bandwidth among [`DRAM_SPECS`] —
+/// the "almost an order of magnitude" claim from the paper's introduction.
+pub fn stacked_bandwidth_advantage() -> f64 {
+    let best = |stacked: bool| {
+        DRAM_SPECS
+            .iter()
+            .filter(|s| s.stacked == stacked)
+            .map(|s| s.bandwidth_gbs)
+            .fold(0.0f64, f64::max)
+    };
+    best(true) / best(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_is_order_of_magnitude_faster() {
+        let adv = stacked_bandwidth_advantage();
+        assert!(adv > 5.0, "advantage was {adv}");
+    }
+
+    #[test]
+    fn stacked_capacity_is_smaller() {
+        let max_stacked = DRAM_SPECS
+            .iter()
+            .filter(|s| s.stacked)
+            .map(|s| s.capacity_gb)
+            .fold(0.0f64, f64::max);
+        let max_commodity = DRAM_SPECS
+            .iter()
+            .filter(|s| !s.stacked)
+            .map(|s| s.capacity_gb)
+            .fold(0.0f64, f64::max);
+        assert!(max_stacked < max_commodity);
+    }
+
+    #[test]
+    fn specs_nonempty_and_positive() {
+        assert!(!DRAM_SPECS.is_empty());
+        for s in DRAM_SPECS {
+            assert!(s.capacity_gb > 0.0 && s.bandwidth_gbs > 0.0, "{}", s.name);
+        }
+    }
+}

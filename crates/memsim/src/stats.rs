@@ -1,0 +1,102 @@
+//! Per-device activity counters used for the paper's bandwidth and energy
+//! accounting (Table IV, Figure 14).
+
+/// Activity counters for one DRAM device.
+///
+/// Bandwidth in the paper is "bytes transferred on the bus, normalized to
+/// baseline" — [`DramStats::bytes_total`] is exactly that numerator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DramStats {
+    /// Demand read accesses serviced.
+    pub demand_reads: u64,
+    /// Write accesses serviced (demand writes, fills, writebacks, swaps).
+    pub writes: u64,
+    /// Bytes moved out of the device (reads).
+    pub bytes_read: u64,
+    /// Bytes moved into the device (writes).
+    pub bytes_written: u64,
+    /// Accesses that hit an open row buffer.
+    pub row_hits: u64,
+    /// Accesses to a bank with no open row (first touch after precharge).
+    pub row_closed: u64,
+    /// Accesses that had to close another open row first.
+    pub row_conflicts: u64,
+    /// Refresh commands issued (zero unless refresh is enabled).
+    pub refreshes: u64,
+    /// Total cycles the channel data buses were occupied (summed over
+    /// channels) — divide by elapsed cycles × channels for utilization.
+    pub bus_busy_cycles: u64,
+}
+
+impl DramStats {
+    /// Total accesses of any kind.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.demand_reads + self.writes
+    }
+
+    /// Total bytes moved over the data bus in either direction.
+    #[inline]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of accesses that hit an open row, in `[0, 1]`.
+    /// Returns `None` when no accesses have been made.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        (total > 0).then(|| self.row_hits as f64 / total as f64)
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.demand_reads += other.demand_reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.refreshes += other.refreshes;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+
+    /// Average data-bus utilization over `elapsed` cycles and `channels`
+    /// buses, in `[0, 1]`; `None` if `elapsed` or `channels` is zero.
+    pub fn bus_utilization(&self, elapsed: u64, channels: u32) -> Option<f64> {
+        (elapsed > 0 && channels > 0)
+            .then(|| self.bus_busy_cycles as f64 / (elapsed as f64 * f64::from(channels)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = DramStats::default();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.bytes_total(), 0);
+        assert_eq!(s.row_hit_rate(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DramStats {
+            demand_reads: 1,
+            writes: 2,
+            bytes_read: 64,
+            bytes_written: 128,
+            row_hits: 1,
+            row_closed: 1,
+            row_conflicts: 1,
+            refreshes: 0,
+            bus_busy_cycles: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.accesses(), 6);
+        assert_eq!(a.bytes_total(), 384);
+        assert_eq!(a.row_hit_rate(), Some(1.0 / 3.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the DRAM timing model.
+
+use cameo_memsim::{Dram, DramConfig};
+use cameo_types::{ByteSize, Cycle};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = DramConfig> {
+    prop_oneof![
+        Just(DramConfig::stacked(ByteSize::from_mib(64))),
+        Just(DramConfig::off_chip(ByteSize::from_mib(192))),
+    ]
+}
+
+proptest! {
+    /// Every access completes strictly after it was issued; demand reads
+    /// additionally never beat the row-hit floor (tCAS + burst). Buffered
+    /// writes only pay bus occupancy, so their floor is the burst alone.
+    #[test]
+    fn completion_respects_floor(
+        config in arb_config(),
+        ops in prop::collection::vec((0u64..1 << 20, any::<bool>(), 1u32..256), 1..200),
+    ) {
+        let mut dram = Dram::new(config);
+        let read_floor = config.timings.cas_cpu();
+        let mut now = Cycle::ZERO;
+        for (line, is_write, bytes) in ops {
+            let done = dram.access(now, line, is_write, bytes);
+            if is_write {
+                prop_assert!(done >= now + Cycle::new(config.burst_cpu_cycles(bytes)));
+            } else {
+                prop_assert!(done >= now + Cycle::new(read_floor));
+            }
+            now = now + Cycle::new(1);
+        }
+    }
+
+    /// Byte counters equal the sum of beat-rounded transfer sizes, split by
+    /// direction.
+    #[test]
+    fn byte_accounting_is_exact(
+        config in arb_config(),
+        ops in prop::collection::vec((0u64..1 << 20, any::<bool>(), 1u32..256), 1..100),
+    ) {
+        let mut dram = Dram::new(config);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for &(line, is_write, bytes) in &ops {
+            dram.access(Cycle::ZERO, line, is_write, bytes);
+            let moved = u64::from(config.beats_for(bytes) * config.bytes_per_beat);
+            if is_write { writes += moved } else { reads += moved }
+        }
+        prop_assert_eq!(dram.stats().bytes_read, reads);
+        prop_assert_eq!(dram.stats().bytes_written, writes);
+        prop_assert_eq!(dram.stats().accesses(), ops.len() as u64);
+    }
+
+    /// Row-buffer outcome counters always sum to the number of accesses and
+    /// the hit rate stays in [0, 1].
+    #[test]
+    fn row_outcomes_partition_accesses(
+        config in arb_config(),
+        lines in prop::collection::vec(0u64..4096, 1..200),
+    ) {
+        let mut dram = Dram::new(config);
+        for line in &lines {
+            dram.read_line(Cycle::ZERO, *line);
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.row_hits + s.row_closed + s.row_conflicts, lines.len() as u64);
+        let rate = s.row_hit_rate().unwrap();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// Sequential streaming mostly hits open rows: at least half of a long
+    /// sequential scan must be row hits.
+    #[test]
+    fn sequential_scan_hits_rows(config in arb_config(), start in 0u64..1024) {
+        let mut dram = Dram::new(config);
+        let mut now = Cycle::ZERO;
+        for i in 0..512u64 {
+            now = dram.read_line(now, start + i);
+        }
+        let rate = dram.stats().row_hit_rate().unwrap();
+        prop_assert!(rate > 0.5, "sequential hit rate {rate}");
+    }
+}

@@ -1,0 +1,163 @@
+//! System configuration (paper Table I, with a capacity scale factor).
+
+use cameo_types::ByteSize;
+
+/// The simulated system: the paper's Table I machine with all capacities
+/// (memories, L3, workload footprints) divided by [`SystemConfig::scale`].
+///
+/// The 1:3 stacked:off-chip ratio, line/page sizes and all timing
+/// parameters are scale-invariant, so workload classifications and the
+/// relative behaviour of the designs are preserved (see DESIGN.md).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SystemConfig {
+    /// Capacity scale factor (64 ⇒ 64 MiB stacked + 192 MiB off-chip).
+    pub scale: u64,
+    /// Simulated cores running rate-mode copies (paper: 32).
+    pub cores: u16,
+    /// Instructions each core retires in the measured region.
+    pub instructions_per_core: u64,
+    /// Fraction of per-core instructions used to warm caches, the LLT and
+    /// the page tables before measurement starts.
+    pub warmup_fraction: f64,
+    /// Maximum overlapped memory requests per core (memory-level
+    /// parallelism of the 2-wide out-of-order cores).
+    pub mlp: usize,
+    /// Base IPC when not stalled on memory.
+    pub ipc: f64,
+    /// Deterministic seed for workloads and OS placement.
+    pub seed: u64,
+    /// LLP table entries per core.
+    pub llp_entries: usize,
+    /// TLM-Freq rebalance epoch, in memory accesses.
+    pub freq_epoch: u64,
+}
+
+impl SystemConfig {
+    /// Full-scale stacked capacity (4 GiB).
+    pub const FULL_STACKED: ByteSize = ByteSize::from_gib(4);
+    /// Full-scale off-chip capacity (12 GiB).
+    pub const FULL_OFF_CHIP: ByteSize = ByteSize::from_gib(12);
+
+    /// Scaled stacked-DRAM capacity.
+    pub fn stacked(&self) -> ByteSize {
+        Self::FULL_STACKED.scale_down(self.scale)
+    }
+
+    /// Scaled off-chip capacity.
+    pub fn off_chip(&self) -> ByteSize {
+        Self::FULL_OFF_CHIP.scale_down(self.scale)
+    }
+
+    /// Scaled total memory.
+    pub fn total_memory(&self) -> ByteSize {
+        self.stacked() + self.off_chip()
+    }
+
+    /// Events (post-L3 misses) a core is expected to generate, for sizing
+    /// warmup.
+    pub fn expected_events_per_core(&self, mpki: f64) -> u64 {
+        (self.instructions_per_core as f64 * mpki / 1000.0) as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values (zero scale/cores/instructions, warmup
+    /// outside `[0, 0.9]`, non-power-of-two LLP table).
+    pub fn validate(&self) {
+        assert!(self.scale > 0, "scale must be positive");
+        assert!(self.cores > 0, "need at least one core");
+        assert!(self.instructions_per_core > 0, "need instructions");
+        assert!(
+            (0.0..=0.9).contains(&self.warmup_fraction),
+            "warmup fraction out of range"
+        );
+        assert!(self.mlp > 0, "MLP must be positive");
+        assert!(self.ipc > 0.0, "IPC must be positive");
+        assert!(self.llp_entries.is_power_of_two(), "LLP table power of two");
+        assert!(self.freq_epoch > 0, "freq epoch must be positive");
+    }
+}
+
+impl SystemConfig {
+    /// The paper's full-scale configuration: scale 1 (4 GiB + 12 GiB),
+    /// 32 cores, 20 B instructions per core. **Orders of magnitude more
+    /// expensive to simulate** than the scaled default — provided for
+    /// completeness and for cluster-scale runs, not for laptops.
+    pub fn paper() -> Self {
+        Self {
+            scale: 1,
+            cores: 32,
+            instructions_per_core: 20_000_000_000 / 32,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    /// The default experiment configuration: 1/128 capacity scale, 16
+    /// rate-mode cores at IPC 2 (the paper's 2-wide cores), 12 M
+    /// instructions per core (30% warmup). Scale and slice length are
+    /// calibrated together so the measured region sweeps streaming
+    /// footprints at least once, preserving the paper's touches-per-line
+    /// reuse ratio; core count and IPC set the baseline's memory-boundness
+    /// (see DESIGN.md and EXPERIMENTS.md).
+    fn default() -> Self {
+        Self {
+            scale: 128,
+            cores: 16,
+            instructions_per_core: 12_000_000,
+            warmup_fraction: 0.3,
+            mlp: 4,
+            ipc: 2.0,
+            seed: 42,
+            llp_entries: 256,
+            freq_epoch: 50_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_scaled() {
+        let c = SystemConfig::default();
+        c.validate();
+        assert_eq!(c.stacked(), ByteSize::from_mib(32));
+        assert_eq!(c.off_chip(), ByteSize::from_mib(96));
+        assert_eq!(c.total_memory() / c.stacked(), 4);
+    }
+
+    #[test]
+    fn expected_events() {
+        let c = SystemConfig {
+            instructions_per_core: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(c.expected_events_per_core(20.0), 20_000);
+    }
+
+    #[test]
+    fn paper_preset_is_full_scale() {
+        let c = SystemConfig::paper();
+        c.validate();
+        assert_eq!(c.stacked(), ByteSize::from_gib(4));
+        assert_eq!(c.off_chip(), ByteSize::from_gib(12));
+        assert_eq!(c.cores, 32);
+        // 20 B instructions split over 32 cores.
+        assert_eq!(c.instructions_per_core * u64::from(c.cores), 20_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        SystemConfig {
+            scale: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

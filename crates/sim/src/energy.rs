@@ -1,0 +1,202 @@
+//! Normalized power and energy-delay-product model (paper Section VI-C,
+//! Figure 14).
+//!
+//! The paper assumes fixed power splits in the baseline — for
+//! Capacity-Limited workloads 60% processor / 20% memory / 20% storage,
+//! for Latency-Limited 70% / 30% / 0% — and estimates component power from
+//! datasheet numbers. We reconstruct each component's power as an idle
+//! share plus a dynamic share proportional to its bus-activity *rate*
+//! (bytes per cycle), normalized to the baseline's off-chip rate. The
+//! stacked device adds its own idle and dynamic power when present; its
+//! per-byte energy is lower than off-chip DDR (shorter wires, no
+//! SerDes-class I/O in the paper's estimate).
+
+use cameo_workloads::Category;
+
+use crate::stats::RunStats;
+
+/// Baseline power shares for a workload category:
+/// `(processor, memory, storage)`.
+fn shares(category: Category) -> (f64, f64, f64) {
+    match category {
+        Category::CapacityLimited => (0.6, 0.2, 0.2),
+        Category::LatencyLimited => (0.7, 0.3, 0.0),
+    }
+}
+
+/// Fraction of a DRAM device's power that is idle/background.
+const DRAM_IDLE_FRACTION: f64 = 0.2;
+
+/// Stacked DRAM idle power relative to the off-chip device's idle power
+/// (the stack is physically smaller but always on).
+const STACKED_IDLE_RATIO: f64 = 0.5;
+
+/// Stacked DRAM energy per byte relative to off-chip (TSV interfaces are
+/// cheaper per bit than board-level DDR I/O).
+const STACKED_ENERGY_PER_BYTE_RATIO: f64 = 0.6;
+
+/// Power breakdown of one run, in units where the baseline totals 1.0.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerBreakdown {
+    /// Processor share (constant while running).
+    pub processor: f64,
+    /// Stacked-DRAM power (zero in the baseline).
+    pub stacked: f64,
+    /// Off-chip DRAM power.
+    pub off_chip: f64,
+    /// Storage power.
+    pub storage: f64,
+}
+
+impl PowerBreakdown {
+    /// Total normalized power.
+    pub fn total(&self) -> f64 {
+        self.processor + self.stacked + self.off_chip + self.storage
+    }
+}
+
+fn activity_rate(bytes: u64, cycles: u64) -> f64 {
+    bytes as f64 / cycles.max(1) as f64
+}
+
+/// Normalized power of `run` relative to `baseline` for a workload of
+/// `category`.
+pub fn power(run: &RunStats, baseline: &RunStats, category: Category) -> PowerBreakdown {
+    let (p_proc, p_mem, p_storage) = shares(category);
+    let base_off_rate = activity_rate(baseline.bandwidth.off_chip_bytes, baseline.execution_cycles);
+    let base_storage_rate =
+        activity_rate(baseline.bandwidth.storage_bytes, baseline.execution_cycles);
+
+    let rel = |rate: f64, base: f64| if base > 0.0 { rate / base } else { 0.0 };
+
+    let off_rate = activity_rate(run.bandwidth.off_chip_bytes, run.execution_cycles);
+    let off_chip =
+        p_mem * (DRAM_IDLE_FRACTION + (1.0 - DRAM_IDLE_FRACTION) * rel(off_rate, base_off_rate));
+
+    let stacked = if run.bandwidth.stacked_bytes > 0 {
+        let stk_rate = activity_rate(run.bandwidth.stacked_bytes, run.execution_cycles);
+        p_mem
+            * (DRAM_IDLE_FRACTION * STACKED_IDLE_RATIO
+                + (1.0 - DRAM_IDLE_FRACTION)
+                    * STACKED_ENERGY_PER_BYTE_RATIO
+                    * rel(stk_rate, base_off_rate))
+    } else {
+        0.0
+    };
+
+    let storage = if p_storage > 0.0 {
+        let sto_rate = activity_rate(run.bandwidth.storage_bytes, run.execution_cycles);
+        p_storage * (0.5 + 0.5 * rel(sto_rate, base_storage_rate))
+    } else {
+        0.0
+    };
+
+    PowerBreakdown {
+        processor: p_proc,
+        stacked,
+        off_chip,
+        storage,
+    }
+}
+
+/// Normalized energy-delay product of `run` relative to `baseline`:
+/// `(P/P_b) × (T/T_b)²` with time measured per instruction.
+pub fn edp(run: &RunStats, baseline: &RunStats, category: Category) -> f64 {
+    let p = power(run, baseline, category).total();
+    let p_b = power(baseline, baseline, category).total();
+    let t_ratio = run.cpi() / baseline.cpi();
+    (p / p_b) * t_ratio * t_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BandwidthReport;
+
+    fn stats(cycles: u64, stacked: u64, off: u64, storage: u64) -> RunStats {
+        RunStats {
+            org: "t".into(),
+            bench: "t".into(),
+            execution_cycles: cycles,
+            instructions: 1000,
+            demand_reads: 1,
+            demand_writes: 0,
+            serviced_stacked: 0,
+            serviced_off_chip: 1,
+            faults: 0,
+            bandwidth: BandwidthReport {
+                stacked_bytes: stacked,
+                off_chip_bytes: off,
+                storage_bytes: storage,
+            },
+            cases: None,
+            migrated_pages: 0,
+            read_latency_sum: 0,
+            latency_histogram: [0; 24],
+        }
+    }
+
+    #[test]
+    fn baseline_power_is_unity() {
+        let b = stats(1000, 0, 64_000, 4096);
+        for cat in [Category::CapacityLimited, Category::LatencyLimited] {
+            let p = power(&b, &b, cat);
+            assert!((p.total() - 1.0).abs() < 1e-9, "{cat:?}: {p:?}");
+            assert_eq!(p.stacked, 0.0);
+        }
+    }
+
+    #[test]
+    fn adding_stacked_dram_raises_power() {
+        let b = stats(1000, 0, 64_000, 0);
+        let c = stats(800, 100_000, 30_000, 0);
+        let p = power(&c, &b, Category::LatencyLimited);
+        assert!(p.total() > 1.0, "total {}", p.total());
+        assert!(p.stacked > 0.0);
+    }
+
+    #[test]
+    fn faster_config_wins_edp_despite_higher_power() {
+        let b = stats(2000, 0, 64_000, 0);
+        let c = stats(1000, 80_000, 30_000, 0);
+        let e = edp(&c, &b, Category::LatencyLimited);
+        assert!(e < 1.0, "edp {e}");
+    }
+
+    #[test]
+    fn capacity_split_includes_storage() {
+        let b = stats(1000, 0, 64_000, 4096);
+        let p_cap = power(&b, &b, Category::CapacityLimited);
+        let p_lat = power(&b, &b, Category::LatencyLimited);
+        assert!(p_cap.storage > 0.0);
+        assert_eq!(p_lat.storage, 0.0);
+        assert!(p_lat.processor > p_cap.processor);
+    }
+
+    #[test]
+    fn edp_of_baseline_is_unity() {
+        let b = stats(1000, 0, 64_000, 4096);
+        for cat in [Category::CapacityLimited, Category::LatencyLimited] {
+            assert!((edp(&b, &b, cat) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slower_config_loses_edp_even_at_lower_power() {
+        // Twice the time at slightly lower power: EDP must worsen (time
+        // enters squared).
+        let b = stats(1000, 0, 64_000, 0);
+        let slow = stats(2000, 0, 64_000, 0);
+        assert!(edp(&slow, &b, Category::LatencyLimited) > 1.0);
+    }
+
+    #[test]
+    fn heavy_migration_traffic_costs_power() {
+        let b = stats(1000, 0, 64_000, 4096);
+        let light = stats(1000, 64_000, 64_000, 4096);
+        let heavy = stats(1000, 256_000, 256_000, 4096);
+        let p_light = power(&light, &b, Category::CapacityLimited).total();
+        let p_heavy = power(&heavy, &b, Category::CapacityLimited).total();
+        assert!(p_heavy > p_light);
+    }
+}

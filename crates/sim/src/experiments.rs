@@ -1,0 +1,243 @@
+//! One-call experiment entry points used by the bench binaries and the
+//! examples.
+
+use std::collections::HashMap;
+
+use cameo::{LltDesign, PredictorKind};
+use cameo_types::PageAddr;
+use cameo_vmem::tlm::{DynamicMigrator, FreqMigrator, OracleProfile};
+use cameo_workloads::{BenchSpec, TraceGenerator};
+
+use crate::config::SystemConfig;
+use crate::org::{
+    AlloyCacheOrg, BaselineOrg, CameoOrg, DoubleUseOrg, LohHillCacheOrg, MemoryOrganization,
+    TlmOrg, TlmPolicy,
+};
+use crate::runner::{trace_configs, Runner};
+use crate::stats::RunStats;
+
+pub use crate::stats::gmean;
+
+/// Every design point the paper's figures compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OrgKind {
+    /// Off-chip memory only.
+    Baseline,
+    /// Stacked DRAM as an Alloy cache.
+    AlloyCache,
+    /// Stacked DRAM as a Loh-Hill set-associative DRAM cache with MissMap.
+    LhCache,
+    /// TLM with random static placement.
+    TlmStatic,
+    /// TLM with swap-on-touch migration.
+    TlmDynamic,
+    /// TLM with epoch-based frequency placement.
+    TlmFreq,
+    /// TLM with profiled oracle placement.
+    TlmOracle,
+    /// CAMEO with a chosen LLT design and predictor.
+    Cameo {
+        /// LLT hardware design.
+        llt: LltDesign,
+        /// Location-prediction scheme.
+        predictor: PredictorKind,
+    },
+    /// The idealistic cache-plus-extra-capacity upper bound.
+    DoubleUse,
+}
+
+impl OrgKind {
+    /// The paper's headline CAMEO configuration: Co-Located LLT + LLP.
+    pub fn cameo_default() -> Self {
+        OrgKind::Cameo {
+            llt: LltDesign::CoLocated,
+            predictor: PredictorKind::Llp,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrgKind::Baseline => "Baseline",
+            OrgKind::AlloyCache => "Cache",
+            OrgKind::LhCache => "Cache(LH)",
+            OrgKind::TlmStatic => "TLM-Static",
+            OrgKind::TlmDynamic => "TLM-Dynamic",
+            OrgKind::TlmFreq => "TLM-Freq",
+            OrgKind::TlmOracle => "TLM-Oracle",
+            OrgKind::Cameo {
+                llt: LltDesign::Ideal,
+                ..
+            } => "CAMEO(Ideal-LLT)",
+            OrgKind::Cameo {
+                llt: LltDesign::Sram,
+                ..
+            } => "CAMEO(SRAM-LLT)",
+            OrgKind::Cameo {
+                llt: LltDesign::Embedded,
+                ..
+            } => "CAMEO(Embedded-LLT)",
+            OrgKind::Cameo {
+                llt: LltDesign::CoLocated,
+                predictor: PredictorKind::SerialAccess,
+            } => "CAMEO(SAM)",
+            OrgKind::Cameo {
+                llt: LltDesign::CoLocated,
+                predictor: PredictorKind::Llp,
+            } => "CAMEO",
+            OrgKind::Cameo {
+                llt: LltDesign::CoLocated,
+                predictor: PredictorKind::Perfect,
+            } => "CAMEO(Perfect)",
+            OrgKind::DoubleUse => "DoubleUse",
+        }
+    }
+}
+
+/// Counts per-page accesses of the exact trace the timed run will replay —
+/// the profiling pass TLM-Oracle assumes (paper Section VI-D).
+pub fn page_profile(bench: &BenchSpec, config: &SystemConfig) -> Vec<(PageAddr, u64)> {
+    let mut counts: HashMap<PageAddr, u64> = HashMap::new();
+    let events_per_core = config.expected_events_per_core(bench.mpki);
+    for tc in trace_configs(bench, config) {
+        let mut generator = TraceGenerator::new(*bench, tc);
+        for _ in 0..events_per_core {
+            let e = generator.next_event();
+            *counts.entry(e.line.page()).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Builds a fresh organization of `kind` for one benchmark run.
+pub fn build_org(
+    bench: &BenchSpec,
+    kind: OrgKind,
+    config: &SystemConfig,
+) -> Box<dyn MemoryOrganization> {
+    let stacked = config.stacked();
+    let off_chip = config.off_chip();
+    let seed = config.seed ^ 0xBEEF;
+    match kind {
+        OrgKind::Baseline => Box::new(BaselineOrg::new(off_chip, seed)),
+        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::new(stacked, off_chip, config.cores, seed)),
+        OrgKind::LhCache => Box::new(LohHillCacheOrg::new(stacked, off_chip, seed)),
+        OrgKind::TlmStatic => Box::new(TlmOrg::new(stacked, off_chip, TlmPolicy::Static, seed)),
+        OrgKind::TlmDynamic => Box::new(TlmOrg::new(
+            stacked,
+            off_chip,
+            TlmPolicy::Dynamic(DynamicMigrator::new()),
+            seed,
+        )),
+        OrgKind::TlmFreq => Box::new(TlmOrg::new(
+            stacked,
+            off_chip,
+            TlmPolicy::Freq(FreqMigrator::new(config.freq_epoch)),
+            seed,
+        )),
+        OrgKind::TlmOracle => {
+            let profile = OracleProfile::from_counts(page_profile(bench, config), stacked.pages());
+            Box::new(TlmOrg::new(
+                stacked,
+                off_chip,
+                TlmPolicy::Oracle(profile),
+                seed,
+            ))
+        }
+        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::new(
+            stacked,
+            off_chip,
+            llt,
+            predictor,
+            config.cores,
+            config.llp_entries,
+            seed,
+        )),
+        OrgKind::DoubleUse => Box::new(DoubleUseOrg::new(stacked, off_chip, config.cores, seed)),
+    }
+}
+
+/// Runs one benchmark under one organization and returns its statistics.
+pub fn run_benchmark(bench: &BenchSpec, kind: OrgKind, config: &SystemConfig) -> RunStats {
+    let mut org = build_org(bench, kind, config);
+    Runner::new(*bench, config).run(org.as_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SystemConfig {
+        SystemConfig {
+            scale: 4096,
+            cores: 2,
+            instructions_per_core: 40_000,
+            warmup_fraction: 0.25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_orgs_run_astar() {
+        let cfg = quick();
+        let bench = cameo_workloads::by_name("astar").unwrap();
+        let kinds = [
+            OrgKind::Baseline,
+            OrgKind::AlloyCache,
+            OrgKind::TlmStatic,
+            OrgKind::TlmDynamic,
+            OrgKind::TlmFreq,
+            OrgKind::TlmOracle,
+            OrgKind::cameo_default(),
+            OrgKind::DoubleUse,
+        ];
+        for kind in kinds {
+            let stats = run_benchmark(&bench, kind, &cfg);
+            assert!(stats.instructions > 0, "{}", kind.label());
+            assert!(stats.execution_cycles > 0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn stacked_designs_beat_baseline_on_latency_workload() {
+        let cfg = SystemConfig {
+            scale: 4096,
+            cores: 2,
+            instructions_per_core: 200_000,
+            ..Default::default()
+        };
+        let bench = cameo_workloads::by_name("sphinx3").unwrap();
+        let baseline = run_benchmark(&bench, OrgKind::Baseline, &cfg);
+        for kind in [
+            OrgKind::AlloyCache,
+            OrgKind::cameo_default(),
+            OrgKind::DoubleUse,
+        ] {
+            let s = run_benchmark(&bench, kind, &cfg);
+            let speedup = s.speedup_over(&baseline);
+            assert!(
+                speedup > 1.0,
+                "{} speedup {:.3} not > 1",
+                kind.label(),
+                speedup
+            );
+        }
+    }
+
+    #[test]
+    fn page_profile_covers_trace() {
+        let cfg = quick();
+        let bench = cameo_workloads::by_name("astar").unwrap();
+        let profile = page_profile(&bench, &cfg);
+        assert!(!profile.is_empty());
+        let total: u64 = profile.iter().map(|(_, c)| *c).sum();
+        let expected = cfg.expected_events_per_core(bench.mpki) * u64::from(cfg.cores);
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OrgKind::cameo_default().label(), "CAMEO");
+        assert_eq!(OrgKind::AlloyCache.label(), "Cache");
+    }
+}

@@ -1,0 +1,53 @@
+//! Full-system simulation driver for the CAMEO reproduction.
+//!
+//! Ties together the substrates — DRAM timing ([`cameo_memsim`]), caches
+//! ([`cameo_cachesim`]), the OS ([`cameo_vmem`]), the CAMEO controller
+//! ([`cameo`]) and the workload generators ([`cameo_workloads`]) — into the
+//! experiment harness that regenerates every table and figure of the paper:
+//!
+//! * [`SystemConfig`] — the paper's Table I system, scaled for tractable
+//!   simulation;
+//! * [`org`] — one [`MemoryOrganization`] per design point: Baseline,
+//!   Alloy Cache, TLM-Static/Dynamic/Freq/Oracle, CAMEO (any LLT design ×
+//!   any predictor) and the idealistic DoubleUse;
+//! * [`Runner`](runner::Runner) — the multi-core event loop with an
+//!   MLP-bounded core timing model;
+//! * [`RunStats`] — execution time, service breakdown, per-device
+//!   bandwidth, paging and prediction-case counters;
+//! * [`energy`] — the normalized power / EDP model of Figure 14;
+//! * [`experiments`] — one-call experiment entry points used by the bench
+//!   binaries;
+//! * [`l3_stream`] — an explicit-L3 trace mode where the post-L3 stream
+//!   emerges from the cache model instead of being generated directly;
+//! * [`report`] — plain-text/CSV table formatting.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cameo_sim::experiments::{run_benchmark, OrgKind};
+//! use cameo_sim::SystemConfig;
+//!
+//! let config = SystemConfig::default();
+//! let bench = cameo_workloads::by_name("astar").unwrap();
+//! let baseline = run_benchmark(&bench, OrgKind::Baseline, &config);
+//! let cameo = run_benchmark(&bench, OrgKind::cameo_default(), &config);
+//! println!("speedup: {:.2}x", cameo.speedup_over(&baseline));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core_model;
+pub mod energy;
+pub mod experiments;
+pub mod l3_stream;
+pub mod org;
+pub mod report;
+pub mod runner;
+mod stats;
+
+pub use config::SystemConfig;
+pub use core_model::CoreTimeline;
+pub use org::{MemoryOrganization, OrgResult};
+pub use stats::{BandwidthReport, RunStats};

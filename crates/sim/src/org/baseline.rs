@@ -1,0 +1,130 @@
+//! The baseline system: commodity off-chip DRAM only, no stacked memory.
+
+use cameo_memsim::{Dram, DramConfig};
+use cameo_types::{Access, ByteSize, Cycle, ServiceLocation};
+use cameo_vmem::{Placement, Vmm, VmmConfig};
+
+use crate::org::paging::service_fault;
+use crate::org::{MemoryOrganization, OrgResult};
+use crate::stats::BandwidthReport;
+
+/// The paper's baseline: 12 GB (scaled) of off-chip DRAM, demand paging to
+/// SSD. All speedups are reported relative to this system.
+#[derive(Clone, Debug)]
+pub struct BaselineOrg {
+    vmm: Vmm,
+    off_chip: Dram,
+    reads: u64,
+}
+
+impl BaselineOrg {
+    /// Creates the baseline with `off_chip` visible capacity.
+    pub fn new(off_chip: ByteSize, seed: u64) -> Self {
+        Self {
+            vmm: Vmm::new(VmmConfig {
+                stacked: ByteSize::ZERO,
+                off_chip,
+                placement: Placement::Random,
+                seed,
+            }),
+            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
+            reads: 0,
+        }
+    }
+}
+
+impl MemoryOrganization for BaselineOrg {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn access(&mut self, now: Cycle, access: &Access) -> OrgResult {
+        let page = access.line.page();
+        let t = self.vmm.translate(page, access.kind.is_write());
+        if let Some(fault) = t.fault {
+            // The demanded line arrives with the 4 KiB page-in; no separate
+            // DRAM access is made on behalf of the faulting request.
+            let done = service_fault(&mut self.off_chip, now, t.phys.first_line().raw(), &fault);
+            return OrgResult {
+                completion: done,
+                serviced_by: ServiceLocation::Storage,
+                faulted: true,
+            };
+        }
+        let phys_line = t.phys.line(access.line.offset_in_page()).raw();
+        let completion = if access.kind.is_write() {
+            self.off_chip.write_line(now, phys_line)
+        } else {
+            self.reads += 1;
+            self.off_chip.read_line(now, phys_line)
+        };
+        OrgResult {
+            completion,
+            serviced_by: ServiceLocation::OffChip,
+            faulted: false,
+        }
+    }
+
+    fn visible_capacity(&self) -> ByteSize {
+        self.vmm.config().off_chip
+    }
+
+    fn bandwidth(&self) -> BandwidthReport {
+        BandwidthReport {
+            stacked_bytes: 0,
+            off_chip_bytes: self.off_chip.stats().bytes_total(),
+            storage_bytes: self.vmm.stats().storage_bytes(),
+        }
+    }
+
+    fn faults(&self) -> u64 {
+        self.vmm.stats().faults
+    }
+
+    fn service_counts(&self) -> (u64, u64) {
+        (0, self.reads)
+    }
+
+    fn prefill(&mut self, page: cameo_types::PageAddr) {
+        self.vmm.translate(page, false);
+    }
+
+    fn reset_stats(&mut self) {
+        self.off_chip.reset_stats();
+        self.vmm.reset_stats();
+        self.reads = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_types::{CoreId, LineAddr};
+
+    #[test]
+    fn faults_then_services_off_chip() {
+        let mut org = BaselineOrg::new(ByteSize::from_mib(1), 1);
+        let a = Access::read(CoreId(0), LineAddr::new(100), 0x40);
+        let r1 = org.access(Cycle::ZERO, &a);
+        assert!(r1.faulted);
+        assert_eq!(r1.serviced_by, ServiceLocation::Storage);
+        assert!(r1.completion.raw() >= cameo_vmem::PAGE_FAULT_CYCLES);
+        let r2 = org.access(r1.completion, &a);
+        assert!(!r2.faulted);
+        assert_eq!(r2.serviced_by, ServiceLocation::OffChip);
+        assert_eq!(org.faults(), 1);
+        // The faulting read was serviced by the page-in, not the DRAM read
+        // path, so only the second read counts.
+        assert_eq!(org.service_counts(), (0, 1));
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut org = BaselineOrg::new(ByteSize::from_mib(1), 1);
+        org.access(Cycle::ZERO, &Access::read(CoreId(0), LineAddr::new(0), 0));
+        org.reset_stats();
+        assert_eq!(org.faults(), 0);
+        assert_eq!(org.bandwidth().off_chip_bytes, 0);
+        assert_eq!(org.service_counts(), (0, 0));
+    }
+}

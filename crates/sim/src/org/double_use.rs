@@ -1,0 +1,98 @@
+//! DoubleUse: the paper's idealistic upper bound (Section II-D).
+//!
+//! Stacked DRAM serves as an Alloy cache **and** main memory magically
+//! grows by the stacked capacity. Physically impossible — the same
+//! gigabytes are counted twice — but it bounds what a design that gets both
+//! capacity and fine-grained locality could achieve, and CAMEO's claim is
+//! to come within a few percent of it.
+
+use cameo_types::{Access, ByteSize, Cycle};
+use cameo_vmem::{Placement, Vmm, VmmConfig};
+
+use crate::org::alloy_org::AlloyCacheOrg;
+use crate::org::{MemoryOrganization, OrgResult};
+use crate::stats::BandwidthReport;
+
+/// The DoubleUse organization: an Alloy cache over a memory that is
+/// idealistically enlarged by the stacked capacity.
+#[derive(Clone, Debug)]
+pub struct DoubleUseOrg {
+    inner: AlloyCacheOrg,
+    visible: ByteSize,
+}
+
+impl DoubleUseOrg {
+    /// Creates the idealized system: visible memory `stacked + off_chip`,
+    /// plus a stacked cache of `stacked` bytes.
+    pub fn new(stacked: ByteSize, off_chip: ByteSize, cores: u16, seed: u64) -> Self {
+        let visible = stacked + off_chip;
+        let vmm = Vmm::new(VmmConfig {
+            stacked: ByteSize::ZERO,
+            off_chip: visible,
+            placement: Placement::Random,
+            seed,
+        });
+        Self {
+            inner: AlloyCacheOrg::with_vmm(vmm, stacked, visible, cores),
+            visible,
+        }
+    }
+}
+
+impl MemoryOrganization for DoubleUseOrg {
+    fn name(&self) -> &'static str {
+        "DoubleUse"
+    }
+
+    fn access(&mut self, now: Cycle, access: &Access) -> OrgResult {
+        self.inner.access(now, access)
+    }
+
+    fn visible_capacity(&self) -> ByteSize {
+        self.visible
+    }
+
+    fn bandwidth(&self) -> BandwidthReport {
+        self.inner.bandwidth()
+    }
+
+    fn faults(&self) -> u64 {
+        self.inner.faults()
+    }
+
+    fn service_counts(&self) -> (u64, u64) {
+        self.inner.service_counts()
+    }
+
+    fn prefill(&mut self, page: cameo_types::PageAddr) {
+        self.inner.prefill(page);
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_types::{CoreId, LineAddr, ServiceLocation};
+
+    #[test]
+    fn visible_capacity_is_enlarged() {
+        let o = DoubleUseOrg::new(ByteSize::from_mib(1), ByteSize::from_mib(3), 1, 9);
+        assert_eq!(o.visible_capacity(), ByteSize::from_mib(4));
+        assert_eq!(o.name(), "DoubleUse");
+    }
+
+    #[test]
+    fn caches_like_alloy() {
+        let mut o = DoubleUseOrg::new(ByteSize::from_mib(1), ByteSize::from_mib(3), 1, 9);
+        let a = Access::read(CoreId(0), LineAddr::new(42), 0x40);
+        let r1 = o.access(Cycle::ZERO, &a);
+        assert!(r1.faulted);
+        let r2 = o.access(r1.completion, &a); // cold miss fills the cache
+        let r3 = o.access(r2.completion, &a);
+        assert_eq!(r3.serviced_by, ServiceLocation::Stacked);
+    }
+}

@@ -1,0 +1,319 @@
+//! The Loh-Hill DRAM cache (MICRO 2011) — the set-associative
+//! tags-in-DRAM design the paper cites alongside Alloy ([10] in the
+//! paper; Alloy's own evaluation is largely a comparison against it).
+//!
+//! A 2 KiB stacked-DRAM row is one set: 3 of its 32 lines hold tags, the
+//! remaining 29 are data ways. Every hit therefore costs *two* same-row
+//! accesses (tag lines, then the data way); a **MissMap** — a presence
+//! table held in SRAM/L3 — lets misses skip the stacked probe entirely and
+//! go straight to memory. We model the MissMap as a precise presence bitmap
+//! with an L3-like lookup latency (the real 2 MB MissMap has its own
+//! misses; the simplification *favors* LH, which makes the Alloy-beats-LH
+//! comparison conservative).
+
+use cameo_cachesim::{CacheConfig, Replacement, SetAssocCache};
+use cameo_memsim::{Dram, DramConfig};
+use cameo_types::{Access, ByteSize, Cycle, LineAddr, ServiceLocation, LINES_PER_PAGE};
+use cameo_vmem::{Placement, Vmm, VmmConfig};
+
+use crate::org::paging::service_fault;
+use crate::org::{MemoryOrganization, OrgResult};
+use crate::stats::BandwidthReport;
+
+/// Data ways per 32-line row (3 lines hold the 29 ways' tags).
+const WAYS_PER_SET: u32 = 29;
+
+/// Bytes of tag information read per probe (three 64-byte tag lines).
+const TAG_BYTES: u32 = 192;
+
+/// MissMap lookup latency: the paper's L3 latency (the MissMap lives
+/// there).
+const MISSMAP_CYCLES: u64 = 24;
+
+/// Stacked DRAM as a Loh-Hill set-associative DRAM cache with a MissMap.
+#[derive(Clone, Debug)]
+pub struct LohHillCacheOrg {
+    vmm: Vmm,
+    stacked: Dram,
+    off_chip: Dram,
+    directory: SetAssocCache,
+    /// Precise presence bitmap over visible physical lines (ideal MissMap).
+    missmap: Vec<u64>,
+    sets: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LohHillCacheOrg {
+    /// Creates the organization: `stacked` bytes of LH cache over
+    /// `off_chip` bytes of visible memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacked` holds less than one 32-line row.
+    pub fn new(stacked: ByteSize, off_chip: ByteSize, seed: u64) -> Self {
+        let sets = stacked.lines() / 32;
+        assert!(sets > 0, "LH cache needs at least one row");
+        let directory = SetAssocCache::with_policy(
+            CacheConfig {
+                capacity: ByteSize::from_lines(sets * u64::from(WAYS_PER_SET)),
+                ways: WAYS_PER_SET,
+                latency: Cycle::new(0),
+            },
+            Replacement::Lru,
+        );
+        let missmap_words = (off_chip.lines() as usize).div_ceil(64);
+        Self {
+            vmm: Vmm::new(VmmConfig {
+                stacked: ByteSize::ZERO,
+                off_chip,
+                placement: Placement::Random,
+                seed,
+            }),
+            stacked: Dram::new(DramConfig::stacked(stacked)),
+            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
+            directory,
+            missmap: vec![0; missmap_words],
+            sets,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Hit rate of the DRAM cache, `None` before any demand read.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    fn present(&self, line: LineAddr) -> bool {
+        let idx = line.raw() as usize;
+        self.missmap[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    fn set_present(&mut self, line: LineAddr, present: bool) {
+        let idx = line.raw() as usize;
+        if present {
+            self.missmap[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.missmap[idx / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Device line of the set's row (tags live at the row's start; the
+    /// data way follows in the same row, so the second access is a row
+    /// hit).
+    fn row_line(&self, line: LineAddr) -> u64 {
+        (line.raw() % self.sets) * 32
+    }
+
+    fn fill(&mut self, now: Cycle, phys: LineAddr, dirty: bool) {
+        if let Some(victim) = self.directory.access(phys, dirty).evicted {
+            self.set_present(victim.line, false);
+            if victim.dirty {
+                self.off_chip.write_line(now, victim.line.raw());
+            }
+        }
+        self.set_present(phys, true);
+        // Install the data way and update the tag line (posted).
+        let row = self.row_line(phys);
+        self.stacked.write_line(now, row + 8);
+        self.stacked.write_line(now, row);
+    }
+
+    fn read(&mut self, now: Cycle, phys: LineAddr) -> (Cycle, ServiceLocation) {
+        let after_missmap = now + Cycle::new(MISSMAP_CYCLES);
+        if self.present(phys) {
+            self.hits += 1;
+            // Tag lines, then the data way out of the (now open) row.
+            let row = self.row_line(phys);
+            let tags_done = self.stacked.access(after_missmap, row, false, TAG_BYTES);
+            let data_done = self.stacked.read_line(tags_done, row + 8);
+            // LRU update.
+            let out = self.directory.access(phys, false);
+            debug_assert!(out.hit, "missmap and directory must agree");
+            (data_done, ServiceLocation::Stacked)
+        } else {
+            self.misses += 1;
+            // The MissMap saves the probe: straight to memory.
+            let fetch = self.off_chip.read_line(after_missmap, phys.raw());
+            self.fill(now, phys, false);
+            (fetch, ServiceLocation::OffChip)
+        }
+    }
+
+    fn write(&mut self, now: Cycle, phys: LineAddr) -> (Cycle, ServiceLocation) {
+        let after_missmap = now + Cycle::new(MISSMAP_CYCLES);
+        if self.present(phys) {
+            let row = self.row_line(phys);
+            let done = self.stacked.write_line(after_missmap, row + 8);
+            let out = self.directory.access(phys, true);
+            debug_assert!(out.hit, "missmap and directory must agree");
+            (done, ServiceLocation::Stacked)
+        } else {
+            // Write-no-allocate, like the Alloy organization.
+            let done = self.off_chip.write_line(after_missmap, phys.raw());
+            (done, ServiceLocation::OffChip)
+        }
+    }
+
+    fn invalidate_frame(&mut self, frame_first_line: u64) {
+        for i in 0..LINES_PER_PAGE as u64 {
+            let line = LineAddr::new(frame_first_line + i);
+            if self.present(line) {
+                self.directory.invalidate(line);
+                self.set_present(line, false);
+            }
+        }
+    }
+}
+
+impl MemoryOrganization for LohHillCacheOrg {
+    fn name(&self) -> &'static str {
+        "Cache(LH)"
+    }
+
+    fn access(&mut self, now: Cycle, access: &Access) -> OrgResult {
+        let t = self
+            .vmm
+            .translate(access.line.page(), access.kind.is_write());
+        if let Some(fault) = t.fault {
+            let done = service_fault(&mut self.off_chip, now, t.phys.first_line().raw(), &fault);
+            self.invalidate_frame(t.phys.first_line().raw());
+            return OrgResult {
+                completion: done,
+                serviced_by: ServiceLocation::Storage,
+                faulted: true,
+            };
+        }
+        let phys = LineAddr::new(t.phys.line(access.line.offset_in_page()).raw());
+        let (completion, serviced_by) = if access.kind.is_write() {
+            self.write(now, phys)
+        } else {
+            self.read(now, phys)
+        };
+        OrgResult {
+            completion,
+            serviced_by,
+            faulted: false,
+        }
+    }
+
+    fn visible_capacity(&self) -> ByteSize {
+        self.vmm.config().off_chip
+    }
+
+    fn bandwidth(&self) -> BandwidthReport {
+        BandwidthReport {
+            stacked_bytes: self.stacked.stats().bytes_total(),
+            off_chip_bytes: self.off_chip.stats().bytes_total(),
+            storage_bytes: self.vmm.stats().storage_bytes(),
+        }
+    }
+
+    fn faults(&self) -> u64 {
+        self.vmm.stats().faults
+    }
+
+    fn service_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn prefill(&mut self, page: cameo_types::PageAddr) {
+        self.vmm.translate(page, false);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stacked.reset_stats();
+        self.off_chip.reset_stats();
+        self.vmm.reset_stats();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_types::CoreId;
+
+    fn org() -> LohHillCacheOrg {
+        LohHillCacheOrg::new(ByteSize::from_mib(1), ByteSize::from_mib(3), 5)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut o = org();
+        let a = Access::read(CoreId(0), LineAddr::new(500), 0x40);
+        let r1 = o.access(Cycle::ZERO, &a);
+        assert!(r1.faulted);
+        let r2 = o.access(r1.completion, &a); // cold miss fills
+        assert_eq!(r2.serviced_by, ServiceLocation::OffChip);
+        let r3 = o.access(r2.completion, &a);
+        assert_eq!(r3.serviced_by, ServiceLocation::Stacked);
+        assert_eq!(o.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn hit_costs_more_than_alloy() {
+        // LH reads tag lines before the data way: its hit latency exceeds
+        // Alloy's single-TAD probe — the Alloy paper's core observation.
+        use crate::org::AlloyCacheOrg;
+        let mut lh = org();
+        let mut alloy = AlloyCacheOrg::new(ByteSize::from_mib(1), ByteSize::from_mib(3), 1, 5);
+        let a = Access::read(CoreId(0), LineAddr::new(500), 0x40);
+        // Fault + fill both.
+        let f1 = lh.access(Cycle::ZERO, &a);
+        let f2 = lh.access(f1.completion, &a);
+        let t_lh_start = f2.completion;
+        let lh_hit = lh.access(t_lh_start, &a).completion - t_lh_start;
+
+        let g1 = alloy.access(Cycle::ZERO, &a);
+        let g2 = alloy.access(g1.completion, &a);
+        let t_alloy_start = g2.completion;
+        let alloy_hit = alloy.access(t_alloy_start, &a).completion - t_alloy_start;
+        assert!(
+            lh_hit > alloy_hit,
+            "LH hit {lh_hit:?} must exceed Alloy hit {alloy_hit:?}"
+        );
+    }
+
+    #[test]
+    fn missmap_skips_probe_on_misses() {
+        let mut o = org();
+        let a = Access::read(CoreId(0), LineAddr::new(500), 0x40);
+        let r1 = o.access(Cycle::ZERO, &a); // fault
+        let before = o.stacked.stats().demand_reads;
+        // A different, uncached line in the same page: miss goes straight
+        // to off-chip; the stacked device sees no probe read.
+        let b = Access::read(CoreId(0), LineAddr::new(501), 0x40);
+        o.access(r1.completion, &b);
+        assert_eq!(o.stacked.stats().demand_reads, before);
+    }
+
+    #[test]
+    fn set_associativity_avoids_direct_mapped_conflicts() {
+        // Two lines mapping to the same set coexist in LH (29 ways) where
+        // Alloy's direct-mapped cache would ping-pong.
+        let mut o = org();
+        let sets = o.sets;
+        let a = Access::read(CoreId(0), LineAddr::new(7), 0x40);
+        let conflicting = Access::read(CoreId(0), LineAddr::new(7 + sets), 0x40);
+        let mut now = Cycle::ZERO;
+        for access in [&a, &conflicting, &a, &conflicting] {
+            now = o.access(now, access).completion;
+        }
+        // Second round of both: hits (each faulted once and missed once).
+        let r1 = o.access(now, &a);
+        let r2 = o.access(r1.completion, &conflicting);
+        assert_eq!(r1.serviced_by, ServiceLocation::Stacked);
+        assert_eq!(r2.serviced_by, ServiceLocation::Stacked);
+    }
+
+    #[test]
+    fn capacity_is_29_of_32() {
+        let o = org();
+        let data_lines = o.directory.config().capacity.lines();
+        assert_eq!(data_lines, ByteSize::from_mib(1).lines() / 32 * 29);
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text and CSV table rendering for the bench binaries.
+
+use std::fmt;
+
+/// A simple column-aligned text table (also serializable as CSV), used by
+/// every figure/table binary so outputs are uniform and diffable.
+///
+/// # Examples
+///
+/// ```
+/// use cameo_sim::report::Table;
+///
+/// let mut t = Table::new(vec!["bench", "speedup"]);
+/// t.row(vec!["mcf".into(), "1.74".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("mcf"));
+/// assert_eq!(t.to_csv(), "bench,speedup\nmcf,1.74\n");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a horizontal ASCII bar chart — the closest a terminal gets to
+/// the paper's figures. Bars scale to the largest value; each row shows
+/// `label  ███████ value`.
+///
+/// # Examples
+///
+/// ```
+/// use cameo_sim::report::bar_chart;
+///
+/// let chart = bar_chart(&[("CAMEO".into(), 1.94), ("Cache".into(), 1.55)], 20);
+/// assert!(chart.contains("CAMEO"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
+    let Some(max) = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v))))
+    else {
+        return String::new();
+    };
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_width$}  {}{} {value:.2}x\n",
+            "█".repeat(filled),
+            " ".repeat(max_width - filled.min(max_width)),
+        ));
+    }
+    out
+}
+
+/// Formats a speedup multiplier as the paper's "% improvement" notation.
+pub fn percent_improvement(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+/// Formats an optional ratio like Table IV ("1.93x", or "n/a").
+pub fn ratio(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.2}x"),
+        None => "n/a".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_rendering() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("xxxxxxxx"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(percent_improvement(1.78), "+78.0%");
+        assert_eq!(percent_improvement(0.9), "-10.0%");
+        assert_eq!(ratio(Some(1.934)), "1.93x");
+        assert_eq!(ratio(None), "n/a");
+    }
+
+    #[test]
+    fn bar_chart_edges() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let zero = bar_chart(&[("x".into(), 0.0)], 10);
+        assert!(zero.contains("0.00x"));
+        let chart = bar_chart(&[("a".into(), 1.0), ("bbbb".into(), 2.0)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Labels are padded to the same width, bars scale to the max.
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[1].contains(&"█".repeat(10)));
+    }
+
+    #[test]
+    fn table_len_and_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

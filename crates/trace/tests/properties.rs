@@ -1,0 +1,147 @@
+//! Property-based tests for the trace file format.
+
+use cameo_trace::{TraceFile, TraceWriter};
+use cameo_types::LineAddr;
+use cameo_workloads::{MissEvent, MissStream};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = MissEvent> {
+    (
+        1u64..u32::MAX as u64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(gap, line, pc, is_write)| MissEvent {
+            gap_instructions: gap,
+            line: LineAddr::new(line),
+            pc,
+            is_write,
+        })
+}
+
+fn write_all(name: &str, pages: u64, events: &[MissEvent]) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), name, pages, events.len() as u64).expect("header");
+    for e in events {
+        w.push(e).expect("push");
+    }
+    w.finish().expect("finish")
+}
+
+proptest! {
+    /// Arbitrary event sequences round-trip bit-exactly.
+    #[test]
+    fn round_trip(
+        name in "[a-zA-Z0-9_.-]{0,40}",
+        pages in 0u64..1 << 40,
+        events in prop::collection::vec(arb_event(), 1..200),
+    ) {
+        let bytes = write_all(&name, pages, &events);
+        let file = TraceFile::parse(&bytes).expect("parse");
+        prop_assert_eq!(file.name, name);
+        prop_assert_eq!(file.footprint_pages, pages);
+        prop_assert_eq!(file.events, events);
+    }
+
+    /// Any truncation of a valid file is rejected, never mis-parsed.
+    #[test]
+    fn truncations_rejected(
+        events in prop::collection::vec(arb_event(), 1..50),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = write_all("t", 7, &events);
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(TraceFile::parse(&bytes[..cut]).is_err());
+    }
+
+    /// Replay visits events in order and wraps exactly at the recording
+    /// length.
+    #[test]
+    fn replay_order_and_wrap(
+        events in prop::collection::vec(arb_event(), 1..100),
+        draws in 1usize..400,
+    ) {
+        let bytes = write_all("t", 3, &events);
+        let mut replay = TraceFile::parse(&bytes).expect("parse").into_replay();
+        for i in 0..draws {
+            let e = replay.next_event();
+            prop_assert_eq!(e, events[i % events.len()]);
+        }
+        prop_assert_eq!(replay.wraps(), (draws / events.len()) as u64);
+    }
+
+    /// Corrupting the magic always yields BadMagic, not a garbage parse.
+    #[test]
+    fn corrupt_magic_rejected(
+        events in prop::collection::vec(arb_event(), 1..10),
+        byte in 0usize..8,
+        flip in 1u8..255,
+    ) {
+        let mut bytes = write_all("t", 1, &events);
+        bytes[byte] ^= flip;
+        prop_assert!(matches!(
+            TraceFile::parse(&bytes),
+            Err(cameo_trace::TraceError::BadMagic)
+        ));
+    }
+}
+
+proptest! {
+    /// Parsing arbitrary bytes never panics — it returns an error or a
+    /// structurally valid trace.
+    #[test]
+    fn parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        match TraceFile::parse(&bytes) {
+            Ok(file) => prop_assert!(!file.events.is_empty()),
+            Err(_) => {}
+        }
+    }
+}
+
+/// The on-disk format is stable: a golden file recorded with version 1 of
+/// the format must keep parsing bit-exactly.
+#[test]
+fn golden_format_stability() {
+    let events = [
+        MissEvent {
+            gap_instructions: 42,
+            line: LineAddr::new(0x1234_5678_9abc),
+            pc: 0x0040_0010,
+            is_write: false,
+        },
+        MissEvent {
+            gap_instructions: 7,
+            line: LineAddr::new(3),
+            pc: 0x0040_0014,
+            is_write: true,
+        },
+    ];
+    let mut w = TraceWriter::new(Vec::new(), "golden", 99, 2).unwrap();
+    for e in &events {
+        w.push(e).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+
+    // The exact bytes of format version CAMEOTR1.
+    let expected: Vec<u8> = [
+        b"CAMEOTR1".to_vec(),
+        vec![6],
+        b"golden".to_vec(),
+        99u64.to_le_bytes().to_vec(),
+        2u64.to_le_bytes().to_vec(),
+        42u32.to_le_bytes().to_vec(),
+        0x1234_5678_9abcu64.to_le_bytes().to_vec(),
+        0x0040_0010u64.to_le_bytes().to_vec(),
+        vec![0],
+        7u32.to_le_bytes().to_vec(),
+        3u64.to_le_bytes().to_vec(),
+        0x0040_0014u64.to_le_bytes().to_vec(),
+        vec![1],
+    ]
+    .concat();
+    assert_eq!(bytes, expected, "trace format changed — bump the magic");
+
+    let parsed = TraceFile::parse(&expected).unwrap();
+    assert_eq!(parsed.events, events);
+    assert_eq!(parsed.footprint_pages, 99);
+}

@@ -1,0 +1,264 @@
+//! Address newtypes at line and page granularity.
+//!
+//! Addresses come in two flavors that must never be confused:
+//!
+//! * *Requested* addresses ([`LineAddr`], [`PageAddr`]) — what the processor
+//!   (after virtual-to-physical translation) asks the memory system for. The
+//!   paper calls this the **Requested Address**.
+//! * *Physical* addresses ([`PhysLineAddr`], [`PhysPageAddr`]) — where the
+//!   data actually lives after CAMEO's hardware swapping or the OS's page
+//!   migration relocated it. The paper calls this the **Physical Address**.
+//!
+//! Keeping the two as distinct newtypes lets the compiler catch the classic
+//! relocation bug of indexing a device with a pre-translation address.
+
+use core::fmt;
+
+/// Bytes in one cache line (the paper's management granularity).
+pub const LINE_BYTES: usize = 64;
+
+/// Bytes in one OS page (the granularity of TLM migration).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Number of cache lines in one OS page.
+pub const LINES_PER_PAGE: usize = PAGE_BYTES / LINE_BYTES;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw address value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw address value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.0
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A *requested* address at cache-line granularity (byte address `>> 6`).
+    ///
+    /// This is the address the LLC misses on, before CAMEO's Line Location
+    /// Table translates it into the [`PhysLineAddr`] where the data actually
+    /// resides.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cameo_types::LineAddr;
+    ///
+    /// let a = LineAddr::new(0x40);
+    /// assert_eq!(a.page().raw(), 1);
+    /// assert_eq!(a.offset_in_page(), 0);
+    /// ```
+    LineAddr
+}
+
+addr_newtype! {
+    /// A *requested* address at OS-page granularity.
+    PageAddr
+}
+
+addr_newtype! {
+    /// A *physical* (post-relocation) address at cache-line granularity.
+    ///
+    /// Values below the stacked-DRAM line count index stacked DRAM; values at
+    /// or above it index off-chip DRAM. See
+    /// [`MemKind`](crate::MemKind) and the device split performed by the
+    /// memory organization.
+    PhysLineAddr
+}
+
+addr_newtype! {
+    /// A *physical* (post-relocation) address at OS-page granularity.
+    PhysPageAddr
+}
+
+impl LineAddr {
+    /// Returns the page this line belongs to.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr::new(self.0 / LINES_PER_PAGE as u64)
+    }
+
+    /// Returns the index of this line within its page (`0..64`).
+    #[inline]
+    pub const fn offset_in_page(self) -> usize {
+        (self.0 % LINES_PER_PAGE as u64) as usize
+    }
+
+    /// Returns the byte address of the start of this line.
+    #[inline]
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * LINE_BYTES as u64
+    }
+}
+
+impl PageAddr {
+    /// Returns the first line of this page.
+    #[inline]
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr::new(self.0 * LINES_PER_PAGE as u64)
+    }
+
+    /// Returns the `idx`-th line of this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= LINES_PER_PAGE`.
+    #[inline]
+    pub fn line(self, idx: usize) -> LineAddr {
+        assert!(idx < LINES_PER_PAGE, "line index {idx} out of page bounds");
+        LineAddr::new(self.0 * LINES_PER_PAGE as u64 + idx as u64)
+    }
+
+    /// Returns the byte address of the start of this page.
+    #[inline]
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * PAGE_BYTES as u64
+    }
+}
+
+impl PhysLineAddr {
+    /// Returns the physical page this physical line belongs to.
+    #[inline]
+    pub const fn page(self) -> PhysPageAddr {
+        PhysPageAddr::new(self.0 / LINES_PER_PAGE as u64)
+    }
+}
+
+impl PhysPageAddr {
+    /// Returns the first physical line of this physical page.
+    #[inline]
+    pub const fn first_line(self) -> PhysLineAddr {
+        PhysLineAddr::new(self.0 * LINES_PER_PAGE as u64)
+    }
+
+    /// Returns the `idx`-th physical line of this physical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= LINES_PER_PAGE`.
+    #[inline]
+    pub fn line(self, idx: usize) -> PhysLineAddr {
+        assert!(idx < LINES_PER_PAGE, "line index {idx} out of page bounds");
+        PhysLineAddr::new(self.0 * LINES_PER_PAGE as u64 + idx as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_to_page_round_trip() {
+        let line = LineAddr::new(65);
+        assert_eq!(line.page(), PageAddr::new(1));
+        assert_eq!(line.offset_in_page(), 1);
+        assert_eq!(line.page().line(1), line);
+    }
+
+    #[test]
+    fn page_first_line_is_offset_zero() {
+        for p in [0u64, 1, 7, 123_456] {
+            let page = PageAddr::new(p);
+            assert_eq!(page.first_line().offset_in_page(), 0);
+            assert_eq!(page.first_line().page(), page);
+        }
+    }
+
+    #[test]
+    fn byte_addresses() {
+        assert_eq!(LineAddr::new(2).byte_addr(), 128);
+        assert_eq!(PageAddr::new(2).byte_addr(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page bounds")]
+    fn page_line_bounds_checked() {
+        PageAddr::new(0).line(LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn formatting_is_hex() {
+        let a = LineAddr::new(255);
+        assert_eq!(format!("{a}"), "0xff");
+        assert_eq!(format!("{a:?}"), "LineAddr(0xff)");
+        assert_eq!(format!("{a:x}"), "ff");
+        assert_eq!(format!("{a:X}"), "FF");
+        assert_eq!(format!("{a:b}"), "11111111");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: LineAddr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+
+    #[test]
+    fn phys_line_page_round_trip() {
+        let line = PhysLineAddr::new(64 * 3 + 5);
+        assert_eq!(line.page(), PhysPageAddr::new(3));
+        assert_eq!(line.page().line(5), line);
+        assert_eq!(line.page().first_line(), PhysLineAddr::new(192));
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(LINE_BYTES * LINES_PER_PAGE, PAGE_BYTES);
+    }
+}

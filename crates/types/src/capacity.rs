@@ -1,0 +1,241 @@
+//! Byte-size capacity type used for device and workload sizing.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+use crate::{LINE_BYTES, PAGE_BYTES};
+
+/// A capacity in bytes, with convenience constructors and conversions to the
+/// line/page granularities used throughout the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cameo_types::ByteSize;
+///
+/// let stacked = ByteSize::from_gib(4);
+/// let offchip = ByteSize::from_gib(12);
+/// let total = stacked + offchip;
+/// assert_eq!(total, ByteSize::from_gib(16));
+/// assert_eq!(total / stacked, 4);
+/// assert_eq!(stacked.lines(), 4 * 1024 * 1024 * 1024 / 64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a capacity from a raw byte count.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a capacity from kibibytes.
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * 1024)
+    }
+
+    /// Creates a capacity from mebibytes.
+    #[inline]
+    pub const fn from_mib(mib: u64) -> Self {
+        Self(mib * 1024 * 1024)
+    }
+
+    /// Creates a capacity from gibibytes.
+    #[inline]
+    pub const fn from_gib(gib: u64) -> Self {
+        Self(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Creates a capacity from a whole number of cache lines.
+    #[inline]
+    pub const fn from_lines(lines: u64) -> Self {
+        Self(lines * LINE_BYTES as u64)
+    }
+
+    /// Creates a capacity from a whole number of OS pages.
+    #[inline]
+    pub const fn from_pages(pages: u64) -> Self {
+        Self(pages * PAGE_BYTES as u64)
+    }
+
+    /// Returns the raw byte count.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of whole cache lines this capacity holds.
+    #[inline]
+    pub const fn lines(self) -> u64 {
+        self.0 / LINE_BYTES as u64
+    }
+
+    /// Returns the number of whole OS pages this capacity holds.
+    #[inline]
+    pub const fn pages(self) -> u64 {
+        self.0 / PAGE_BYTES as u64
+    }
+
+    /// Scales the capacity down by an integer factor (used to shrink the
+    /// paper's multi-gigabyte configuration to simulation scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[inline]
+    pub fn scale_down(self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be non-zero");
+        Self(self.0 / factor)
+    }
+
+    /// Returns this capacity expressed in mebibytes (floating point).
+    #[inline]
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Returns this capacity expressed in gibibytes (floating point).
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+
+    #[inline]
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+/// Ratio of two capacities, truncated toward zero.
+impl Div for ByteSize {
+    type Output = u64;
+
+    #[inline]
+    fn div(self, rhs: ByteSize) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSize({self})")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const GIB: u64 = 1024 * 1024 * 1024;
+        const MIB: u64 = 1024 * 1024;
+        const KIB: u64 = 1024;
+        if self.0 >= GIB && self.0.is_multiple_of(GIB) {
+            write!(f, "{}GiB", self.0 / GIB)
+        } else if self.0 >= MIB && self.0.is_multiple_of(MIB) {
+            write!(f, "{}MiB", self.0 / MIB)
+        } else if self.0 >= KIB && self.0.is_multiple_of(KIB) {
+            write!(f, "{}KiB", self.0 / KIB)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        Self(bytes)
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(size: ByteSize) -> u64 {
+        size.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(ByteSize::from_kib(1), ByteSize::from_bytes(1024));
+        assert_eq!(ByteSize::from_mib(1), ByteSize::from_kib(1024));
+        assert_eq!(ByteSize::from_gib(1), ByteSize::from_mib(1024));
+        assert_eq!(ByteSize::from_lines(2), ByteSize::from_bytes(128));
+        assert_eq!(ByteSize::from_pages(1), ByteSize::from_kib(4));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::from_mib(3);
+        let b = ByteSize::from_mib(1);
+        assert_eq!(a + b, ByteSize::from_mib(4));
+        assert_eq!(a - b, ByteSize::from_mib(2));
+        assert_eq!(a * 2, ByteSize::from_mib(6));
+        assert_eq!(a / b, 3);
+    }
+
+    #[test]
+    fn granularity_counts() {
+        let s = ByteSize::from_mib(1);
+        assert_eq!(s.lines(), 16384);
+        assert_eq!(s.pages(), 256);
+    }
+
+    #[test]
+    fn display_picks_largest_exact_unit() {
+        assert_eq!(ByteSize::from_gib(4).to_string(), "4GiB");
+        assert_eq!(ByteSize::from_mib(1536).to_string(), "1536MiB");
+        assert_eq!(ByteSize::from_bytes(66).to_string(), "66B");
+        assert_eq!(ByteSize::from_kib(3).to_string(), "3KiB");
+    }
+
+    #[test]
+    fn scale_down_preserves_ratio() {
+        let stacked = ByteSize::from_gib(4);
+        let offchip = ByteSize::from_gib(12);
+        let f = 64;
+        assert_eq!(
+            offchip.scale_down(f) / stacked.scale_down(f),
+            offchip / stacked
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn scale_down_zero_panics() {
+        ByteSize::from_mib(1).scale_down(0);
+    }
+
+    #[test]
+    fn float_views() {
+        assert!((ByteSize::from_mib(512).as_gib() - 0.5).abs() < 1e-12);
+        assert!((ByteSize::from_kib(512).as_mib() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated time measured in CPU cycles.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (or a duration), measured in CPU clock cycles
+/// of the 3.2 GHz cores from the paper's Table I.
+///
+/// `Cycle` is deliberately a single type for both instants and durations —
+/// the simulator's event arithmetic is simple enough that the distinction
+/// would add noise, and saturating subtraction ([`Cycle::saturating_sub`])
+/// covers the one case where ordering matters.
+///
+/// # Examples
+///
+/// ```
+/// use cameo_types::Cycle;
+///
+/// let issue = Cycle::new(100);
+/// let done = issue + Cycle::new(38);
+/// assert_eq!(done - issue, Cycle::new(38));
+/// assert_eq!(issue.saturating_sub(done), Cycle::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero instant.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn later(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Subtracts, clamping at zero instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales a duration by an integer factor.
+    #[inline]
+    pub const fn scaled(self, factor: u64) -> Cycle {
+        Cycle(self.0 * factor)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would underflow; use
+    /// [`Cycle::saturating_sub`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!(a + b, Cycle::new(14));
+        assert_eq!(a - b, Cycle::new(6));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle::new(14));
+        assert_eq!(a.scaled(3), Cycle::new(30));
+    }
+
+    #[test]
+    fn later_and_saturating() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!(a.later(b), a);
+        assert_eq!(b.later(a), a);
+        assert_eq!(b.saturating_sub(a), Cycle::ZERO);
+        assert_eq!(a.saturating_sub(b), Cycle::new(6));
+    }
+
+    #[test]
+    fn sum() {
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "42 cyc");
+        assert_eq!(format!("{:?}", Cycle::new(42)), "Cycle(42)");
+    }
+}

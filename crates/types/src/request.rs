@@ -1,0 +1,171 @@
+//! Memory request descriptors exchanged between the core model, the LLC and
+//! the memory organization under test.
+
+use core::fmt;
+
+use crate::LineAddr;
+
+/// Identifies one of the simulated cores (the paper runs 32-core rate mode).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub u16);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Whether a memory request reads or writes its line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Demand read (LLC load/ifetch miss).
+    Read,
+    /// Write (LLC dirty writeback or store miss).
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// The two DRAM regions of the paper's heterogeneous memory system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemKind {
+    /// Die-stacked, high-bandwidth DRAM (4 GB in the paper).
+    Stacked,
+    /// Commodity off-chip DDR DRAM (12 GB in the paper).
+    OffChip,
+}
+
+impl MemKind {
+    /// Returns `true` for [`MemKind::Stacked`].
+    #[inline]
+    pub const fn is_stacked(self) -> bool {
+        matches!(self, MemKind::Stacked)
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Stacked => f.write_str("stacked"),
+            MemKind::OffChip => f.write_str("off-chip"),
+        }
+    }
+}
+
+/// Where a demand request was ultimately serviced; used for bandwidth and
+/// predictor-accuracy accounting (Table III / Table IV of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ServiceLocation {
+    /// Serviced from stacked DRAM (cache hit, or CAMEO stacked-resident).
+    Stacked,
+    /// Serviced from off-chip DRAM.
+    OffChip,
+    /// Required OS intervention (page fault to storage).
+    Storage,
+}
+
+impl fmt::Display for ServiceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceLocation::Stacked => f.write_str("stacked"),
+            ServiceLocation::OffChip => f.write_str("off-chip"),
+            ServiceLocation::Storage => f.write_str("storage"),
+        }
+    }
+}
+
+/// One post-LLC memory request: the unit of work the memory organization
+/// services.
+///
+/// Carries the program counter of the missing instruction because CAMEO's
+/// Line Location Predictor (and the Alloy Cache's hit predictor) are
+/// PC-indexed.
+///
+/// # Examples
+///
+/// ```
+/// use cameo_types::{Access, AccessKind, CoreId, LineAddr};
+///
+/// let a = Access::read(CoreId(0), LineAddr::new(0x1000), 0x401234);
+/// assert!(!a.kind.is_write());
+/// assert_eq!(a.line.raw(), 0x1000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Core that issued the request.
+    pub core: CoreId,
+    /// Requested line address (post virtual-to-physical translation).
+    pub line: LineAddr,
+    /// Program counter of the instruction that caused the LLC miss.
+    pub pc: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a demand read.
+    #[inline]
+    pub const fn read(core: CoreId, line: LineAddr, pc: u64) -> Self {
+        Self {
+            core,
+            line,
+            pc,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    #[inline]
+    pub const fn write(core: CoreId, line: LineAddr, pc: u64) -> Self {
+        Self {
+            core,
+            line,
+            pc,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = Access::read(CoreId(1), LineAddr::new(5), 99);
+        let w = Access::write(CoreId(1), LineAddr::new(5), 99);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert!(w.kind.is_write());
+        assert!(!r.kind.is_write());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(MemKind::Stacked.to_string(), "stacked");
+        assert_eq!(ServiceLocation::Storage.to_string(), "storage");
+    }
+
+    #[test]
+    fn mem_kind_predicates() {
+        assert!(MemKind::Stacked.is_stacked());
+        assert!(!MemKind::OffChip.is_stacked());
+    }
+}

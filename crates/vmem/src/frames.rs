@@ -1,0 +1,392 @@
+//! Physical frame pool with clock-plus-random-probe victim selection.
+
+use cameo_types::{PageAddr, PhysPageAddr};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Index of a physical frame. Frames `0..stacked_frames` are in stacked
+/// DRAM; the rest are off-chip.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FrameId(pub u64);
+
+impl FrameId {
+    /// The physical page address of this frame (identity mapping).
+    #[inline]
+    pub fn phys_page(self) -> PhysPageAddr {
+        PhysPageAddr::new(self.0)
+    }
+}
+
+/// Which device region a frame belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Region {
+    /// Fast, stacked-DRAM frames (low physical addresses).
+    Stacked,
+    /// Commodity off-chip frames.
+    OffChip,
+    /// No preference: any frame.
+    Any,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Frame {
+    resident: Option<PageAddr>,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// The frame pool: tracks residency, referenced and dirty bits, and selects
+/// eviction victims the way the paper describes — probe five random frames
+/// for a free one, then fall back to a clock sweep over referenced bits.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    frames: Vec<Frame>,
+    stacked_frames: u64,
+    free: Vec<u64>,
+    clock_hand: usize,
+}
+
+/// Outcome of taking a frame: the frame plus the page that had to be evicted
+/// from it (with its dirtiness), if any.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Took {
+    /// The granted frame.
+    pub frame: FrameId,
+    /// Page displaced from the frame, and whether it was dirty.
+    pub evicted: Option<(PageAddr, bool)>,
+}
+
+impl FrameAllocator {
+    /// Creates a pool of `stacked + off_chip` frames, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool would be empty.
+    pub fn new(stacked_frames: u64, off_chip_frames: u64) -> Self {
+        let total = stacked_frames + off_chip_frames;
+        assert!(total > 0, "frame pool must be non-empty");
+        Self {
+            frames: vec![Frame::default(); total as usize],
+            stacked_frames,
+            // Pop order: lowest index last so stacked frames are handed out
+            // first when no region is requested — matching an OS that
+            // prefers fast memory while it lasts.
+            free: (0..total).rev().collect(),
+            clock_hand: 0,
+        }
+    }
+
+    /// Total frames in the pool.
+    #[inline]
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Frames in the stacked region.
+    #[inline]
+    pub fn stacked_frames(&self) -> u64 {
+        self.stacked_frames
+    }
+
+    /// Number of currently free frames.
+    #[inline]
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Region of a given frame.
+    #[inline]
+    pub fn region_of(&self, frame: FrameId) -> Region {
+        if frame.0 < self.stacked_frames {
+            Region::Stacked
+        } else {
+            Region::OffChip
+        }
+    }
+
+    /// Page currently resident in `frame`.
+    #[inline]
+    pub fn resident(&self, frame: FrameId) -> Option<PageAddr> {
+        self.frames[frame.0 as usize].resident
+    }
+
+    /// Marks a frame referenced (on access) and optionally dirty.
+    pub fn touch(&mut self, frame: FrameId, write: bool) {
+        let f = &mut self.frames[frame.0 as usize];
+        f.referenced = true;
+        f.dirty |= write;
+    }
+
+    /// Whether the page in `frame` has been written since it was loaded.
+    #[inline]
+    pub fn is_dirty(&self, frame: FrameId) -> bool {
+        self.frames[frame.0 as usize].dirty
+    }
+
+    /// Takes a frame for `page`, preferring `region`, evicting a victim if
+    /// the pool is full.
+    ///
+    /// Victim selection follows the paper: five random probes looking for an
+    /// unreferenced frame, then a clock sweep that clears referenced bits
+    /// until one is found.
+    pub fn take(&mut self, page: PageAddr, region: Region, rng: &mut SmallRng) -> Took {
+        let frame = self
+            .take_free(region, rng)
+            .unwrap_or_else(|| self.select_victim(rng));
+        let slot = &mut self.frames[frame.0 as usize];
+        let evicted = slot.resident.map(|p| (p, slot.dirty));
+        *slot = Frame {
+            resident: Some(page),
+            referenced: true,
+            dirty: false,
+        };
+        Took { frame, evicted }
+    }
+
+    /// Releases a frame back to the free pool (used when a page is migrated
+    /// away rather than evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free.
+    pub fn release(&mut self, frame: FrameId) {
+        let slot = &mut self.frames[frame.0 as usize];
+        assert!(slot.resident.is_some(), "double free of frame {frame:?}");
+        *slot = Frame::default();
+        self.free.push(frame.0);
+    }
+
+    /// Atomically exchanges the pages resident in two frames, preserving
+    /// their referenced/dirty bits. Used by TLM page migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frame is free.
+    pub fn swap_frames(&mut self, a: FrameId, b: FrameId) {
+        assert!(
+            self.frames[a.0 as usize].resident.is_some()
+                && self.frames[b.0 as usize].resident.is_some(),
+            "swap requires both frames resident"
+        );
+        self.frames.swap(a.0 as usize, b.0 as usize);
+    }
+
+    /// Installs `page` into a specific free frame (used by oracle
+    /// placement). Returns `false` if the frame is occupied.
+    pub fn place_into(&mut self, page: PageAddr, frame: FrameId) -> bool {
+        let idx = frame.0 as usize;
+        if self.frames[idx].resident.is_some() {
+            return false;
+        }
+        // Remove from the free list.
+        if let Some(pos) = self.free.iter().position(|&f| f == frame.0) {
+            self.free.swap_remove(pos);
+        }
+        self.frames[idx] = Frame {
+            resident: Some(page),
+            referenced: true,
+            dirty: false,
+        };
+        true
+    }
+
+    /// Peeks at a free frame in `region` without taking it (used by
+    /// migration policies that fill holes before swapping).
+    pub fn find_free(&self, region: Region) -> Option<FrameId> {
+        let matches = |&&f: &&u64| match region {
+            Region::Any => true,
+            Region::Stacked => f < self.stacked_frames,
+            Region::OffChip => f >= self.stacked_frames,
+        };
+        self.free.iter().find(matches).map(|&f| FrameId(f))
+    }
+
+    fn take_free(&mut self, region: Region, rng: &mut SmallRng) -> Option<FrameId> {
+        if self.free.is_empty() {
+            return None;
+        }
+        match region {
+            Region::Any => {
+                // Random placement across the whole pool (TLM-Static's
+                // locality-oblivious mapping).
+                let idx = rng.gen_range(0..self.free.len());
+                Some(FrameId(self.free.swap_remove(idx)))
+            }
+            Region::Stacked => {
+                let pos = self.free.iter().position(|&f| f < self.stacked_frames)?;
+                Some(FrameId(self.free.swap_remove(pos)))
+            }
+            Region::OffChip => {
+                let pos = self.free.iter().position(|&f| f >= self.stacked_frames)?;
+                Some(FrameId(self.free.swap_remove(pos)))
+            }
+        }
+    }
+
+    fn select_victim(&mut self, rng: &mut SmallRng) -> FrameId {
+        // Five random probes for an unreferenced frame.
+        for _ in 0..5 {
+            let idx = rng.gen_range(0..self.frames.len());
+            if !self.frames[idx].referenced {
+                return FrameId(idx as u64);
+            }
+        }
+        // Clock sweep: clear referenced bits until one stays clear.
+        loop {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.frames.len();
+            if self.frames[idx].referenced {
+                self.frames[idx].referenced = false;
+            } else {
+                return FrameId(idx as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fills_free_frames_first() {
+        let mut fa = FrameAllocator::new(2, 2);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..4u64 {
+            let took = fa.take(PageAddr::new(p), Region::Any, &mut r);
+            assert!(took.evicted.is_none());
+            assert!(seen.insert(took.frame));
+        }
+        assert_eq!(fa.free_frames(), 0);
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut fa = FrameAllocator::new(1, 1);
+        let mut r = rng();
+        fa.take(PageAddr::new(0), Region::Any, &mut r);
+        fa.take(PageAddr::new(1), Region::Any, &mut r);
+        let took = fa.take(PageAddr::new(2), Region::Any, &mut r);
+        let (victim, dirty) = took.evicted.expect("pool was full");
+        assert!(victim == PageAddr::new(0) || victim == PageAddr::new(1));
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn dirty_bit_travels_with_eviction() {
+        let mut fa = FrameAllocator::new(1, 0);
+        let mut r = rng();
+        let took = fa.take(PageAddr::new(0), Region::Any, &mut r);
+        fa.touch(took.frame, true);
+        // Clock must evict page 0 (only frame); referenced gets cleared on
+        // the first sweep, then it is chosen.
+        let next = fa.take(PageAddr::new(1), Region::Any, &mut r);
+        assert_eq!(next.evicted, Some((PageAddr::new(0), true)));
+    }
+
+    #[test]
+    fn region_preference_honored() {
+        let mut fa = FrameAllocator::new(2, 2);
+        let mut r = rng();
+        let s = fa.take(PageAddr::new(0), Region::Stacked, &mut r);
+        assert_eq!(fa.region_of(s.frame), Region::Stacked);
+        let o = fa.take(PageAddr::new(1), Region::OffChip, &mut r);
+        assert_eq!(fa.region_of(o.frame), Region::OffChip);
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced() {
+        let mut fa = FrameAllocator::new(0, 3);
+        let mut r = rng();
+        let frames: Vec<_> = (0..3u64)
+            .map(|p| fa.take(PageAddr::new(p), Region::Any, &mut r).frame)
+            .collect();
+        // Touch all, then clear one by a full clock pass is implicit; instead
+        // re-touch two and leave one cold after a sweep.
+        for &f in &frames {
+            fa.touch(f, false);
+        }
+        // All referenced: victim comes from clock after clearing; take twice
+        // and ensure both evict something valid.
+        for p in 10..12u64 {
+            let took = fa.take(PageAddr::new(p), Region::Any, &mut r);
+            assert!(took.evicted.is_some());
+        }
+    }
+
+    #[test]
+    fn swap_frames_exchanges_pages() {
+        let mut fa = FrameAllocator::new(1, 1);
+        let mut r = rng();
+        let a = fa.take(PageAddr::new(10), Region::Stacked, &mut r).frame;
+        let b = fa.take(PageAddr::new(20), Region::OffChip, &mut r).frame;
+        fa.touch(a, true);
+        fa.swap_frames(a, b);
+        assert_eq!(fa.resident(a), Some(PageAddr::new(20)));
+        assert_eq!(fa.resident(b), Some(PageAddr::new(10)));
+        // Dirty bit moved with the page.
+        assert!(fa.is_dirty(b));
+        assert!(!fa.is_dirty(a));
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let mut fa = FrameAllocator::new(1, 0);
+        let mut r = rng();
+        let t = fa.take(PageAddr::new(0), Region::Any, &mut r);
+        fa.release(t.frame);
+        assert_eq!(fa.free_frames(), 1);
+        let t2 = fa.take(PageAddr::new(1), Region::Any, &mut r);
+        assert_eq!(t2.frame, t.frame);
+        assert!(t2.evicted.is_none());
+    }
+
+    #[test]
+    fn place_into_specific_frame() {
+        let mut fa = FrameAllocator::new(2, 0);
+        assert!(fa.place_into(PageAddr::new(5), FrameId(1)));
+        assert!(!fa.place_into(PageAddr::new(6), FrameId(1)));
+        assert_eq!(fa.resident(FrameId(1)), Some(PageAddr::new(5)));
+        assert_eq!(fa.free_frames(), 1);
+    }
+
+    #[test]
+    fn find_free_respects_regions() {
+        let mut fa = FrameAllocator::new(1, 1);
+        let mut r = rng();
+        assert!(fa.find_free(Region::Stacked).is_some());
+        assert!(fa.find_free(Region::OffChip).is_some());
+        assert!(fa.find_free(Region::Any).is_some());
+        // Fill the stacked frame: only off-chip remains.
+        let s = fa.take(PageAddr::new(0), Region::Stacked, &mut r);
+        assert_eq!(fa.region_of(s.frame), Region::Stacked);
+        assert!(fa.find_free(Region::Stacked).is_none());
+        let free = fa.find_free(Region::OffChip).expect("off-chip frame free");
+        assert_eq!(fa.region_of(free), Region::OffChip);
+        // Fill it too: nothing free anywhere.
+        fa.take(PageAddr::new(1), Region::OffChip, &mut r);
+        assert!(fa.find_free(Region::Any).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_rejected() {
+        FrameAllocator::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_release_panics() {
+        let mut fa = FrameAllocator::new(1, 0);
+        let mut r = rng();
+        let t = fa.take(PageAddr::new(0), Region::Any, &mut r);
+        fa.release(t.frame);
+        fa.release(t.frame);
+    }
+}

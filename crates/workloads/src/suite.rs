@@ -1,0 +1,427 @@
+//! The 17-benchmark workload suite of the paper's Table II, with per-
+//! benchmark locality models.
+
+use cameo_types::ByteSize;
+
+/// Workload category from the paper: footprint above the 12 GB baseline
+/// memory is Capacity-Limited; the rest (with L3 MPKI > 1) are
+/// Latency-Limited.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// Footprint exceeds baseline off-chip memory; paging dominates.
+    CapacityLimited,
+    /// Fits in memory; DRAM latency/bandwidth dominates.
+    LatencyLimited,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::CapacityLimited => f.write_str("Capacity"),
+            Category::LatencyLimited => f.write_str("Latency"),
+        }
+    }
+}
+
+/// Locality model of one benchmark — the knobs that shape its miss stream.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Behavior {
+    /// Fraction of the footprint forming the hot set.
+    pub hot_fraction: f64,
+    /// Probability a non-streamed access lands in the hot set.
+    pub hot_access_prob: f64,
+    /// Probability an access continues a sequential stream.
+    pub stream_prob: f64,
+    /// Fraction of each page's 64 lines the benchmark ever touches
+    /// (spatial locality; milc's ~10/64 is the paper's example of a
+    /// TLM-hostile workload).
+    pub page_density: f64,
+    /// Fraction of misses that are writes (dirty LLC victims / stores).
+    pub write_fraction: f64,
+    /// Distinct instruction addresses generating misses (loop points).
+    pub pc_pool: usize,
+}
+
+impl Behavior {
+    /// Checks that all knobs are within their valid ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any probability outside `[0, 1]`, a non-positive page
+    /// density, or an empty PC pool.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("hot_fraction", self.hot_fraction),
+            ("hot_access_prob", self.hot_access_prob),
+            ("stream_prob", self.stream_prob),
+            ("page_density", self.page_density),
+            ("write_fraction", self.write_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} out of [0,1]: {v}");
+        }
+        assert!(self.page_density > 0.0, "page_density must be positive");
+        assert!(self.pc_pool > 0, "pc_pool must be non-empty");
+    }
+}
+
+/// One benchmark of Table II: measured characteristics plus the locality
+/// model that reproduces them synthetically.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BenchSpec {
+    /// SPEC benchmark name.
+    pub name: &'static str,
+    /// Workload category.
+    pub category: Category,
+    /// L3 misses per thousand instructions (Table II).
+    pub mpki: f64,
+    /// Full-scale memory footprint (Table II).
+    pub footprint: ByteSize,
+    /// Locality model.
+    pub behavior: Behavior,
+}
+
+impl BenchSpec {
+    /// Footprint after dividing by the simulation scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn scaled_footprint(&self, scale: u64) -> ByteSize {
+        self.footprint.scale_down(scale)
+    }
+}
+
+const fn gb(tenths: u64) -> ByteSize {
+    // Table II quotes decimal-looking "GB" figures; treat them as GiB
+    // tenths for exact integer arithmetic.
+    ByteSize::from_bytes(tenths * 1024 * 1024 * 1024 / 10)
+}
+
+/// The full Table II suite, in the paper's order.
+pub fn suite() -> Vec<BenchSpec> {
+    use Category::*;
+    vec![
+        // --- Capacity-Limited (footprint > 12 GB) ---
+        BenchSpec {
+            name: "mcf",
+            category: CapacityLimited,
+            mpki: 39.1,
+            footprint: gb(524),
+            behavior: Behavior {
+                // Pointer-chasing over a huge graph: weak streams, a modest
+                // hot set, sparse page usage.
+                hot_fraction: 0.04,
+                hot_access_prob: 0.55,
+                stream_prob: 0.15,
+                page_density: 0.30,
+                write_fraction: 0.25,
+                pc_pool: 64,
+            },
+        },
+        BenchSpec {
+            name: "lbm",
+            category: CapacityLimited,
+            mpki: 28.9,
+            footprint: gb(128),
+            behavior: Behavior {
+                // Lattice-Boltzmann stencil: heavily streaming, dense pages.
+                hot_fraction: 0.05,
+                hot_access_prob: 0.30,
+                stream_prob: 0.80,
+                page_density: 1.0,
+                write_fraction: 0.45,
+                pc_pool: 16,
+            },
+        },
+        BenchSpec {
+            name: "GemsFDTD",
+            category: CapacityLimited,
+            mpki: 19.1,
+            footprint: gb(252),
+            behavior: Behavior {
+                hot_fraction: 0.06,
+                hot_access_prob: 0.40,
+                stream_prob: 0.60,
+                page_density: 0.80,
+                write_fraction: 0.35,
+                pc_pool: 32,
+            },
+        },
+        BenchSpec {
+            name: "bwaves",
+            category: CapacityLimited,
+            mpki: 6.3,
+            footprint: gb(272),
+            behavior: Behavior {
+                hot_fraction: 0.05,
+                hot_access_prob: 0.40,
+                stream_prob: 0.70,
+                page_density: 0.90,
+                write_fraction: 0.30,
+                pc_pool: 24,
+            },
+        },
+        BenchSpec {
+            name: "cactusADM",
+            category: CapacityLimited,
+            mpki: 4.9,
+            footprint: gb(128),
+            behavior: Behavior {
+                hot_fraction: 0.10,
+                hot_access_prob: 0.50,
+                stream_prob: 0.50,
+                page_density: 0.70,
+                write_fraction: 0.35,
+                pc_pool: 32,
+            },
+        },
+        BenchSpec {
+            name: "zeusmp",
+            category: CapacityLimited,
+            mpki: 5.0,
+            footprint: gb(141),
+            behavior: Behavior {
+                hot_fraction: 0.08,
+                hot_access_prob: 0.45,
+                stream_prob: 0.60,
+                page_density: 0.80,
+                write_fraction: 0.30,
+                pc_pool: 32,
+            },
+        },
+        // --- Latency-Limited (footprint < 12 GB, MPKI > 1) ---
+        BenchSpec {
+            name: "gcc",
+            category: LatencyLimited,
+            mpki: 63.1,
+            footprint: gb(28),
+            behavior: Behavior {
+                hot_fraction: 0.10,
+                hot_access_prob: 0.70,
+                stream_prob: 0.30,
+                page_density: 0.50,
+                write_fraction: 0.30,
+                pc_pool: 128,
+            },
+        },
+        BenchSpec {
+            name: "milc",
+            category: LatencyLimited,
+            mpki: 31.9,
+            footprint: gb(112),
+            behavior: Behavior {
+                // The paper's poster child for poor spatial locality:
+                // ~10 of 64 lines per page are ever used.
+                hot_fraction: 0.08,
+                hot_access_prob: 0.50,
+                stream_prob: 0.10,
+                page_density: 0.16,
+                write_fraction: 0.25,
+                pc_pool: 48,
+            },
+        },
+        BenchSpec {
+            name: "soplex",
+            category: LatencyLimited,
+            mpki: 28.9,
+            footprint: gb(76),
+            behavior: Behavior {
+                hot_fraction: 0.10,
+                hot_access_prob: 0.55,
+                stream_prob: 0.40,
+                page_density: 0.60,
+                write_fraction: 0.25,
+                pc_pool: 64,
+            },
+        },
+        BenchSpec {
+            name: "libquantum",
+            category: LatencyLimited,
+            mpki: 25.4,
+            footprint: gb(10),
+            behavior: Behavior {
+                // Pure streaming over a 1 GB vector.
+                hot_fraction: 0.02,
+                hot_access_prob: 0.10,
+                stream_prob: 0.95,
+                page_density: 1.0,
+                write_fraction: 0.30,
+                pc_pool: 4,
+            },
+        },
+        BenchSpec {
+            name: "xalancbmk",
+            category: LatencyLimited,
+            mpki: 23.7,
+            footprint: gb(44),
+            behavior: Behavior {
+                hot_fraction: 0.10,
+                hot_access_prob: 0.70,
+                stream_prob: 0.20,
+                page_density: 0.40,
+                write_fraction: 0.25,
+                pc_pool: 96,
+            },
+        },
+        BenchSpec {
+            name: "omnetpp",
+            category: LatencyLimited,
+            mpki: 20.5,
+            footprint: gb(48),
+            behavior: Behavior {
+                hot_fraction: 0.10,
+                hot_access_prob: 0.65,
+                stream_prob: 0.15,
+                page_density: 0.35,
+                write_fraction: 0.30,
+                pc_pool: 96,
+            },
+        },
+        BenchSpec {
+            name: "leslie3d",
+            category: LatencyLimited,
+            mpki: 15.8,
+            footprint: gb(24),
+            behavior: Behavior {
+                hot_fraction: 0.08,
+                hot_access_prob: 0.40,
+                stream_prob: 0.70,
+                page_density: 0.90,
+                write_fraction: 0.30,
+                pc_pool: 24,
+            },
+        },
+        BenchSpec {
+            name: "sphinx3",
+            category: LatencyLimited,
+            mpki: 13.5,
+            footprint: gb(6),
+            behavior: Behavior {
+                hot_fraction: 0.20,
+                hot_access_prob: 0.70,
+                stream_prob: 0.40,
+                page_density: 0.60,
+                write_fraction: 0.15,
+                pc_pool: 48,
+            },
+        },
+        BenchSpec {
+            name: "bzip2",
+            category: LatencyLimited,
+            mpki: 3.48,
+            footprint: gb(11),
+            behavior: Behavior {
+                hot_fraction: 0.15,
+                hot_access_prob: 0.60,
+                stream_prob: 0.50,
+                page_density: 0.70,
+                write_fraction: 0.35,
+                pc_pool: 32,
+            },
+        },
+        BenchSpec {
+            name: "dealII",
+            category: LatencyLimited,
+            mpki: 2.33,
+            footprint: gb(9),
+            behavior: Behavior {
+                hot_fraction: 0.20,
+                hot_access_prob: 0.70,
+                stream_prob: 0.30,
+                page_density: 0.60,
+                write_fraction: 0.25,
+                pc_pool: 64,
+            },
+        },
+        BenchSpec {
+            name: "astar",
+            category: LatencyLimited,
+            mpki: 1.81,
+            footprint: gb(1),
+            behavior: Behavior {
+                hot_fraction: 0.30,
+                hot_access_prob: 0.80,
+                stream_prob: 0.10,
+                page_density: 0.30,
+                write_fraction: 0.25,
+                pc_pool: 48,
+            },
+        },
+    ]
+}
+
+/// Looks a benchmark up by its SPEC name.
+pub fn by_name(name: &str) -> Option<BenchSpec> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_benchmarks() {
+        assert_eq!(suite().len(), 17);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> = suite().iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn categories_match_footprint_rule() {
+        // Capacity-Limited iff footprint > 12 GB baseline memory.
+        let baseline = ByteSize::from_gib(12);
+        for b in suite() {
+            let expected = if b.footprint > baseline {
+                Category::CapacityLimited
+            } else {
+                Category::LatencyLimited
+            };
+            assert_eq!(b.category, expected, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn table2_values_spot_check() {
+        let mcf = by_name("mcf").unwrap();
+        assert_eq!(mcf.mpki, 39.1);
+        assert!((mcf.footprint.as_gib() - 52.4).abs() < 0.01);
+        let milc = by_name("milc").unwrap();
+        assert!((milc.footprint.as_gib() - 11.2).abs() < 0.01);
+        // milc touches ~10 of 64 lines per page in the paper.
+        assert!((milc.behavior.page_density * 64.0 - 10.0).abs() < 1.0);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn behaviors_valid() {
+        for b in suite() {
+            b.behavior.validate();
+            assert!(b.mpki > 1.0, "{} below the MPKI>1 cut", b.name);
+        }
+    }
+
+    #[test]
+    fn scaled_footprint_preserves_classification() {
+        let scale = 64;
+        let baseline = ByteSize::from_gib(12).scale_down(scale);
+        for b in suite() {
+            let capacity_limited = b.scaled_footprint(scale) > baseline;
+            assert_eq!(
+                capacity_limited,
+                b.category == Category::CapacityLimited,
+                "{}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(Category::CapacityLimited.to_string(), "Capacity");
+        assert_eq!(Category::LatencyLimited.to_string(), "Latency");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the trace generators.
+
+use cameo_workloads::{suite, TraceConfig, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every benchmark's generator stays inside its footprint and produces
+    /// positive gaps, for arbitrary seeds and scales.
+    #[test]
+    fn addresses_in_footprint(
+        bench_idx in 0usize..17,
+        seed in 0u64..1000,
+        scale_pow in 6u32..13,
+    ) {
+        let spec = suite()[bench_idx];
+        let mut g = TraceGenerator::new(spec, TraceConfig {
+            scale: 1 << scale_pow,
+            seed,
+            core_offset_pages: 0,
+        });
+        let pages = g.footprint_pages();
+        for _ in 0..2000 {
+            let e = g.next_event();
+            prop_assert!(e.line.page().raw() < pages);
+            prop_assert!(e.gap_instructions >= 1);
+        }
+    }
+
+    /// Observed MPKI converges to the configured Table II value for every
+    /// benchmark in the suite.
+    #[test]
+    fn mpki_converges(bench_idx in 0usize..17, seed in 0u64..100) {
+        let spec = suite()[bench_idx];
+        let mut g = TraceGenerator::new(spec, TraceConfig {
+            scale: 128,
+            seed,
+            core_offset_pages: 0,
+        });
+        for _ in 0..30_000 {
+            g.next_event();
+        }
+        let observed = g.observed_mpki().unwrap();
+        let err = (observed - spec.mpki).abs() / spec.mpki;
+        prop_assert!(err < 0.1, "{}: {observed:.2} vs {}", spec.name, spec.mpki);
+    }
+
+    /// The offset shifts addresses without changing the stream shape: the
+    /// same seed with different offsets yields identical page-relative
+    /// sequences.
+    #[test]
+    fn offset_is_pure_translation(seed in 0u64..1000, offset in 1u64..1_000_000) {
+        let spec = cameo_workloads::by_name("gcc").unwrap();
+        let mk = |off| TraceGenerator::new(spec, TraceConfig {
+            scale: 256,
+            seed,
+            core_offset_pages: off,
+        });
+        let mut a = mk(0);
+        let mut b = mk(offset);
+        for _ in 0..500 {
+            let ea = a.next_event();
+            let eb = b.next_event();
+            prop_assert_eq!(ea.line.raw() + offset * 64, eb.line.raw());
+            prop_assert_eq!(ea.pc, eb.pc);
+            prop_assert_eq!(ea.is_write, eb.is_write);
+            prop_assert_eq!(ea.gap_instructions, eb.gap_instructions);
+        }
+    }
+
+    /// PCs always come from the benchmark's configured pool (4-byte spaced
+    /// synthetic code region).
+    #[test]
+    fn pcs_within_pool(bench_idx in 0usize..17, seed in 0u64..100) {
+        let spec = suite()[bench_idx];
+        let mut g = TraceGenerator::new(spec, TraceConfig {
+            scale: 256,
+            seed,
+            core_offset_pages: 0,
+        });
+        let base = 0x0040_0000u64;
+        let span = spec.behavior.pc_pool as u64 * 4;
+        for _ in 0..2000 {
+            let e = g.next_event();
+            prop_assert!(e.pc >= base && e.pc < base + span);
+            prop_assert_eq!(e.pc % 4, 0);
+        }
+    }
+}

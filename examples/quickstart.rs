@@ -1,0 +1,63 @@
+//! Quickstart: build a CAMEO memory system, push a few requests through it,
+//! and watch lines migrate into stacked DRAM.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cameo_repro::cameo::{Cameo, CameoConfig, LltDesign, PredictorKind};
+use cameo_repro::types::{Access, ByteSize, CoreId, Cycle, LineAddr, MemKind};
+
+fn main() {
+    // A miniature system with the paper's 1:3 stacked:off-chip ratio.
+    let mut cameo = Cameo::new(CameoConfig {
+        stacked: ByteSize::from_mib(1),
+        off_chip: ByteSize::from_mib(3),
+        llt: LltDesign::CoLocated,
+        predictor: PredictorKind::Llp,
+        cores: 1,
+        llp_entries: 256,
+    });
+    println!(
+        "visible memory: {} (stacked contributes capacity, minus the LLT reserve)",
+        cameo.visible_capacity()
+    );
+
+    // This line's requested address places it in off-chip memory (way 2 of
+    // its congruence group).
+    let line = LineAddr::new(2 * ByteSize::from_mib(1).lines() + 1234);
+    let pc = 0x0040_1000;
+    let mut now = Cycle::ZERO;
+
+    for attempt in 1..=3 {
+        let r = cameo.access(now, &Access::read(CoreId(0), line, pc));
+        println!(
+            "access {attempt}: serviced by {} in {} cycles (prediction case: {:?})",
+            match r.serviced_by {
+                MemKind::Stacked => "stacked DRAM",
+                MemKind::OffChip => "off-chip DRAM",
+            },
+            (r.completion - now).raw(),
+            r.case,
+        );
+        now = r.completion + Cycle::new(100);
+    }
+
+    let stats = cameo.stats();
+    println!(
+        "\nafter {} reads: {} from stacked, {} from off-chip, {} swaps",
+        stats.demand_reads,
+        stats.serviced_stacked,
+        stats.serviced_off_chip,
+        cameo.llt().swaps(),
+    );
+    println!(
+        "LLP accuracy so far: {:.0}%",
+        stats.cases.accuracy().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "bandwidth: stacked {}B, off-chip {}B",
+        cameo.stacked().stats().bytes_total(),
+        cameo.off_chip().stats().bytes_total(),
+    );
+}

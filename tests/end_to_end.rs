@@ -1,0 +1,174 @@
+//! End-to-end integration tests spanning all crates: every organization
+//! driven by real workload traces through the full runner.
+
+use cameo_repro::sim::experiments::{build_org, run_benchmark, OrgKind};
+use cameo_repro::sim::runner::Runner;
+use cameo_repro::sim::SystemConfig;
+use cameo_repro::workloads::{by_name, suite};
+
+fn quick() -> SystemConfig {
+    SystemConfig {
+        scale: 512,
+        cores: 2,
+        instructions_per_core: 150_000,
+        ..SystemConfig::default()
+    }
+}
+
+fn all_kinds() -> Vec<OrgKind> {
+    use cameo_repro::cameo::{LltDesign, PredictorKind};
+    vec![
+        OrgKind::Baseline,
+        OrgKind::AlloyCache,
+        OrgKind::TlmStatic,
+        OrgKind::TlmDynamic,
+        OrgKind::TlmFreq,
+        OrgKind::TlmOracle,
+        OrgKind::Cameo {
+            llt: LltDesign::Ideal,
+            predictor: PredictorKind::SerialAccess,
+        },
+        OrgKind::Cameo {
+            llt: LltDesign::Embedded,
+            predictor: PredictorKind::SerialAccess,
+        },
+        OrgKind::Cameo {
+            llt: LltDesign::CoLocated,
+            predictor: PredictorKind::SerialAccess,
+        },
+        OrgKind::cameo_default(),
+        OrgKind::Cameo {
+            llt: LltDesign::CoLocated,
+            predictor: PredictorKind::Perfect,
+        },
+        OrgKind::DoubleUse,
+    ]
+}
+
+#[test]
+fn every_org_runs_every_category() {
+    let cfg = quick();
+    for bench in [by_name("astar").unwrap(), by_name("zeusmp").unwrap()] {
+        for kind in all_kinds() {
+            let stats = run_benchmark(&bench, kind, &cfg);
+            assert!(
+                stats.execution_cycles > 0,
+                "{} {}",
+                bench.name,
+                kind.label()
+            );
+            assert!(stats.demand_reads > 0, "{} {}", bench.name, kind.label());
+            assert_eq!(
+                stats.demand_reads,
+                stats.serviced_stacked + stats.serviced_off_chip + stats.faults_on_reads(),
+                "{} {}: service counts must partition reads",
+                bench.name,
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Service counts partition: reads = stacked + off-chip + fault-serviced.
+trait FaultReads {
+    fn faults_on_reads(&self) -> u64;
+}
+impl FaultReads for cameo_repro::sim::RunStats {
+    fn faults_on_reads(&self) -> u64 {
+        self.demand_reads - self.serviced_stacked - self.serviced_off_chip
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_kinds() {
+    let cfg = quick();
+    let bench = by_name("soplex").unwrap();
+    for kind in [OrgKind::cameo_default(), OrgKind::TlmDynamic] {
+        let a = run_benchmark(&bench, kind, &cfg);
+        let b = run_benchmark(&bench, kind, &cfg);
+        assert_eq!(a.execution_cycles, b.execution_cycles, "{}", kind.label());
+        assert_eq!(a.bandwidth, b.bandwidth, "{}", kind.label());
+        assert_eq!(a.faults, b.faults, "{}", kind.label());
+    }
+}
+
+#[test]
+fn seeds_change_results() {
+    let bench = by_name("soplex").unwrap();
+    let a = run_benchmark(&bench, OrgKind::Baseline, &quick());
+    let cfg_b = SystemConfig {
+        seed: 1234,
+        ..quick()
+    };
+    let b = run_benchmark(&bench, OrgKind::Baseline, &cfg_b);
+    assert_ne!(a.execution_cycles, b.execution_cycles);
+}
+
+#[test]
+fn visible_capacity_ordering() {
+    // Cache < CAMEO(CoLocated) < TLM == DoubleUse: the capacity story of
+    // Figure 1.
+    let cfg = quick();
+    let bench = by_name("astar").unwrap();
+    let cap = |kind| build_org(&bench, kind, &cfg).visible_capacity();
+    let cache = cap(OrgKind::AlloyCache);
+    let cameo = cap(OrgKind::cameo_default());
+    let tlm = cap(OrgKind::TlmStatic);
+    let double = cap(OrgKind::DoubleUse);
+    assert!(cache < cameo, "cache {cache} !< cameo {cameo}");
+    assert!(cameo < tlm, "cameo {cameo} !< tlm {tlm}");
+    assert_eq!(tlm, double);
+    assert_eq!(cache, cfg.off_chip());
+    assert_eq!(tlm, cfg.total_memory());
+}
+
+#[test]
+fn capacity_workload_prefers_capacity_designs() {
+    // A footprint far beyond off-chip memory: designs that add visible
+    // capacity must beat the cache, which cannot reduce paging.
+    let cfg = SystemConfig {
+        scale: 512,
+        cores: 2,
+        instructions_per_core: 400_000,
+        ..SystemConfig::default()
+    };
+    let bench = by_name("lbm").unwrap();
+    let baseline = run_benchmark(&bench, OrgKind::Baseline, &cfg);
+    let cache = run_benchmark(&bench, OrgKind::AlloyCache, &cfg);
+    let cameo = run_benchmark(&bench, OrgKind::cameo_default(), &cfg);
+    assert!(
+        cameo.faults < baseline.faults,
+        "CAMEO faults {} !< baseline {}",
+        cameo.faults,
+        baseline.faults
+    );
+    let cache_speedup = cache.speedup_over(&baseline);
+    let cameo_speedup = cameo.speedup_over(&baseline);
+    assert!(
+        cameo_speedup > cache_speedup,
+        "CAMEO {cameo_speedup:.2} !> Cache {cache_speedup:.2} on a capacity workload"
+    );
+}
+
+#[test]
+fn warmup_region_is_excluded() {
+    let bench = by_name("astar").unwrap();
+    let cfg = quick();
+    let mut org = build_org(&bench, OrgKind::Baseline, &cfg);
+    let stats = Runner::new(bench, &cfg).run(org.as_mut());
+    // Measured instructions are per-core and strictly less than the budget
+    // (a warmup fraction was carved out).
+    assert!(stats.instructions < cfg.instructions_per_core);
+    assert!(stats.instructions > cfg.instructions_per_core / 2);
+}
+
+#[test]
+fn whole_suite_loads_and_classifies() {
+    let s = suite();
+    assert_eq!(s.len(), 17);
+    let capacity = s
+        .iter()
+        .filter(|b| b.category == cameo_repro::workloads::Category::CapacityLimited)
+        .count();
+    assert_eq!(capacity, 6);
+}
