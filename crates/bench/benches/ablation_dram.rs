@@ -16,7 +16,7 @@ fn stream_latency(config: DramConfig) -> f64 {
     for i in 0..n {
         let done = d.read_line(now, i);
         sum += (done - now).raw();
-        now = now + Cycle::new(20);
+        now += Cycle::new(20);
     }
     sum as f64 / n as f64
 }
@@ -39,7 +39,7 @@ fn ablate_row_policy(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                now = now + Cycle::new(20);
+                now += Cycle::new(20);
                 black_box(d.read_line(now, i % 100_000))
             });
         });
@@ -62,7 +62,7 @@ fn ablate_refresh(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                now = now + Cycle::new(20);
+                now += Cycle::new(20);
                 black_box(d.read_line(now, i % 100_000))
             });
         });

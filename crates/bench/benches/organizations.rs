@@ -6,7 +6,7 @@ use cameo_sim::experiments::{build_org, OrgKind};
 use cameo_sim::org::MemoryOrganization;
 use cameo_sim::SystemConfig;
 use cameo_types::{Access, AccessKind, CoreId, Cycle};
-use cameo_workloads::{by_name, MissStream, TraceConfig, TraceGenerator};
+use cameo_workloads::{by_name, TraceConfig, TraceGenerator};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn drive(org: &mut dyn MemoryOrganization, generator: &mut TraceGenerator, n: usize) {
@@ -24,8 +24,7 @@ fn drive(org: &mut dyn MemoryOrganization, generator: &mut TraceGenerator, n: us
             },
         };
         let r = org.access(now, &access);
-        now = now
-            + Cycle::new(e.gap_instructions).later(r.completion.saturating_sub(Cycle::new(100)));
+        now += Cycle::new(e.gap_instructions).later(r.completion.saturating_sub(Cycle::new(100)));
     }
 }
 

@@ -21,13 +21,13 @@ fn bench_llt(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
             black_box(llt.locate(LineAddr::new(i % total)))
-        })
+        });
     });
     c.bench_function("llt_promote", |b| {
         b.iter(|| {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
             black_box(llt.promote(LineAddr::new(i % total)))
-        })
+        });
     });
 }
 
@@ -38,13 +38,13 @@ fn bench_llp(c: &mut Criterion) {
         b.iter(|| {
             pc = pc.wrapping_add(4);
             black_box(llp.predict(CoreId((pc % 16) as u16), pc))
-        })
+        });
     });
     c.bench_function("llp_train", |b| {
         b.iter(|| {
             pc = pc.wrapping_add(4);
             llp.train(CoreId((pc % 16) as u16), pc, Slot::new((pc % 4) as u8));
-        })
+        });
     });
 }
 
@@ -58,7 +58,7 @@ fn bench_dram(c: &mut Criterion) {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
             now += Cycle::new(2);
             black_box(dram.read_line(now, i % lines))
-        })
+        });
     });
 }
 
@@ -73,8 +73,8 @@ fn bench_caches(c: &mut Criterion) {
     c.bench_function("l3_access", |b| {
         b.iter(|| {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(l3.access(LineAddr::new(i % (1 << 20)), i % 3 == 0))
-        })
+            black_box(l3.access(LineAddr::new(i % (1 << 20)), i.is_multiple_of(3)))
+        });
     });
     c.bench_function("alloy_probe_fill", |b| {
         b.iter(|| {
@@ -84,7 +84,7 @@ fn bench_caches(c: &mut Criterion) {
                 dir.fill(line, false);
             }
             black_box(dir.set_of(line))
-        })
+        });
     });
 }
 
@@ -99,7 +99,7 @@ fn bench_tracegen(c: &mut Criterion) {
         },
     );
     c.bench_function("trace_next_event", |b| {
-        b.iter(|| black_box(generator.next_event()))
+        b.iter(|| black_box(generator.next_event()));
     });
 }
 

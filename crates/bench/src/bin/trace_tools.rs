@@ -46,8 +46,7 @@ fn flag(args: &[String], name: &str, default: u64) -> u64 {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or(default))
-        .unwrap_or(default)
+        .map_or(default, |v| v.parse().unwrap_or(default))
 }
 
 fn record(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

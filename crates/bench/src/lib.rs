@@ -65,7 +65,7 @@ impl Cli {
                 "--instructions" => {
                     config.instructions_per_core = need(&mut it, "--instructions")
                         .parse()
-                        .expect("--instructions")
+                        .expect("--instructions");
                 }
                 "--seed" => config.seed = need(&mut it, "--seed").parse().expect("--seed"),
                 "--mlp" => config.mlp = need(&mut it, "--mlp").parse().expect("--mlp"),

@@ -341,10 +341,9 @@ impl SetAssocCache {
         let (set, tag) = self.set_and_tag(line);
         let range = self.set_range(set);
         for way in &mut self.ways[range] {
-            if way.is_some_and(|w| w.tag == tag) {
-                let dirty = way.expect("just checked").dirty;
+            if let Some(w) = way.filter(|w| w.tag == tag) {
                 *way = None;
-                return Some(dirty);
+                return Some(w.dirty);
             }
         }
         None

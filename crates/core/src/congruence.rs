@@ -77,6 +77,7 @@ impl CongruenceMap {
     #[inline]
     pub fn way_of(&self, line: LineAddr) -> u8 {
         debug_assert!(line.raw() < self.total_lines(), "line out of space");
+        // lint: allow(addr-cast) — way = line/groups < ratio ≤ 15 (checked above)
         (line.raw() / self.groups) as u8
     }
 
@@ -89,7 +90,14 @@ impl CongruenceMap {
     pub fn line_of(&self, group: u64, way: u8) -> LineAddr {
         assert!(group < self.groups, "group out of range");
         assert!(way < self.ratio, "way out of range");
-        LineAddr::new(u64::from(way) * self.groups + group)
+        let line = LineAddr::new(u64::from(way) * self.groups + group);
+        #[cfg(feature = "deep-audit")]
+        assert!(
+            self.group_of(line) == group && self.way_of(line) == way,
+            "deep-audit: congruence decomposition does not round-trip for \
+             (group {group}, way {way})"
+        );
+        line
     }
 
     /// Device-local line a physical slot of `group` refers to: slot 0 is

@@ -128,6 +128,13 @@ pub struct Cameo {
     swap_policy: SwapPolicy,
     page_activity: PageActivityTable,
     accesses_since_decay: u64,
+    #[cfg(feature = "deep-audit")]
+    auditor: crate::audit::InvariantAuditor,
+    /// LLT swap count at the last stats reset: the swap counter is mapping
+    /// state and survives [`Cameo::reset_stats`], so conservation checks
+    /// must compare against this baseline.
+    #[cfg(feature = "deep-audit")]
+    swaps_at_reset: u64,
 }
 
 impl Cameo {
@@ -162,6 +169,10 @@ impl Cameo {
             // does not make every page look hot at memory-scale footprints.
             page_activity: PageActivityTable::new(64 * 1024),
             accesses_since_decay: 0,
+            #[cfg(feature = "deep-audit")]
+            auditor: crate::audit::InvariantAuditor::sampled(),
+            #[cfg(feature = "deep-audit")]
+            swaps_at_reset: 0,
         }
     }
 
@@ -228,6 +239,29 @@ impl Cameo {
         self.stats = CameoStats::default();
         self.stacked.reset_stats();
         self.off_chip.reset_stats();
+        #[cfg(feature = "deep-audit")]
+        {
+            self.swaps_at_reset = self.llt.swaps();
+        }
+    }
+
+    /// Overrides the audit sampling schedule (default: sampled every
+    /// [`crate::audit::DEFAULT_SAMPLE_INTERVAL`] accesses). Property tests
+    /// use [`crate::audit::InvariantAuditor::always`] to audit after every
+    /// access.
+    #[cfg(feature = "deep-audit")]
+    pub fn set_auditor(&mut self, auditor: crate::audit::InvariantAuditor) {
+        self.auditor = auditor;
+    }
+
+    /// Verifies every audit invariant immediately, regardless of the
+    /// sampling schedule: LLT bijections, one stacked line per group,
+    /// congruence round-trip, and counter conservation.
+    #[cfg(feature = "deep-audit")]
+    pub fn audit_now(&self) -> Result<(), crate::audit::AuditError> {
+        crate::audit::check_llt(&self.llt)?;
+        crate::audit::check_congruence(&self.map)?;
+        crate::audit::check_stats(&self.stats, self.llt.swaps() - self.swaps_at_reset)
     }
 
     /// Charges the DRAM traffic of faulting a 4 KiB page *in* at requested
@@ -317,6 +351,14 @@ impl Cameo {
         match result.serviced_by {
             MemKind::Stacked => self.stats.serviced_stacked += 1,
             MemKind::OffChip => self.stats.serviced_off_chip += 1,
+        }
+        #[cfg(feature = "deep-audit")]
+        if self.auditor.tick() {
+            if let Err(violation) = self.audit_now() {
+                // An audit failure is a simulator bug; continuing would
+                // corrupt every number downstream. lint: allow(no-panic)
+                panic!("deep-audit: {violation}");
+            }
         }
         result
     }

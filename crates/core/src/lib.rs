@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "deep-audit")]
+pub mod audit;
 pub mod congruence;
 mod controller;
 pub mod latency_model;

@@ -138,6 +138,11 @@ impl LltEntry {
         let displaced = self.way_at(Slot::STACKED);
         self.set_slot(way, Slot::STACKED);
         self.set_slot(displaced, old_slot);
+        #[cfg(feature = "deep-audit")]
+        assert!(
+            self.is_permutation(),
+            "deep-audit: promote({way}) broke the permutation invariant: {self:?}"
+        );
         Some((displaced, old_slot))
     }
 

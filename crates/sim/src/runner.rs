@@ -225,7 +225,7 @@ impl<'a> Runner<'a> {
         }
         let instructions = instructions_total / u64::from(cfg.cores);
 
-        RunStats {
+        let stats = RunStats {
             org: org.name().to_owned(),
             bench: self.bench.name.to_owned(),
             execution_cycles: execution_cycles.max(1),
@@ -240,7 +240,14 @@ impl<'a> Runner<'a> {
             migrated_pages: org.migrated_pages(),
             read_latency_sum,
             latency_histogram,
+        };
+        #[cfg(feature = "deep-audit")]
+        if let Err(violation) = stats.audit() {
+            // Inconsistent counters mean every derived metric is garbage;
+            // aborting the audited run is the point. lint: allow(no-panic)
+            panic!("deep-audit: run statistics inconsistent: {violation}");
         }
+        stats
     }
 }
 
@@ -248,7 +255,7 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use crate::org::BaselineOrg;
-    use cameo_types::ByteSize;
+    
 
     fn quick_config() -> SystemConfig {
         SystemConfig {

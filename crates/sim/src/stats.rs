@@ -107,6 +107,31 @@ impl RunStats {
     pub fn avg_read_latency(&self) -> Option<f64> {
         (self.demand_reads > 0).then(|| self.read_latency_sum as f64 / self.demand_reads as f64)
     }
+
+    /// Verifies counter conservation: stacked- plus off-chip-serviced reads
+    /// never exceed demand reads (some organizations service reads from
+    /// other storage, so `≤` rather than `==`), and the latency histogram
+    /// accounts for every demand read exactly once.
+    #[cfg(feature = "deep-audit")]
+    pub fn audit(&self) -> Result<(), String> {
+        let serviced = self.serviced_stacked + self.serviced_off_chip;
+        if serviced > self.demand_reads {
+            return Err(format!(
+                "serviced reads ({} stacked + {} off-chip) exceed demand \
+                 reads ({})",
+                self.serviced_stacked, self.serviced_off_chip, self.demand_reads
+            ));
+        }
+        let histogram_total: u64 = self.latency_histogram.iter().sum();
+        if histogram_total != self.demand_reads {
+            return Err(format!(
+                "latency histogram counts {histogram_total} reads but \
+                 {} were demanded",
+                self.demand_reads
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Geometric mean of an iterator of positive values; `None` when empty.

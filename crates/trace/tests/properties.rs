@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = MissEvent> {
     (
-        1u64..u32::MAX as u64,
+        1u64..u64::from(u32::MAX),
         any::<u64>(),
         any::<u64>(),
         any::<bool>(),
@@ -91,10 +91,7 @@ proptest! {
     /// structurally valid trace.
     #[test]
     fn parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
-        match TraceFile::parse(&bytes) {
-            Ok(file) => prop_assert!(!file.events.is_empty()),
-            Err(_) => {}
-        }
+        if let Ok(file) = TraceFile::parse(&bytes) { prop_assert!(!file.events.is_empty()) }
     }
 }
 

@@ -120,6 +120,8 @@ impl DynamicMigrator {
         if let Some(free) = vmm.frames().find_free(Region::Stacked) {
             let moved = vmm.move_resident(page, free);
             debug_assert!(moved, "resident page must move into a free frame");
+            #[cfg(feature = "deep-audit")]
+            vmm.assert_consistent();
             return Some(MigrationTraffic::one_way());
         }
         let stacked = vmm.frames().stacked_frames();
@@ -129,6 +131,8 @@ impl DynamicMigrator {
         let victim = FrameId(self.hand % stacked);
         self.hand += 1;
         vmm.swap_resident(victim, frame);
+        #[cfg(feature = "deep-audit")]
+        vmm.assert_consistent();
         Some(MigrationTraffic::swap())
     }
 }
@@ -245,6 +249,8 @@ impl FreqMigrator {
             }
             promotions += 1;
         }
+        #[cfg(feature = "deep-audit")]
+        vmm.assert_consistent();
         RebalanceReport {
             traffic,
             promotions,

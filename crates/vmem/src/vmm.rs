@@ -252,6 +252,43 @@ impl Vmm {
     pub fn rng_mut(&mut self) -> &mut SmallRng {
         &mut self.rng
     }
+
+    /// Verifies page-table ↔ frame-allocator consistency: every mapped
+    /// page's frame must report that page resident, and the number of
+    /// occupied frames must equal the number of mapped pages (no orphaned
+    /// residents, no double mappings).
+    #[cfg(feature = "deep-audit")]
+    pub fn audit_page_table(&self) -> Result<(), String> {
+        for (&page, &frame) in &self.table {
+            let resident = self.allocator.resident(frame);
+            if resident != Some(page) {
+                return Err(format!(
+                    "page {page:?} maps to frame {frame:?}, but that frame \
+                     reports resident {resident:?}"
+                ));
+            }
+        }
+        let occupied = (0..self.allocator.total_frames())
+            .filter(|&f| self.allocator.resident(FrameId(f)).is_some())
+            .count();
+        if occupied != self.table.len() {
+            return Err(format!(
+                "{occupied} occupied frames vs {} mapped pages — orphaned \
+                 resident or double mapping",
+                self.table.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics with the violation if [`Vmm::audit_page_table`] fails. The
+    /// TLM migrators call this after every page move under `deep-audit`.
+    #[cfg(feature = "deep-audit")]
+    pub fn assert_consistent(&self) {
+        if let Err(violation) = self.audit_page_table() {
+            panic!("deep-audit: page table inconsistent: {violation}");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -99,3 +99,49 @@ proptest! {
         prop_assert!(s.dirty_writebacks <= s.faults);
     }
 }
+
+/// With `deep-audit`, both migrators re-check page-table ↔ frame-pool
+/// consistency after every move; this suite also audits explicitly at the
+/// end of arbitrary migration traffic.
+#[cfg(feature = "deep-audit")]
+mod deep_audit {
+    use super::*;
+    use cameo_vmem::tlm::FreqMigrator;
+
+    proptest! {
+        /// TLM-Dynamic under arbitrary traffic keeps the page table
+        /// consistent with the frame allocator.
+        #[test]
+        fn dynamic_migrator_audits_clean(
+            pages in prop::collection::vec(0u64..32, 1..200),
+            seed in 0u64..1000,
+        ) {
+            let mut v = vmm(4, 12, seed);
+            let mut d = DynamicMigrator::new();
+            for &p in &pages {
+                let page = PageAddr::new(p);
+                let out = v.translate(page, false);
+                d.on_access(&mut v, page, out.frame);
+            }
+            prop_assert!(v.audit_page_table().is_ok());
+        }
+
+        /// TLM-Freq epoch rebalances keep the page table consistent.
+        #[test]
+        fn freq_migrator_audits_clean(
+            pages in prop::collection::vec(0u64..48, 1..300),
+            epoch in 8u64..64,
+            seed in 0u64..1000,
+        ) {
+            let mut v = vmm(4, 60, seed);
+            let mut m = FreqMigrator::new(epoch);
+            for &p in &pages {
+                let page = PageAddr::new(p);
+                v.translate(page, false);
+                m.on_access(&mut v, page);
+            }
+            m.rebalance(&mut v);
+            prop_assert!(v.audit_page_table().is_ok());
+        }
+    }
+}

@@ -375,7 +375,7 @@ mod tests {
     fn page_density_respected() {
         // milc must touch few distinct lines per page; libquantum touches
         // essentially all.
-        let mut count_density = |name: &str| {
+        let count_density = |name: &str| {
             let mut g = generator(name);
             let mut lines_by_page: std::collections::HashMap<u64, HashSet<u64>> =
                 Default::default();
@@ -420,7 +420,7 @@ mod tests {
         let mut g = generator("omnetpp"); // MPKI 20.5
         let n = 100_000;
         let total: u64 = (0..n).map(|_| g.next_event().gap_instructions).sum();
-        let mean = total as f64 / n as f64;
+        let mean = total as f64 / f64::from(n);
         let expected = 1000.0 / 20.5;
         assert!(
             (mean - expected).abs() / expected < 0.05,
@@ -444,7 +444,7 @@ mod tests {
             prev = cur;
         }
         assert!(
-            sequential as f64 / n as f64 > 0.8,
+            f64::from(sequential) / f64::from(n) > 0.8,
             "only {sequential}/{n} sequential"
         );
     }
@@ -490,7 +490,7 @@ mod tests {
         }
         assert!(revisits > 50, "not enough revisits to judge: {revisits}");
         assert!(
-            prefix_repeats as f64 / revisits as f64 > 0.9,
+            f64::from(prefix_repeats) / f64::from(revisits) > 0.9,
             "{prefix_repeats}/{revisits} prefix repeats"
         );
     }

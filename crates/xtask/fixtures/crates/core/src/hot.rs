@@ -1,0 +1,55 @@
+//! Seeded `no-panic` violations for the linter self-test.
+//!
+//! This file is never compiled: it exists so `cargo xtask lint --fixtures`
+//! has known violations to catch. Lines carrying a seeded-rule marker
+//! comment MUST be diagnosed; every other line MUST stay clean (the
+//! self-test checks both directions).
+
+/// Exercises each forbidden construct once.
+pub fn violations(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // seeded: no-panic
+    let b = r.unwrap_err(); // seeded: no-panic
+    if a == 0 {
+        panic!("boom"); // seeded: no-panic
+    }
+    if b == () {
+        todo!() // seeded: no-panic
+    }
+    unimplemented!() // seeded: no-panic
+}
+
+/// A terse expect message is not an invariant statement.
+pub fn short_expect(x: Option<u32>) -> u32 {
+    x.expect("oops") // seeded: no-panic
+}
+
+/// An expect that states its invariant passes the lint.
+pub fn good_expect(x: Option<u32>) -> u32 {
+    x.expect("slot 0 always holds the stacked-resident line of the group")
+}
+
+/// The escape hatch records a justification in place.
+pub fn allowed_unwrap(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — fixture: demonstrates the standalone escape hatch
+    let a = x.unwrap();
+    a + x.unwrap() // lint: allow(no-panic) — fixture: same-line escape hatch
+}
+
+/// Strings and comments never fire: ".unwrap()" / panic! in text only.
+pub fn textual() -> &'static str {
+    // a comment mentioning x.unwrap() and panic!("...") is fine
+    "calling .unwrap() or panic! inside a string literal is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is exempt from no-panic.
+    #[test]
+    fn unwraps_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Option<u32> = None;
+        w.expect("x");
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,45 @@
+//! Seeded `addr-cast` violations for the linter self-test.
+//!
+//! Never compiled; see `../../core/src/hot.rs` for the marker convention.
+
+/// Truncating casts on `.raw()` address/cycle values are flagged.
+pub fn truncations(line: LineAddr, now: Cycle) -> (u8, u16, u32) {
+    let way = (line.raw() / 128) as u8; // seeded: addr-cast
+    let tag = line.raw() as u16; // seeded: addr-cast
+    let stamp = now.raw() as u32; // seeded: addr-cast
+    (way, tag, stamp)
+}
+
+/// Raw address composition is flagged on either side of the operator.
+pub fn arithmetic(page: PageAddr, base: u64) -> (u64, u64, u64) {
+    let first = page.raw() * 64; // seeded: addr-cast
+    let shifted = 64 * page.raw(); // seeded: addr-cast
+    let offset = base + page.raw(); // seeded: addr-cast
+    (first, shifted, offset)
+}
+
+/// Extraction and widening stay legal: `%`, `/`, shifts, `as u64+`.
+pub fn extraction(line: LineAddr, groups: u64) -> (u64, u64, usize, f64) {
+    let group = line.raw() % groups;
+    let way = line.raw() / groups;
+    let index = line.raw() as usize;
+    let ratio = line.raw() as f64;
+    (group, way, index, ratio)
+}
+
+/// The escape hatch works for justified truncations.
+pub fn allowed(line: LineAddr) -> u8 {
+    // lint: allow(addr-cast) — fixture: way index < ratio <= 8 by construction
+    (line.raw() / 128) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may cast addresses freely.
+    #[test]
+    fn casts_freely() {
+        let line = LineAddr::new(7);
+        assert_eq!(line.raw() as u8, 7);
+        assert_eq!(line.raw() * 2, 14);
+    }
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: `crates/types` is the typed-address layer, so raw
+//! address math and narrowing conversions are legal here. Nothing in this
+//! file may be diagnosed (no `seeded:` markers).
+
+/// Address composition lives here by design.
+pub fn compose(page: PageAddr, idx: u64) -> u64 {
+    page.raw() * 64 + idx
+}
+
+/// Narrowing helpers are exactly what this crate exists to centralize.
+pub fn page_offset(line: LineAddr) -> u8 {
+    (line.raw() % 64) as u8
+}

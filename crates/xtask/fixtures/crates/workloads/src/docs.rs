@@ -1,0 +1,44 @@
+//! Seeded `missing-docs` violations for the linter self-test.
+//!
+//! Never compiled; this crate directory is deliberately *not* hot-path, so
+//! the unwraps below also prove `no-panic` stays scoped to hot crates.
+
+pub fn undocumented() {} // seeded: missing-docs
+
+pub struct Bare; // seeded: missing-docs
+
+pub enum Unexplained {} // seeded: missing-docs
+
+pub const MYSTERY: usize = 42; // seeded: missing-docs
+
+pub trait Opaque {} // seeded: missing-docs
+
+pub type Alias = u64; // seeded: missing-docs
+
+/// Documented items pass.
+pub fn documented(x: Option<u32>) -> u32 {
+    // Cold crates may unwrap: no-panic is hot-path-only.
+    x.unwrap()
+}
+
+/// Attributes and plain comments between docs and item are fine.
+#[derive(
+    Clone,
+    Copy,
+)]
+// implementation note between attribute and item
+pub struct Derived;
+
+// lint: allow(missing-docs) — fixture: escape hatch applies to docs too
+pub fn suppressed() {}
+
+pub(crate) fn crate_visible() {}
+
+pub use core::fmt::Debug;
+
+pub mod declared_elsewhere;
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_need_no_docs() {}
+}

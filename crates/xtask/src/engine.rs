@@ -1,0 +1,166 @@
+//! Workspace walking and rule dispatch for `cargo xtask lint`.
+//!
+//! The engine lints `src/` trees only: `crates/<name>/src/**/*.rs` plus the
+//! root package's `src/**/*.rs`. Integration tests, benches, examples, and
+//! the vendored dependency stand-ins under `vendor/` are out of scope —
+//! the rules encode invariants of the simulator's own API surface and hot
+//! paths, not of test scaffolding.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, Diagnostic, FileClass};
+use crate::scanner::SourceFile;
+
+/// Crates whose `src/` is a simulated hot path: `no-panic` applies.
+pub const HOT_PATH_CRATES: [&str; 4] = ["core", "sim", "memsim", "cachesim"];
+
+/// The one crate allowed to do raw address math: it defines the typed
+/// address layer everything else must go through.
+pub const ADDR_EXEMPT_CRATE: &str = "types";
+
+/// The [`FileClass`] for files of crate `name` (`""` = root package).
+fn class_for(name: &str) -> FileClass {
+    FileClass {
+        hot_path: HOT_PATH_CRATES.contains(&name),
+        addr_exempt: name == ADDR_EXEMPT_CRATE,
+    }
+}
+
+/// Lints every in-scope source file under `root`, returning diagnostics
+/// in deterministic (path, line) order.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<(PathBuf, FileClass)> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                let name = entry
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                collect_rs(&src, class_for(&name), &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, class_for(""), &mut files)?;
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut diagnostics = Vec::new();
+    for (path, class) in files {
+        let text = fs::read_to_string(&path)?;
+        let display = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        diagnostics.extend(check_file(&display, class, &SourceFile::parse(&text)));
+    }
+    Ok(diagnostics)
+}
+
+/// Recursively collects `.rs` files under `dir`, tagged with `class`.
+fn collect_rs(
+    dir: &Path,
+    class: FileClass,
+    out: &mut Vec<(PathBuf, FileClass)>,
+) -> io::Result<()> {
+    for path in read_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, class, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path, class));
+        }
+    }
+    Ok(())
+}
+
+/// Directory entries in deterministic (sorted) order.
+fn read_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn xtask_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    }
+
+    /// The fixture tree seeds one violation per `// seeded: <rule>` marker.
+    /// The linter must find exactly the marked lines: every diagnostic on a
+    /// marked line, every marked line diagnosed. This is the self-test the
+    /// fixtures exist for.
+    #[test]
+    fn fixtures_are_caught_exactly() {
+        let root = xtask_dir().join("fixtures");
+        let diags = lint_workspace(&root).expect("fixture tree under crates/xtask is readable");
+        assert!(!diags.is_empty(), "fixtures must produce violations");
+
+        let mut expected = BTreeSet::new();
+        for (path, _) in fixture_files(&root) {
+            let text = std::fs::read_to_string(&path).expect("fixture file is readable");
+            let rel = path.strip_prefix(&root).unwrap_or(&path).to_path_buf();
+            for (i, line) in text.lines().enumerate() {
+                if let Some(pos) = line.find("seeded: ") {
+                    let rule = line[pos + "seeded: ".len()..].trim();
+                    expected.insert((rel.clone(), i + 1, rule.to_string()));
+                }
+            }
+        }
+        let found: BTreeSet<_> = diags
+            .iter()
+            .map(|d| (d.path.clone(), d.line, d.rule.to_string()))
+            .collect();
+        let missed: Vec<_> = expected.difference(&found).collect();
+        let spurious: Vec<_> = found.difference(&expected).collect();
+        assert!(
+            missed.is_empty() && spurious.is_empty(),
+            "lint/fixture mismatch\n  missed: {missed:?}\n  spurious: {spurious:?}"
+        );
+    }
+
+    fn fixture_files(root: &Path) -> Vec<(PathBuf, FileClass)> {
+        let mut files = Vec::new();
+        let crates = root.join("crates");
+        for entry in read_sorted(&crates).expect("fixtures/crates exists") {
+            let src = entry.join("src");
+            if src.is_dir() {
+                let name = entry.file_name().map(|n| n.to_string_lossy().into_owned());
+                collect_rs(&src, class_for(name.as_deref().unwrap_or("")), &mut files)
+                    .expect("fixture src readable");
+            }
+        }
+        files
+    }
+
+    /// The real workspace must lint clean — this makes `cargo test`
+    /// enforce the lint even where CI scripts are not used.
+    #[test]
+    fn workspace_lints_clean() {
+        let root = xtask_dir()
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/xtask sits two levels below the workspace root")
+            .to_path_buf();
+        let diags = lint_workspace(&root).expect("workspace sources are readable");
+        assert!(
+            diags.is_empty(),
+            "workspace has lint violations:\n{}",
+            diags
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Workspace automation tasks, following the cargo-xtask convention.
+//!
+//! The only task today is `lint`: a zero-dependency, source-level linter
+//! enforcing repository invariants that rustc and clippy do not know
+//! about — panic-freedom of hot-path crates, the typed-address discipline
+//! of `cameo-types`, and doc coverage of the public API. Run it as
+//!
+//! ```text
+//! cargo xtask lint              # lint the workspace (exit 0 when clean)
+//! cargo xtask lint --fixtures   # lint the seeded fixture tree (exits 1)
+//! ```
+//!
+//! The `xtask` alias lives in `.cargo/config.toml`. See `rules` for the
+//! rule set and the `// lint: allow(<rule>)` escape hatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rules;
+pub mod scanner;
+
+pub use engine::lint_workspace;
+pub use rules::Diagnostic;

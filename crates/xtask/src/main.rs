@@ -1,0 +1,109 @@
+//! CLI entry point for `cargo xtask`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Exit code for usage / IO errors (violations exit with 1).
+const USAGE_ERROR: u8 = 2;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown task `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(USAGE_ERROR)
+        }
+    }
+}
+
+const USAGE: &str = "\
+Workspace automation tasks.
+
+Usage: cargo xtask <task>
+
+Tasks:
+  lint [--fixtures]   Lint workspace sources for repository invariants:
+                      no-panic (hot-path crates), addr-cast (typed-address
+                      discipline), missing-docs (public API coverage).
+                      --fixtures lints the seeded violation fixtures
+                      instead (must exit non-zero).
+  help                Show this message.
+
+Suppress a finding in place with `// lint: allow(<rule>)` on the same
+line or alone on the line above, and say why in the same comment.
+";
+
+/// Runs the linter over the workspace (or the fixture tree).
+fn lint(flags: &[String]) -> ExitCode {
+    let mut fixtures = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--fixtures" => fixtures = true,
+            other => {
+                eprintln!("error: unknown flag `{other}` for `lint`");
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    }
+    let Some(workspace_root) = workspace_root() else {
+        eprintln!("error: cannot locate the workspace root (no Cargo.toml found)");
+        return ExitCode::from(USAGE_ERROR);
+    };
+    let root = if fixtures {
+        workspace_root.join("crates/xtask/fixtures")
+    } else {
+        workspace_root
+    };
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(USAGE_ERROR)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when built
+/// in-tree, else the nearest ancestor of the current directory holding a
+/// `Cargo.toml` with a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = compiled.parent().and_then(|p| p.parent()) {
+        if root.join("Cargo.toml").is_file() {
+            return Some(root.to_path_buf());
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

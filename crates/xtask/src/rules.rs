@@ -1,0 +1,436 @@
+//! The lint rules enforced by `cargo xtask lint`.
+//!
+//! Three rule families, matched against [`scanner::SourceFile`] lines:
+//!
+//! * `no-panic` — hot-path crates (`core`, `sim`, `memsim`, `cachesim`)
+//!   must not call `.unwrap()` / `.unwrap_err()`, `panic!`, `todo!`, or
+//!   `unimplemented!` outside `#[cfg(test)]` items, and `.expect(...)`
+//!   messages must state the invariant that makes the failure impossible
+//!   (heuristic: a string literal of at least [`MIN_EXPECT_MESSAGE`]
+//!   characters).
+//! * `addr-cast` — outside `crates/types`, `.raw()` address/cycle values
+//!   must not be truncated with `as u8`/`u16`/`u32` nor composed with raw
+//!   `+`/`-`/`*` arithmetic; typed helpers in `cameo-types` exist for both.
+//!   Extraction (`/`, `%`, shifts) and widening (`as u64`/`usize`/`f64`)
+//!   are allowed.
+//! * `missing-docs` — every `pub` item needs a doc comment. `pub use`
+//!   re-exports and `pub mod x;` declarations (documented by `//!` inner
+//!   docs) are exempt.
+//!
+//! Any finding can be suppressed in place with `// lint: allow(<rule>)`
+//! on the same line or alone on the line above — the escape hatch doubles
+//! as an in-source justification record.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::scanner::SourceFile;
+
+/// Rule name: forbidden panic paths in hot-path crates.
+pub const NO_PANIC: &str = "no-panic";
+/// Rule name: truncating casts / raw arithmetic on address values.
+pub const ADDR_CAST: &str = "addr-cast";
+/// Rule name: undocumented public items.
+pub const MISSING_DOCS: &str = "missing-docs";
+
+/// Shortest `.expect()` message accepted as "states an invariant".
+pub const MIN_EXPECT_MESSAGE: usize = 20;
+
+/// How a file participates in linting, derived from its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate is on the simulated hot path: `no-panic` applies.
+    pub hot_path: bool,
+    /// Crate is `cameo-types`, the one place raw address math is allowed.
+    pub addr_exempt: bool,
+}
+
+/// One lint finding, printed rustc-style as `path:line: error[rule]: msg`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file (as given to the engine).
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (one of the `pub const` names above).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every applicable rule over one scanned file.
+pub fn check_file(path: &std::path::Path, class: FileClass, src: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut report = |rule: &'static str, message: String| {
+            if !src.allowed(idx, rule) {
+                out.push(Diagnostic {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+        if class.hot_path {
+            if let Some(msg) = no_panic_finding(&line.code, &line.raw) {
+                report(NO_PANIC, msg);
+            }
+        }
+        if !class.addr_exempt {
+            if let Some(msg) = addr_cast_finding(&line.code) {
+                report(ADDR_CAST, msg);
+            }
+        }
+        if let Some(msg) = missing_docs_finding(src, idx) {
+            report(MISSING_DOCS, msg);
+        }
+    }
+    out
+}
+
+/// `no-panic`: forbidden constructs on one code line (at most one finding).
+fn no_panic_finding(code: &str, raw: &str) -> Option<String> {
+    for (needle, what) in [
+        (".unwrap()", "`.unwrap()`"),
+        (".unwrap_err()", "`.unwrap_err()`"),
+        ("panic!", "`panic!`"),
+        ("todo!", "`todo!`"),
+        ("unimplemented!", "`unimplemented!`"),
+    ] {
+        if let Some(pos) = code.find(needle) {
+            // Word boundary for the macro names: `should_panic` in an
+            // attribute must not match, nor `my_todo!`.
+            let bare_macro = !needle.starts_with('.');
+            let prev_ident = bare_macro
+                && code[..pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !prev_ident {
+                return Some(format!(
+                    "{what} in a hot-path crate; return a typed error or state the \
+                     invariant with `.expect(\"…\")`"
+                ));
+            }
+        }
+    }
+    if let Some(pos) = code.find(".expect(") {
+        // Measure the message in the *raw* line (literal bodies are
+        // blanked in `code`). A missing or off-line literal (rustfmt
+        // wraps long messages) is treated as fine; short literals are
+        // not invariant statements.
+        if let Some(len) = expect_message_len(raw, pos) {
+            if len < MIN_EXPECT_MESSAGE {
+                return Some(format!(
+                    "`.expect()` message of {len} chars does not state an invariant \
+                     (need ≥ {MIN_EXPECT_MESSAGE}); say *why* the failure is impossible"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Length of the string literal opening after `.expect(` near byte
+/// position `hint` of `raw`, if the literal starts on this line.
+fn expect_message_len(raw: &str, hint: usize) -> Option<usize> {
+    let start = raw.get(hint..).and_then(|s| s.find(".expect(")).map(|p| p + hint)?;
+    let after = &raw[start + ".expect(".len()..];
+    let lit = after.trim_start();
+    let body = lit.strip_prefix('"')?;
+    let mut len = 0usize;
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(len),
+            '\\' => {
+                let _ = chars.next();
+                len += 1;
+            }
+            _ => len += 1,
+        }
+    }
+    // Literal continues past end of line; count what we saw.
+    Some(len)
+}
+
+/// `addr-cast`: truncating casts or raw arithmetic on `.raw()` values.
+fn addr_cast_finding(code: &str) -> Option<String> {
+    if !code.contains(".raw()") {
+        return None;
+    }
+    for narrow in ["u8", "u16", "u32"] {
+        let cast = format!(" as {narrow}");
+        if let Some(pos) = code.find(&cast) {
+            let next = code[pos + cast.len()..].chars().next();
+            let boundary = next.is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            if boundary {
+                return Some(format!(
+                    "truncating `as {narrow}` cast on a line using a `.raw()` \
+                     address/cycle value; convert through a typed helper in \
+                     `cameo-types` or justify with an allow"
+                ));
+            }
+        }
+    }
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(".raw()") {
+        let pos = from + rel;
+        // Operator after the call?
+        let mut j = pos + ".raw()".len();
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        let after = bytes.get(j).copied();
+        // Operator before the receiver chain? Walk back over the
+        // identifier path (`self.page`, `frame_id`) then spaces.
+        let mut k = pos;
+        while k > 0 {
+            let c = bytes[k - 1] as char;
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        while k > 0 && bytes[k - 1] == b' ' {
+            k -= 1;
+        }
+        let before = k.checked_sub(1).map(|i| bytes[i]);
+        let is_arith = |b: Option<u8>| matches!(b, Some(b'+') | Some(b'-') | Some(b'*'));
+        if is_arith(after) || is_arith(before) {
+            return Some(
+                "raw `+`/`-`/`*` arithmetic on a `.raw()` address value outside \
+                 `crates/types`; compose addresses with typed helpers instead"
+                    .to_string(),
+            );
+        }
+        from = pos + ".raw()".len();
+    }
+    None
+}
+
+/// `missing-docs`: a `pub` item on line `idx` with no doc comment above.
+fn missing_docs_finding(src: &SourceFile, idx: usize) -> Option<String> {
+    let trimmed = src.lines[idx].code.trim_start();
+    let rest = trimmed.strip_prefix("pub ")?;
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    // Skip qualifiers: `pub async fn`, `pub unsafe fn`, `pub const fn`
+    // (but bare `pub const NAME` is itself an item).
+    let mut i = 0;
+    while matches!(tokens.get(i), Some(&"async") | Some(&"unsafe")) {
+        i += 1;
+    }
+    if tokens.get(i) == Some(&"const") && tokens.get(i + 1) == Some(&"fn") {
+        i += 1;
+    }
+    const ITEMS: [&str; 9] = [
+        "fn", "struct", "enum", "trait", "const", "static", "type", "union", "mod",
+    ];
+    let kw = *tokens.get(i)?;
+    if !ITEMS.contains(&kw) {
+        return None;
+    }
+    if kw == "mod" && trimmed.trim_end().ends_with(';') {
+        // `pub mod x;` — conventionally documented by `//!` inner docs.
+        return None;
+    }
+    if tokens.get(i + 1).is_some_and(|t| t.starts_with('$')) {
+        // `pub struct $name` inside macro_rules!: docs arrive at expansion
+        // via `$(#[$doc])*`, which this line scanner cannot see.
+        return None;
+    }
+    if has_doc_above(src, idx) {
+        return None;
+    }
+    let name: String = tokens
+        .get(i + 1).map_or_else(|| "<unnamed>".to_string(), |t| {
+            t.chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect()
+        });
+    Some(format!(
+        "public {kw} `{name}` has no doc comment; document the contract or \
+         hide it from the API"
+    ))
+}
+
+/// Walks upward from `idx` over attributes (including multi-line ones)
+/// and plain comments, looking for a doc-comment line.
+fn has_doc_above(src: &SourceFile, idx: usize) -> bool {
+    let mut bracket_balance: i64 = 0;
+    for j in (0..idx).rev() {
+        let line = &src.lines[j];
+        if line.is_doc {
+            return true;
+        }
+        let t = line.code.trim();
+        bracket_balance +=
+            t.matches('[').count() as i64 - t.matches(']').count() as i64;
+        if bracket_balance < 0 {
+            // Inside a multi-line attribute, keep climbing.
+            continue;
+        }
+        if t.starts_with("#[") {
+            bracket_balance = 0;
+            continue;
+        }
+        if t.is_empty() && !line.raw.trim().is_empty() {
+            // Plain comment line: keep climbing.
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(src: &str, class: FileClass) -> Vec<Diagnostic> {
+        check_file(Path::new("t.rs"), class, &SourceFile::parse(src))
+    }
+
+    const HOT: FileClass = FileClass {
+        hot_path: true,
+        addr_exempt: false,
+    };
+    const COLD: FileClass = FileClass {
+        hot_path: false,
+        addr_exempt: false,
+    };
+    const TYPES: FileClass = FileClass {
+        hot_path: false,
+        addr_exempt: true,
+    };
+
+    #[test]
+    fn unwrap_flagged_only_on_hot_path() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(lint(src, HOT).len(), 1);
+        assert_eq!(lint(src, HOT)[0].rule, NO_PANIC);
+        assert!(lint(src, COLD).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(lint("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); }", HOT).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_respect_word_boundaries() {
+        assert_eq!(lint("fn f() { panic!(\"boom\"); }", HOT).len(), 1);
+        assert_eq!(lint("fn f() { todo!() }", HOT).len(), 1);
+        assert!(lint("#[should_panic]\nfn f() {}", HOT).is_empty());
+    }
+
+    #[test]
+    fn short_expect_flagged_long_expect_ok() {
+        assert_eq!(lint("fn f() { x.expect(\"oops\"); }", HOT).len(), 1);
+        assert!(lint(
+            "fn f() { x.expect(\"slot 0 always holds the stacked-resident line\"); }",
+            HOT
+        )
+        .is_empty());
+        // Message on the next line (rustfmt style): trusted.
+        assert!(lint("fn f() { x.expect(\n \"anything\") }", HOT).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}";
+        assert!(lint(src, HOT).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        assert!(lint("fn f() { x.unwrap() } // lint: allow(no-panic)", HOT).is_empty());
+        assert!(lint("// lint: allow(no-panic)\nfn f() { x.unwrap() }", HOT).is_empty());
+    }
+
+    #[test]
+    fn truncating_raw_casts_flagged_everywhere_but_types() {
+        let src = "fn f() -> u8 { (line.raw() / groups) as u8 }";
+        let d = lint(src, COLD);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, ADDR_CAST);
+        assert!(lint(src, TYPES).is_empty());
+    }
+
+    #[test]
+    fn widening_and_index_casts_are_fine() {
+        assert!(lint("let i = line.raw() as usize;", COLD).is_empty());
+        assert!(lint("let r = o.raw() as f64 / s.raw() as f64;", COLD).is_empty());
+    }
+
+    #[test]
+    fn raw_arithmetic_flagged_both_sides() {
+        assert_eq!(lint("let l = page.raw() * 64;", COLD).len(), 1);
+        assert_eq!(lint("let l = 64 * page.raw();", COLD).len(), 1);
+        assert_eq!(lint("let l = base + self.page.raw();", COLD).len(), 1);
+        assert!(lint("let g = line.raw() % groups;", COLD).is_empty());
+        assert!(lint("let w = line.raw() / groups;", COLD).is_empty());
+        assert!(lint("let x = line.raw() >> 6;", COLD).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_on_pub_items() {
+        let d = lint("pub fn frob() {}", COLD);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, MISSING_DOCS);
+        assert!(d[0].message.contains("`frob`"));
+        assert!(lint("/// Frobnicates.\npub fn frob() {}", COLD).is_empty());
+    }
+
+    #[test]
+    fn docs_seen_through_attributes_and_comments() {
+        let src = "/// Documented.\n#[derive(\n Clone,\n)]\n// note\npub struct S;";
+        assert!(lint(src, COLD).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_doc_attachment() {
+        let src = "/// Detached.\n\npub struct S;";
+        assert_eq!(lint(src, COLD).len(), 1);
+    }
+
+    #[test]
+    fn non_items_and_restricted_visibility_are_exempt() {
+        assert!(lint("pub use crate::llt::LltEntry;", COLD).is_empty());
+        assert!(lint("pub(crate) fn helper() {}", COLD).is_empty());
+        assert!(lint("pub mod stats;", COLD).is_empty());
+        assert_eq!(lint("pub mod stats { }", COLD).len(), 1);
+    }
+
+    #[test]
+    fn pub_const_fn_and_const_item_both_need_docs() {
+        assert_eq!(lint("pub const LIMIT: usize = 4;", COLD).len(), 1);
+        assert_eq!(lint("pub const fn limit() -> usize { 4 }", COLD).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "let s = \"x.unwrap() panic!\"; // .unwrap() todo!";
+        assert!(lint(src, HOT).is_empty());
+    }
+}

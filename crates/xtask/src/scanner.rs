@@ -1,0 +1,335 @@
+//! Line-oriented Rust source scanner.
+//!
+//! Rules in [`crate::rules`] match on *code text*: the scanner strips line
+//! and block comments, blanks the bodies of string/char literals (keeping
+//! the delimiters so call shapes like `.expect("")` survive), records
+//! `// lint: allow(<rule>)` suppression directives, marks doc-comment
+//! lines, and computes which lines fall inside `#[cfg(test)]` items so
+//! test-only code is exempt from hot-path rules.
+//!
+//! This is not a full Rust lexer — it handles the token shapes that occur
+//! in this workspace (nested block comments, raw strings with up to 255
+//! `#`s, lifetimes vs. char literals) and degrades gracefully elsewhere:
+//! a misclassified line can always be silenced with an allow directive.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Original text, exactly as read.
+    pub raw: String,
+    /// Text with comments removed and literal bodies blanked.
+    pub code: String,
+    /// Rules suppressed on this line via `// lint: allow(rule, ...)`.
+    pub allows: Vec<String>,
+    /// Whether the line carries item documentation (`///`, `//!`, `#[doc`).
+    pub is_doc: bool,
+    /// Whether the line falls inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Scanned lines, in file order (index = line number - 1).
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a (possibly nested) block comment; payload is nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` plus this many `#`s.
+    RawStr(usize),
+}
+
+impl SourceFile {
+    /// Scans `text` into per-line code/comment structure.
+    pub fn parse(text: &str) -> Self {
+        let mut state = State::Code;
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let (code, allows, next_state) = scan_line(raw, state);
+            state = next_state;
+            let trimmed = raw.trim_start();
+            let is_doc = trimmed.starts_with("///")
+                || trimmed.starts_with("//!")
+                || code.trim_start().starts_with("#[doc")
+                || trimmed.starts_with("/**")
+                || trimmed.starts_with("/*!");
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                allows,
+                is_doc,
+                in_test: false,
+            });
+        }
+        mark_test_regions(&mut lines);
+        SourceFile { lines }
+    }
+
+    /// Whether `rule` is suppressed on 0-based line `idx`: by a trailing
+    /// directive on the line itself, or by a directive on the directly
+    /// preceding line that carries no code of its own.
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        let hit = |line: &Line| line.allows.iter().any(|a| a == rule);
+        if hit(&self.lines[idx]) {
+            return true;
+        }
+        idx > 0 && self.lines[idx - 1].code.trim().is_empty() && hit(&self.lines[idx - 1])
+    }
+}
+
+/// Scans one line: returns (blanked code, allow directives, next state).
+fn scan_line(raw: &str, mut state: State) -> (String, Vec<String>, State) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::new();
+    let mut allows = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match state {
+            State::Block(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth > 1 {
+                        State::Block(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if chars[i] == '\\' {
+                    i += 2;
+                } else if chars[i] == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if chars[i] == '"'
+                    && chars[i + 1..].iter().take(hashes).filter(|c| **c == '#').count() == hashes
+                {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: parse a possible allow directive, drop
+                    // the rest of the line.
+                    let comment: String = chars[i..].iter().collect();
+                    allows.extend(parse_allow_directive(&comment));
+                    break;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && is_raw_string_start(&chars, i) {
+                    let hashes = chars[i + 1..].iter().take_while(|c| **c == '#').count();
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i += 2 + hashes;
+                } else if c == '\'' {
+                    // Char literal vs. lifetime: a literal is `'x'` or an
+                    // escape `'\…'`; anything else is a lifetime tick.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        code.push_str("' '");
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, allows, state)
+}
+
+/// Whether `chars[i]` (== 'r') opens a raw string literal `r"…"`/`r#"…"#`,
+/// as opposed to ending an identifier like `var`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    if prev_is_ident {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Extracts rule names from `// lint: allow(rule-a, rule-b)` comments.
+fn parse_allow_directive(comment: &str) -> Vec<String> {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (the attribute,
+/// any further attributes, and the braced item body) as `in_test`.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.as_str();
+        if !(code.contains("#[cfg(test)") || code.contains("#[cfg(all(test")) {
+            i += 1;
+            continue;
+        }
+        // Walk forward from the attribute, tracking brace depth; the item
+        // ends when the depth first returns to zero after an open brace.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    // `#[cfg(test)] mod tests;` — declaration without body.
+                    ';' if !seen_open => {
+                        seen_open = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = SourceFile::parse("let x = 1; // unwrap() here\n/* panic! */ let y = 2;");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(f.lines[1].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_bodies_but_keeps_quotes() {
+        let f = SourceFile::parse(r#"call(".unwrap()"); other();"#);
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(f.lines[0].code.contains("call(\"\")"));
+    }
+
+    #[test]
+    fn multi_line_strings_and_comments_carry_state() {
+        let f = SourceFile::parse("let s = \"abc\n panic! \";\n/*\n todo!\n*/ let z = 3;");
+        assert!(!f.lines[1].code.contains("panic!"));
+        assert!(!f.lines[3].code.contains("todo!"));
+        assert_eq!(f.lines[4].code.trim(), "let z = 3;");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = SourceFile::parse("let s = r#\"x.unwrap()\"#; tail();");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("tail()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let f = SourceFile::parse("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(!f.lines[0].code.contains('q'));
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let f = SourceFile::parse(
+            "a.unwrap(); // lint: allow(no-panic)\n// lint: allow(addr-cast, missing-docs)\nb();",
+        );
+        assert!(f.allowed(0, "no-panic"));
+        assert!(!f.allowed(0, "addr-cast"));
+        assert!(f.allowed(2, "addr-cast"));
+        assert!(f.allowed(2, "missing-docs"));
+        assert!(!f.allowed(2, "no-panic"));
+    }
+
+    #[test]
+    fn directive_above_code_line_does_not_leak_past_it() {
+        let f = SourceFile::parse("// lint: allow(no-panic)\na();\nb();");
+        assert!(f.allowed(1, "no-panic"));
+        assert!(!f.allowed(2, "no-panic"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_braced_item() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_is_bounded() {
+        let f = SourceFile::parse("#[cfg(test)]\nmod tests;\nfn hot() {}");
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn doc_lines_are_marked() {
+        let f = SourceFile::parse("/// docs\n//! inner\n#[doc = \"x\"]\n// plain");
+        assert!(f.lines[0].is_doc);
+        assert!(f.lines[1].is_doc);
+        assert!(f.lines[2].is_doc);
+        assert!(!f.lines[3].is_doc);
+    }
+}

@@ -55,7 +55,7 @@ fn vmm_plus_cameo_composition() {
         };
         let r = cameo.access(now, &access);
         assert!(r.completion > now);
-        now = now + Cycle::new(e.gap_instructions.max(1));
+        now += Cycle::new(e.gap_instructions.max(1));
         if !e.is_write {
             reads += 1;
         }

@@ -103,7 +103,7 @@ fn replay_prefill_matches_touched_pages() {
     let replay = trace.into_replay();
     let prefill: std::collections::HashSet<u64> = MissStream::prefill_pages(&replay)
         .into_iter()
-        .map(|p| p.raw())
+        .map(cameo_repro::types::PageAddr::raw)
         .collect();
     assert_eq!(touched, prefill);
 }

@@ -1,0 +1,206 @@
+//! Vendored, zero-dependency stand-in for the [`criterion`] crate.
+//!
+//! The build sandbox has no access to crates.io, so the workspace vendors
+//! the benchmark surface it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up, then timed over
+//! a fixed batch and reported as mean wall-clock time per iteration —
+//! adequate for spotting order-of-magnitude regressions, without the real
+//! crate's statistical machinery.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmarked
+/// work. (Uses a read of a volatile-free identity through `std::hint`.)
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one closure: a short warmup, then `iters` timed iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Aim for a few milliseconds of measurement: calibrate the batch
+        // from one probed iteration.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("{name:<40} {per_iter:>12.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in sizes batches by time, so
+    /// the requested sample count is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut routine: R) {
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Benchmarks `routine` with an input value under `id`.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        routine(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self {}
+    }
+
+    /// Benchmarks a single named closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(name);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs final reporting (immediate printing makes this a no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64.pow(10)));
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+    }
+}

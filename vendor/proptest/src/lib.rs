@@ -1,0 +1,130 @@
+//! Vendored, zero-dependency stand-in for the [`proptest`] crate.
+//!
+//! The build sandbox has no access to crates.io, so the workspace vendors
+//! the slice of `proptest` it uses: the [`proptest!`] macro, range / tuple /
+//! [`Just`](strategy::Just) / [`prop_oneof!`] / `prop_map` strategies,
+//! [`collection::vec`], [`any`](strategy::any) and the `prop_assert*`
+//! macros.
+//!
+//! Semantics differ from the real crate in one important way: failing cases
+//! are **not shrunk** — the failing case's seed and index are printed
+//! instead, and `PROPTEST_SEED`/`PROPTEST_CASES` reproduce or widen a run.
+//! Generation is purely random (no bias toward boundary values), so keep
+//! explicit edge-case unit tests alongside property tests.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module path
+    /// (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: `fn name(pat in strategy, ...) { body }` items
+/// become `#[test]` functions that run the body over many sampled inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the number of cases
+/// for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __cases = __config.resolved_cases();
+                for __case in 0..__cases {
+                    let __seed = $crate::test_runner::case_seed(__case);
+                    let __run = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                        $body
+                    }));
+                    if let ::std::result::Result::Err(__panic) = __run {
+                        eprintln!(
+                            "proptest case {}/{} failed (seed {:#x}); \
+                             set PROPTEST_SEED={:#x} to replay it as case 0",
+                            __case + 1,
+                            __cases,
+                            __seed,
+                            __seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

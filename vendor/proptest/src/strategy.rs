@@ -1,0 +1,368 @@
+//! Value-generation strategies: the sampling core of the vendored proptest.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of an associated type.
+///
+/// Unlike the real proptest there is no shrinking: a strategy is just a
+/// sampler over a deterministic RNG.
+pub trait Strategy {
+    /// Type of value this strategy generates.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Object-safe sampling, backing [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String literals are regex-shaped string strategies in proptest. This
+/// stand-in supports the one shape the workspace uses — a single character
+/// class with a bounded repetition, `[class]{lo,hi}` — and rejects anything
+/// else loudly rather than silently generating the wrong language.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!(
+                "vendored proptest only supports `[class]{{lo,hi}}` string \
+                 strategies, got {self:?}"
+            )
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi). Supports literal
+/// characters, `a-z` ranges, and `\`-escapes inside the class.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    if lo > hi {
+        return None;
+    }
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let c = if c == '\\' { chars.next()? } else { c };
+        if chars.peek() == Some(&'-') && chars.clone().nth(1).is_some() {
+            chars.next();
+            let end = chars.next()?;
+            if c > end {
+                return None;
+            }
+            alphabet.extend(c..=end);
+        } else {
+            alphabet.push(c);
+        }
+    }
+    (!alphabet.is_empty()).then_some((alphabet, lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(11)
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u64..9).sample(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (2u8..=8).sample(&mut r);
+            assert!((2..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        assert_eq!(Just(41).sample(&mut rng()), 41);
+    }
+
+    #[test]
+    fn map_applies() {
+        let s = (1u64..5).prop_map(|x| x * 10);
+        let v = s.sample(&mut rng());
+        assert!((10..50).contains(&v) && v % 10 == 0);
+    }
+
+    #[test]
+    fn tuples_sample_each() {
+        let (a, b, c) = (0u64..4, 10u8..=11, Just(7i32)).sample(&mut rng());
+        assert!(a < 4);
+        assert!((10..=11).contains(&b));
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        let mut r = rng();
+        for _ in 0..100 {
+            seen[u.sample(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn string_class_strategy() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9_.-]{0,40}".sample(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+        // Trailing `-` and `.` are literals, not range operators.
+        let (alphabet, lo, hi) = super::parse_class_repeat("[a-c.-]{1,3}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '.', '-']);
+        assert_eq!((lo, hi), (1, 3));
+        assert!(super::parse_class_repeat("plain text").is_none());
+    }
+
+    #[test]
+    fn f64_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (0.0f64..1.0).sample(&mut r);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut r = rng();
+        let s = any::<bool>();
+        let mut t = (false, false);
+        for _ in 0..100 {
+            if s.sample(&mut r) {
+                t.0 = true;
+            } else {
+                t.1 = true;
+            }
+        }
+        assert!(t.0 && t.1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Case scheduling and the deterministic RNG behind [`proptest!`](crate::proptest).
+
+/// Configuration of a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs (overridable with `PROPTEST_CASES`).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` environment override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Seed of case `case`: a fixed base (or `PROPTEST_SEED`, to replay a
+/// reported failure as case 0) mixed with the case index.
+pub fn case_seed(case: u32) -> u64 {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+        })
+        .unwrap_or(0xCAE0_5EED_2014_0C0D);
+    base.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Deterministic generator driving strategy sampling (xorshift64* over a
+/// SplitMix64-scrambled seed).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "below: span must be positive");
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = TestRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_case() {
+        assert_ne!(case_seed(0), case_seed(1));
+    }
+}
