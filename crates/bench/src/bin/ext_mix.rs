@@ -13,7 +13,7 @@ use cameo_sim::experiments::{build_org, OrgKind};
 use cameo_sim::report::Table;
 use cameo_sim::runner::{trace_configs, Runner};
 use cameo_sim::{RunStats, SystemConfig};
-use cameo_workloads::{by_name, BenchSpec, MissStream, TraceConfig, TraceGenerator};
+use cameo_workloads::{require, BenchSpec, MissStream, TraceConfig, TraceGenerator};
 
 /// Builds one stream per core, cycling through the mix, with disjoint
 /// virtual address ranges.
@@ -38,7 +38,9 @@ fn mix_streams(mix: &[BenchSpec], config: &SystemConfig) -> Vec<Box<dyn MissStre
 
 fn run_mix(mix: &[BenchSpec], kind: OrgKind, config: &SystemConfig) -> RunStats {
     let mut org = build_org(&mix[0], kind, config);
-    Runner::new(mix[0], config).run_with_streams(org.as_mut(), mix_streams(mix, config))
+    Runner::new(mix[0], config)
+        .expect("CLI configuration was validated at parse time")
+        .run_with_streams(org.as_mut(), mix_streams(mix, config))
 }
 
 fn main() {
@@ -49,7 +51,7 @@ fn main() {
     if cli.benches.len() == 17 {
         cli.benches = ["mcf", "gcc", "mcf", "omnetpp"]
             .iter()
-            .map(|n| by_name(n).expect("suite benchmark"))
+            .map(|n| require(n).expect("mix members are Table II suite benchmarks"))
             .collect();
     }
     print_header("Extension — heterogeneous mix", &cli);

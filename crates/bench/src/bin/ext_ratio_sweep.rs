@@ -35,7 +35,9 @@ fn main() {
             let off_chip = total - stacked;
             // Baseline for this split: the off-chip share alone.
             let mut base = BaselineOrg::new(off_chip, cfg.seed ^ 0xBEEF);
-            let baseline = Runner::new(*bench, cfg).run(&mut base);
+            let baseline = Runner::new(*bench, cfg)
+                .expect("CLI configuration was validated at parse time")
+                .run(&mut base);
 
             let mut alloy: Box<dyn MemoryOrganization> = Box::new(AlloyCacheOrg::new(
                 stacked,
@@ -43,7 +45,9 @@ fn main() {
                 cfg.cores,
                 cfg.seed ^ 0xBEEF,
             ));
-            let cache = Runner::new(*bench, cfg).run(alloy.as_mut());
+            let cache = Runner::new(*bench, cfg)
+                .expect("CLI configuration was validated at parse time")
+                .run(alloy.as_mut());
 
             let mut cameo_org = CameoOrg::new(
                 stacked,
@@ -54,7 +58,9 @@ fn main() {
                 cfg.llp_entries,
                 cfg.seed ^ 0xBEEF,
             );
-            let cameo_stats = Runner::new(*bench, cfg).run(&mut cameo_org);
+            let cameo_stats = Runner::new(*bench, cfg)
+                .expect("CLI configuration was validated at parse time")
+                .run(&mut cameo_org);
 
             row.push(format!("{:.2}x", cache.speedup_over(&baseline)));
             row.push(format!("{:.2}x", cameo_stats.speedup_over(&baseline)));

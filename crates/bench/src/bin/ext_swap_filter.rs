@@ -42,7 +42,9 @@ fn main() {
                 cfg.seed ^ 0xBEEF,
             )
             .with_swap_policy(SwapPolicy::HotPagesOnly { threshold });
-            let stats = Runner::new(*bench, cfg).run(&mut org);
+            let stats = Runner::new(*bench, cfg)
+                .expect("CLI configuration was validated at parse time")
+                .run(&mut org);
             row.push(format!("{:.2}x", stats.speedup_over(&baseline)));
         }
         table.row(row);

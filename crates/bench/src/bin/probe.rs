@@ -11,7 +11,9 @@ fn main() {
     let bench = cli.benches[0];
     for kind in [OrgKind::Baseline, OrgKind::cameo_default()] {
         let mut org = build_org(&bench, kind, &cli.config);
-        let stats = Runner::new(bench, &cli.config).run(org.as_mut());
+        let stats = Runner::new(bench, &cli.config)
+            .expect("CLI configuration was validated at parse time")
+            .run(org.as_mut());
         println!(
             "{} {}: reads {}, avg latency {:.0}, faults {}",
             bench.name,

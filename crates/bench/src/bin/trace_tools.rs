@@ -15,7 +15,7 @@ use cameo_sim::experiments::{build_org, OrgKind};
 use cameo_sim::runner::Runner;
 use cameo_sim::SystemConfig;
 use cameo_trace::{TraceFile, TraceWriter};
-use cameo_workloads::{by_name, MissStream, TraceConfig, TraceGenerator};
+use cameo_workloads::{require, MissStream, TraceConfig, TraceGenerator};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -54,7 +54,7 @@ fn record(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         (Some(n), Some(p)) => (n.clone(), p.clone()),
         _ => return Err("record needs <bench> <out-file>".into()),
     };
-    let spec = by_name(&name).ok_or("unknown benchmark")?;
+    let spec = require(&name)?;
     let events = flag(args, "--events", 100_000);
     let scale = flag(args, "--scale", 128);
     let seed = flag(args, "--seed", 42);
@@ -109,7 +109,7 @@ fn replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(other) => return Err(format!("unknown org {other}").into()),
     };
     let trace = TraceFile::read(BufReader::new(File::open(path)?))?;
-    let spec = by_name(&trace.name).ok_or("trace names an unknown benchmark")?;
+    let spec = require(&trace.name)?;
     let config = SystemConfig {
         cores: 1,
         instructions_per_core: 2_000_000,
@@ -117,7 +117,7 @@ fn replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut org = build_org(&spec, kind, &config);
     let replay: Box<dyn MissStream> = Box::new(trace.into_replay());
-    let stats = Runner::new(spec, &config).run_with_streams(org.as_mut(), vec![replay]);
+    let stats = Runner::new(spec, &config)?.run_with_streams(org.as_mut(), vec![replay]);
     println!(
         "{} on {}: CPI {:.2}, {} reads ({:.0}% stacked), avg latency {:.0} cycles, {} faults",
         kind.label(),

@@ -87,14 +87,16 @@ impl Cli {
                 other => panic!("unknown flag {other}"),
             }
         }
-        config.validate();
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid configuration from CLI flags: {e}"));
         let benches = if names.is_empty() {
             suite()
         } else {
             names
                 .iter()
                 .map(|n| {
-                    cameo_workloads::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}"))
+                    cameo_workloads::require(n).unwrap_or_else(|e| panic!("{e}"))
                 })
                 .collect()
         };

@@ -1,7 +1,10 @@
 //! The CAMEO memory controller: glues the LLT design and the location
 //! predictor to the two DRAM timing models.
 
-use cameo_memsim::{Dram, DramConfig};
+use cameo_memsim::DramConfig;
+#[cfg(not(feature = "faults"))]
+use cameo_memsim::Dram;
+
 use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind};
 
 use crate::congruence::{div31, CongruenceMap};
@@ -9,9 +12,22 @@ use crate::llp::{LineLocationPredictor, PredictionCase, PredictionCaseCounts};
 use crate::llt::{LineLocationTable, Slot};
 use crate::swap_filter::{PageActivityTable, SwapPolicy};
 
+/// The device type the controller drives: the fault-injecting wrapper when
+/// the `faults` feature is compiled in (inert until
+/// [`Cameo::inject_faults`] arms it), the bare timing model otherwise.
+#[cfg(feature = "faults")]
+pub type Device = cameo_memsim::faults::FaultyDevice;
+
+/// The device type the controller drives: the bare DRAM timing model.
+#[cfg(not(feature = "faults"))]
+pub type Device = Dram;
+
 /// Transfer size of one LEAD (66 bytes of payload, moved as a burst of five
 /// — 80 bytes — on the 16-byte stacked bus; paper Section IV-D).
 pub const LEAD_BYTES: u32 = 66;
+
+/// Transfer size of one data line on a device bus.
+const LINE_BYTES: u32 = cameo_types::LINE_BYTES as u32;
 
 /// Where the Line Location Table physically lives (paper Section IV-C/D).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -122,12 +138,14 @@ pub struct Cameo {
     map: CongruenceMap,
     llt: LineLocationTable,
     llp: LineLocationPredictor,
-    stacked: Dram,
-    off_chip: Dram,
+    stacked: Device,
+    off_chip: Device,
     stats: CameoStats,
     swap_policy: SwapPolicy,
     page_activity: PageActivityTable,
     accesses_since_decay: u64,
+    #[cfg(feature = "faults")]
+    recovery: crate::recovery::RecoveryState,
     #[cfg(feature = "deep-audit")]
     auditor: crate::audit::InvariantAuditor,
     /// LLT swap count at the last stats reset: the swap counter is mapping
@@ -160,11 +178,13 @@ impl Cameo {
             map,
             llt: LineLocationTable::new(map),
             llp: LineLocationPredictor::new(config.cores, config.llp_entries),
-            stacked: Dram::new(DramConfig::stacked(config.stacked)),
-            off_chip: Dram::new(DramConfig::off_chip(config.off_chip)),
+            stacked: Device::new(DramConfig::stacked(config.stacked)),
+            off_chip: Device::new(DramConfig::off_chip(config.off_chip)),
             stats: CameoStats::default(),
             config,
             swap_policy: SwapPolicy::Always,
+            #[cfg(feature = "faults")]
+            recovery: crate::recovery::RecoveryState::new(crate::recovery::RecoveryConfig::none()),
             // 64 K x 6-bit counters (48 KB) — big enough that aliasing
             // does not make every page look hot at memory-scale footprints.
             page_activity: PageActivityTable::new(64 * 1024),
@@ -217,14 +237,46 @@ impl Cameo {
 
     /// The stacked-DRAM device (for bandwidth accounting).
     #[inline]
-    pub fn stacked(&self) -> &Dram {
+    pub fn stacked(&self) -> &Device {
         &self.stacked
     }
 
     /// The off-chip DRAM device (for bandwidth accounting).
     #[inline]
-    pub fn off_chip(&self) -> &Dram {
+    pub fn off_chip(&self) -> &Device {
         &self.off_chip
+    }
+
+    /// Arms both devices with seeded fault injection: the stacked device
+    /// gets the full configuration (its LEAD/LLT metadata is what flips and
+    /// outages threaten), the off-chip device only the transport faults
+    /// (drops/delays) — its data lines are ECC-protected end to end and it
+    /// holds no location metadata.
+    #[cfg(feature = "faults")]
+    pub fn inject_faults(&mut self, cfg: cameo_memsim::faults::FaultConfig, seed: u64) {
+        self.stacked.arm(cfg, seed);
+        self.off_chip.arm(cfg.transport_only(), seed ^ 0x5EED_F417_0FFC_419B);
+    }
+
+    /// Selects the recovery policy applied to injected faults (default
+    /// [`crate::recovery::RecoveryConfig::none`]). Resets recovery
+    /// counters and the degradation latch.
+    #[cfg(feature = "faults")]
+    pub fn set_recovery(&mut self, cfg: crate::recovery::RecoveryConfig) {
+        self.recovery = crate::recovery::RecoveryState::new(cfg);
+    }
+
+    /// Counters of recovery actions taken since [`Cameo::set_recovery`].
+    #[cfg(feature = "faults")]
+    pub fn recovery_stats(&self) -> &crate::recovery::RecoveryStats {
+        self.recovery.stats()
+    }
+
+    /// Whether the controller has degraded to serial access because
+    /// metadata became unreliable.
+    #[cfg(feature = "faults")]
+    pub fn degraded(&self) -> bool {
+        self.recovery.degraded()
     }
 
     /// The Line Location Table contents.
@@ -375,6 +427,13 @@ impl Cameo {
         vacated: Slot,
         victim_in_hand: bool,
     ) {
+        // Corrupted, unrepaired metadata cannot be trusted to swap: the
+        // entry's inverse permutation is undefined. Leave the line where
+        // it is; the audit layer (or a later scrub) reports the damage.
+        #[cfg(feature = "faults")]
+        if !self.llt.entry(group).is_permutation() {
+            return;
+        }
         let promoted = self.llt.promote(line);
         debug_assert!(promoted.is_some(), "line was off-chip; promote must swap");
         if !victim_in_hand {
@@ -401,19 +460,108 @@ impl Cameo {
             .write_line(at, self.map.device_line(group, vacated));
     }
 
+    /// Reads the metadata line backing `group`'s LLT entry (the LEAD or
+    /// the embedded-table line). With fault injection compiled in, the
+    /// read goes through the recovery policy: drops are retried, flips are
+    /// ECC-corrected or — when they escape — applied to the in-table entry
+    /// and, if scrubbing is enabled, repaired from the group's data-line
+    /// tags before the entry is trusted.
+    fn meta_read(&mut self, now: Cycle, group: u64, line: u64, bytes: u32) -> Cycle {
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = group;
+            self.stacked.access(now, line, false, bytes)
+        }
+        #[cfg(feature = "faults")]
+        {
+            let (done, escaped) = self.recovery.read_meta(&mut self.stacked, now, line, bytes);
+            if let Some(bit) = escaped {
+                self.recovery.save_truth(group, *self.llt.entry(group));
+                self.llt.corrupt_entry_bit(group, bit);
+            }
+            if self.recovery.scrub_enabled() && !self.llt.entry(group).is_permutation() {
+                return self.scrub_group(done, group);
+            }
+            done
+        }
+    }
+
+    /// Rebuilds `group`'s permutation from the address tags its data lines
+    /// carry: reads every slot of the group (one stacked line, `ratio - 1`
+    /// off-chip lines), then rewrites the repaired metadata where the
+    /// active LLT design stores it. Returns when the repaired entry is
+    /// usable.
+    #[cfg(feature = "faults")]
+    fn scrub_group(&mut self, now: Cycle, group: u64) -> Cycle {
+        let ratio = self.map.ratio();
+        let mut done = self.recovery.read_data(&mut self.stacked, now, group, LINE_BYTES);
+        for slot in 1..ratio {
+            let line = self.map.device_line(group, Slot::new(slot));
+            done = done.later(
+                self.recovery
+                    .read_data(&mut self.off_chip, now, line, LINE_BYTES),
+            );
+        }
+        match self.config.llt {
+            LltDesign::CoLocated => {
+                self.stacked
+                    .access(done, self.lead_line(group), true, LEAD_BYTES);
+            }
+            LltDesign::Embedded => {
+                self.stacked.write_line(done, self.embedded_llt_line(group));
+            }
+            // No DRAM-resident copy to rewrite.
+            LltDesign::Ideal | LltDesign::Sram => {}
+        }
+        let restored = self
+            .recovery
+            .take_truth(group)
+            .expect("a scrub only triggers after a corruption that saved the entry");
+        self.llt.restore_entry(group, restored);
+        self.recovery.record_scrub();
+        done
+    }
+
+    /// Demand-reads a data line from the stacked device. Under fault
+    /// injection, drops/delays go through the recovery policy; data-line
+    /// bit flips are absorbed by the device's in-band ECC.
+    fn stacked_data_read(&mut self, now: Cycle, line: u64) -> Cycle {
+        #[cfg(not(feature = "faults"))]
+        {
+            self.stacked.read_line(now, line)
+        }
+        #[cfg(feature = "faults")]
+        {
+            self.recovery
+                .read_data(&mut self.stacked, now, line, LINE_BYTES)
+        }
+    }
+
+    /// Demand-reads a data line from the off-chip device (same recovery
+    /// semantics as [`Cameo::stacked_data_read`]).
+    fn off_chip_data_read(&mut self, now: Cycle, line: u64) -> Cycle {
+        #[cfg(not(feature = "faults"))]
+        {
+            self.off_chip.read_line(now, line)
+        }
+        #[cfg(feature = "faults")]
+        {
+            self.recovery
+                .read_data(&mut self.off_chip, now, line, LINE_BYTES)
+        }
+    }
+
     fn read_ideal(&mut self, now: Cycle, line: LineAddr) -> AccessResult {
         let group = self.map.group_of(line);
         let slot = self.llt.locate(line);
         if slot.is_stacked() {
             AccessResult {
-                completion: self.stacked.read_line(now, group),
+                completion: self.stacked_data_read(now, group),
                 serviced_by: MemKind::Stacked,
                 case: None,
             }
         } else {
-            let completion = self
-                .off_chip
-                .read_line(now, self.map.device_line(group, slot));
+            let completion = self.off_chip_data_read(now, self.map.device_line(group, slot));
             if self.should_swap(line) {
                 self.swap_after_off_chip_read(now, line, group, slot, false);
             }
@@ -427,18 +575,18 @@ impl Cameo {
 
     fn read_embedded(&mut self, now: Cycle, line: LineAddr) -> AccessResult {
         let group = self.map.group_of(line);
-        let lookup_done = self.stacked.read_line(now, self.embedded_llt_line(group));
+        let table_line = self.embedded_llt_line(group);
+        let lookup_done = self.meta_read(now, group, table_line, LINE_BYTES);
         let slot = self.llt.locate(line);
         if slot.is_stacked() {
             AccessResult {
-                completion: self.stacked.read_line(lookup_done, group),
+                completion: self.stacked_data_read(lookup_done, group),
                 serviced_by: MemKind::Stacked,
                 case: None,
             }
         } else {
-            let completion = self
-                .off_chip
-                .read_line(lookup_done, self.map.device_line(group, slot));
+            let completion =
+                self.off_chip_data_read(lookup_done, self.map.device_line(group, slot));
             if self.should_swap(line) {
                 self.swap_after_off_chip_read(lookup_done, line, group, slot, false);
             }
@@ -453,11 +601,18 @@ impl Cameo {
     fn read_co_located(&mut self, now: Cycle, access: &Access) -> AccessResult {
         let line = access.line;
         let group = self.map.group_of(line);
-        let actual = self.llt.locate(line);
         let predicted = match self.config.predictor {
             PredictorKind::SerialAccess => Slot::STACKED,
             PredictorKind::Llp => self.llp.predict(access.core, access.pc),
-            PredictorKind::Perfect => actual,
+            PredictorKind::Perfect => self.llt.locate(line),
+        };
+        // Once metadata has proven unreliable, stop trusting predictions:
+        // probe stacked first like SAM and never launch parallel fetches.
+        #[cfg(feature = "faults")]
+        let predicted = if self.recovery.degraded() {
+            Slot::STACKED
+        } else {
+            predicted
         };
         // Clamp predictions outside this configuration's ratio (can happen
         // when a smaller ratio reuses a trained table) to serial access.
@@ -466,6 +621,15 @@ impl Cameo {
         } else {
             predicted
         };
+
+        // The verifying LEAD probe always happens; it is the read that
+        // returns the entry, so the true location is resolved after it —
+        // including any corruption or scrub the probe suffered. The probe
+        // and the parallel fetch below both issue at `now` on independent
+        // devices, so code order does not affect timing.
+        let lead = self.lead_line(group);
+        let probe_done = self.meta_read(now, group, lead, LEAD_BYTES);
+        let actual = self.llt.locate(line);
         let case = PredictionCase::classify(predicted, actual);
         self.stats.cases.record(case);
         if case.wastes_bandwidth() {
@@ -475,10 +639,6 @@ impl Cameo {
             self.llp.train(access.core, access.pc, actual);
         }
 
-        // The verifying LEAD probe always happens.
-        let probe_done = self
-            .stacked
-            .access(now, self.lead_line(group), false, LEAD_BYTES);
         // A predicted-off-chip fetch launches in parallel with the probe.
         // A fetch the LLT verification disproves is squashed at the bank
         // queue: it wastes bus bandwidth (Table IV) but does not hold a
@@ -486,7 +646,7 @@ impl Cameo {
         let parallel_fetch = (!predicted.is_stacked()).then(|| {
             let target = self.map.device_line(group, predicted);
             if case == PredictionCase::OffChipPredictedCorrect {
-                self.off_chip.read_line(now, target)
+                self.off_chip_data_read(now, target)
             } else {
                 self.off_chip.read_squashed(now, target)
             }
@@ -503,9 +663,8 @@ impl Cameo {
             }
             PredictionCase::OffChipPredictedStacked | PredictionCase::OffChipPredictedWrong => {
                 // Serialized correct fetch after the probe reveals the slot.
-                let fetch = self
-                    .off_chip
-                    .read_line(probe_done, self.map.device_line(group, actual));
+                let fetch =
+                    self.off_chip_data_read(probe_done, self.map.device_line(group, actual));
                 (fetch, MemKind::OffChip)
             }
         };
@@ -549,7 +708,8 @@ impl Cameo {
                 }
             }
             LltDesign::Embedded => {
-                let lookup = self.stacked.read_line(now, self.embedded_llt_line(group));
+                let table_line = self.embedded_llt_line(group);
+                let lookup = self.meta_read(now, group, table_line, LINE_BYTES);
                 if slot.is_stacked() {
                     (self.stacked.write_line(lookup, group), MemKind::Stacked)
                 } else {
@@ -562,9 +722,8 @@ impl Cameo {
             }
             LltDesign::CoLocated => {
                 // Locate by probing the LEAD, then write in place.
-                let probe = self
-                    .stacked
-                    .access(now, self.lead_line(group), false, LEAD_BYTES);
+                let lead = self.lead_line(group);
+                let probe = self.meta_read(now, group, lead, LEAD_BYTES);
                 if slot.is_stacked() {
                     (
                         self.stacked

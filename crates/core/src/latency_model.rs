@@ -12,6 +12,20 @@ pub const STACKED_UNIT: u32 = 1;
 /// Latency of one off-chip access, in abstract units.
 pub const OFF_CHIP_UNIT: u32 = 2;
 
+/// Cycles to run a SECDED syndrome check and correct a single flipped bit
+/// of an LLT/LEAD metadata word — a short combinational path plus a mux,
+/// comparable to a couple of pipeline stages at 3.2 GHz.
+pub const ECC_CORRECT_CYCLES: u64 = 6;
+
+/// Cycles the controller waits before declaring a DRAM response lost and
+/// eligible for retry. Far above any legitimate queued completion time at
+/// simulated load, far below the watchdog horizon.
+pub const DROP_TIMEOUT_CYCLES: u64 = 1_000;
+
+/// Base backoff between retry attempts of a dropped response; attempt `n`
+/// waits `n` times this.
+pub const RETRY_BACKOFF_CYCLES: u64 = 50;
+
 /// The memory-system designs compared in Figure 8.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LatencyDesign {

@@ -53,6 +53,8 @@ mod controller;
 pub mod latency_model;
 pub mod llp;
 pub mod llt;
+#[cfg(feature = "faults")]
+pub mod recovery;
 pub mod swap_filter;
 
 pub use controller::{

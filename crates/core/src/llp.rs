@@ -121,6 +121,17 @@ impl PredictionCaseCounts {
         (total > 0).then(|| (self.counts[0] + self.counts[3]) as f64 / total as f64)
     }
 
+    /// The raw per-case counters, in [`PredictionCase`] declaration order —
+    /// for serialization (e.g. sweep checkpoints).
+    pub fn to_array(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Rebuilds counters from [`PredictionCaseCounts::to_array`] output.
+    pub fn from_array(counts: [u64; 5]) -> Self {
+        Self { counts }
+    }
+
     /// Merges another set of counters into this one.
     pub fn merge(&mut self, other: &PredictionCaseCounts) {
         for (a, b) in self.counts.iter_mut().zip(other.counts) {

@@ -160,6 +160,17 @@ impl LltEntry {
         true
     }
 
+    /// Flips one bit of the packed encoding, modeling a transient metadata
+    /// fault that escaped correction. The index is folded into the nibbles
+    /// the entry actually uses, so every flip is observable — and, because
+    /// a permutation differs from every other permutation in at least two
+    /// nibble values, a single-bit flip always breaks
+    /// [`LltEntry::is_permutation`].
+    #[cfg(feature = "faults")]
+    pub fn flip_bit(&mut self, bit: u8) {
+        self.packed ^= 1 << (bit % (self.ratio * 4));
+    }
+
     /// Serializes to the byte the paper stores per entry (two bits per way,
     /// valid only for ratio ≤ 4).
     ///
@@ -240,6 +251,29 @@ impl LineLocationTable {
         let (displaced_way, slot) = self.entries[group as usize].promote(way)?;
         self.swaps += 1;
         Some((self.map.line_of(group, displaced_way), slot))
+    }
+
+    /// Corrupts one bit of `group`'s entry, modeling an uncorrected
+    /// metadata fault reaching the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[cfg(feature = "faults")]
+    pub fn corrupt_entry_bit(&mut self, group: u64, bit: u8) {
+        self.entries[group as usize].flip_bit(bit);
+    }
+
+    /// Overwrites `group`'s entry wholesale — the final step of a scrub
+    /// that re-derived the true permutation from the group's data-line
+    /// tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[cfg(feature = "faults")]
+    pub fn restore_entry(&mut self, group: u64, entry: LltEntry) {
+        self.entries[group as usize] = entry;
     }
 
     /// Fraction of groups still in their identity mapping (useful to watch

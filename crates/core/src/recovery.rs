@@ -1,0 +1,411 @@
+//! Recovery policies for metadata faults (compiled with the `faults`
+//! feature).
+//!
+//! The fault layer ([`cameo_memsim::faults`]) attaches faults to device
+//! reads; this module decides what the controller does about them:
+//!
+//! * **SECDED ECC** on LLT/LEAD metadata words — detects and corrects a
+//!   single flipped bit for [`ECC_CORRECT_CYCLES`] extra latency.
+//! * **Bounded retry with backoff** on dropped responses — each attempt
+//!   times out after [`DROP_TIMEOUT_CYCLES`] and backs off linearly.
+//! * **Scrub** — when a corrupted entry reaches the table anyway, its true
+//!   permutation can be re-derived from the group's data-line tags; the
+//!   controller charges the tag reads and the metadata rewrite.
+//! * **Graceful degradation** — after too many unrecovered events the
+//!   controller stops trusting predictions and falls back to SAM-style
+//!   serial access (always probe stacked first).
+//!
+//! [`RecoveryState`] is deliberately device-agnostic: it borrows the
+//! [`FaultyDevice`] per call, so the controller can route stacked and
+//! off-chip reads through one policy without fighting the borrow checker.
+
+use std::collections::HashMap;
+
+use cameo_memsim::faults::{DeviceFault, FaultyDevice};
+use cameo_types::Cycle;
+
+use crate::latency_model::{DROP_TIMEOUT_CYCLES, ECC_CORRECT_CYCLES, RETRY_BACKOFF_CYCLES};
+use crate::llt::LltEntry;
+
+/// Bounded-retry parameters for dropped responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_attempts: u32,
+    /// Base backoff; attempt `n` waits `n * backoff_cycles` on top of the
+    /// drop timeout.
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_cycles: RETRY_BACKOFF_CYCLES,
+        }
+    }
+}
+
+/// Which recovery mechanisms are active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryConfig {
+    /// SECDED on metadata words: correct single-bit flips at a small
+    /// latency cost.
+    pub ecc: bool,
+    /// Retry dropped responses; `None` gives up after the first timeout.
+    pub retry: Option<RetryPolicy>,
+    /// Validate entries before use and rebuild broken ones from data-line
+    /// tags.
+    pub scrub: bool,
+    /// After this many unrecovered events, degrade to serial access.
+    pub degrade_threshold: Option<u64>,
+}
+
+impl RecoveryConfig {
+    /// No recovery at all: faults land unchecked (the negative control).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// ECC on metadata plus bounded retry — the paper-faithful hardware
+    /// baseline.
+    pub fn ecc_only() -> Self {
+        Self {
+            ecc: true,
+            retry: Some(RetryPolicy::default()),
+            ..Self::default()
+        }
+    }
+
+    /// No ECC, but broken entries are detected before use and rebuilt from
+    /// tags.
+    pub fn scrub_only() -> Self {
+        Self {
+            scrub: true,
+            retry: Some(RetryPolicy::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Everything on: ECC, retry, scrub as the second line of defense, and
+    /// degradation as the last resort.
+    pub fn full() -> Self {
+        Self {
+            ecc: true,
+            retry: Some(RetryPolicy::default()),
+            scrub: true,
+            degrade_threshold: Some(16),
+        }
+    }
+
+    /// Short label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match (self.ecc, self.scrub) {
+            (false, false) => "none",
+            (true, false) => "ecc",
+            (false, true) => "scrub",
+            (true, true) => "full",
+        }
+    }
+}
+
+/// Counters of recovery actions taken.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryStats {
+    /// Metadata flips corrected by ECC.
+    pub ecc_corrected: u64,
+    /// Metadata flips that escaped into the table (no ECC).
+    pub flips_escaped: u64,
+    /// Retry attempts issued for dropped responses.
+    pub retries: u64,
+    /// Dropped responses eventually answered within the retry budget.
+    pub drops_recovered: u64,
+    /// Dropped responses abandoned after the retry budget.
+    pub drops_unrecovered: u64,
+    /// Corrupted entries rebuilt from data-line tags.
+    pub scrubs: u64,
+}
+
+impl RecoveryStats {
+    /// Events that made metadata unreliable: escaped flips and abandoned
+    /// drops. Drives the degradation decision.
+    pub fn unreliable_events(&self) -> u64 {
+        self.flips_escaped + self.drops_unrecovered
+    }
+}
+
+/// Live recovery state: configuration, counters, the degradation latch,
+/// and the pre-corruption entries a scrub restores (standing in for the
+/// address tags each data line physically carries).
+#[derive(Clone, Debug)]
+pub struct RecoveryState {
+    cfg: RecoveryConfig,
+    stats: RecoveryStats,
+    truth: HashMap<u64, LltEntry>,
+    degraded: bool,
+}
+
+impl RecoveryState {
+    /// Creates state for one controller.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        Self {
+            cfg,
+            stats: RecoveryStats::default(),
+            truth: HashMap::new(),
+            degraded: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// Recovery action counters.
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// Whether scrub-before-use is enabled.
+    pub fn scrub_enabled(&self) -> bool {
+        self.cfg.scrub
+    }
+
+    /// Whether the controller has degraded to serial access.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn note_unreliable(&mut self) {
+        if let Some(threshold) = self.cfg.degrade_threshold {
+            if self.stats.unreliable_events() >= threshold {
+                self.degraded = true;
+            }
+        }
+    }
+
+    /// Reads a *metadata* line (LEAD or embedded-LLT entry) through the
+    /// recovery policy. Returns the completion cycle and, when an
+    /// uncorrectable flip escaped, the flipped bit the caller must apply
+    /// to the in-table entry.
+    pub fn read_meta(
+        &mut self,
+        dev: &mut FaultyDevice,
+        now: Cycle,
+        line: u64,
+        bytes: u32,
+    ) -> (Cycle, Option<u8>) {
+        self.read_inner(dev, now, line, bytes, true)
+    }
+
+    /// Reads a *data* line through the drop/delay recovery policy. Data
+    /// lines carry their own in-band ECC, so bit flips never surface here;
+    /// only transport faults (drops, delays, outages) matter.
+    pub fn read_data(&mut self, dev: &mut FaultyDevice, now: Cycle, line: u64, bytes: u32) -> Cycle {
+        self.read_inner(dev, now, line, bytes, false).0
+    }
+
+    fn read_inner(
+        &mut self,
+        dev: &mut FaultyDevice,
+        now: Cycle,
+        line: u64,
+        bytes: u32,
+        meta: bool,
+    ) -> (Cycle, Option<u8>) {
+        let mut at = now;
+        let mut attempt: u32 = 0;
+        loop {
+            let done = dev.access(at, line, false, bytes);
+            match dev.take_fault() {
+                Some(DeviceFault::Dropped) => {
+                    let budget = self.cfg.retry.map_or(0, |r| r.max_attempts);
+                    if attempt < budget {
+                        attempt += 1;
+                        self.stats.retries += 1;
+                        let backoff = self.cfg.retry.map_or(0, |r| r.backoff_cycles);
+                        at = done
+                            + Cycle::new(DROP_TIMEOUT_CYCLES + backoff * u64::from(attempt));
+                    } else {
+                        self.stats.drops_unrecovered += 1;
+                        self.note_unreliable();
+                        // Proceed with whatever stale value the controller
+                        // holds; the caller's validation (scrub, audit)
+                        // decides whether that is survivable.
+                        return (done + Cycle::new(DROP_TIMEOUT_CYCLES), None);
+                    }
+                }
+                Some(DeviceFault::BitFlip { bit }) if meta => {
+                    if attempt > 0 {
+                        self.stats.drops_recovered += 1;
+                    }
+                    if self.cfg.ecc {
+                        self.stats.ecc_corrected += 1;
+                        return (done + Cycle::new(ECC_CORRECT_CYCLES), None);
+                    }
+                    self.stats.flips_escaped += 1;
+                    self.note_unreliable();
+                    return (done, Some(bit));
+                }
+                // Clean, delayed (extra latency already in `done`), outage
+                // deferral, or a data-line flip absorbed by in-band ECC.
+                _ => {
+                    if attempt > 0 {
+                        self.stats.drops_recovered += 1;
+                    }
+                    return (done, None);
+                }
+            }
+        }
+    }
+
+    /// Records `group`'s pre-corruption entry so a later scrub can restore
+    /// it (physically, the truth lives in the data lines' address tags; the
+    /// map stands in for re-reading them). A group corrupted twice before
+    /// scrubbing keeps its original truth.
+    pub fn save_truth(&mut self, group: u64, entry: LltEntry) {
+        self.truth.entry(group).or_insert(entry);
+    }
+
+    /// Removes and returns the recorded truth for `group`.
+    pub fn take_truth(&mut self, group: u64) -> Option<LltEntry> {
+        self.truth.remove(&group)
+    }
+
+    /// Counts one completed scrub.
+    pub fn record_scrub(&mut self) {
+        self.stats.scrubs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_memsim::faults::FaultConfig;
+    use cameo_memsim::DramConfig;
+    use cameo_types::ByteSize;
+
+    fn flipping_device() -> FaultyDevice {
+        let mut dev = FaultyDevice::new(DramConfig::stacked(ByteSize::from_mib(1)));
+        dev.arm(
+            FaultConfig {
+                flip_ppm: 1_000_000,
+                ..FaultConfig::default()
+            },
+            7,
+        );
+        dev
+    }
+
+    fn dropping_device(drop_ppm: u32) -> FaultyDevice {
+        let mut dev = FaultyDevice::new(DramConfig::stacked(ByteSize::from_mib(1)));
+        dev.arm(
+            FaultConfig {
+                drop_ppm,
+                ..FaultConfig::default()
+            },
+            7,
+        );
+        dev
+    }
+
+    #[test]
+    fn ecc_corrects_and_charges_latency() {
+        let mut dev = flipping_device();
+        let mut clean = FaultyDevice::new(DramConfig::stacked(ByteSize::from_mib(1)));
+        let baseline = clean.read_line(Cycle::ZERO, 0);
+        let mut r = RecoveryState::new(RecoveryConfig::ecc_only());
+        let (done, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        assert_eq!(escaped, None);
+        assert_eq!(done, baseline + Cycle::new(ECC_CORRECT_CYCLES));
+        assert_eq!(r.stats().ecc_corrected, 1);
+    }
+
+    #[test]
+    fn without_ecc_the_flip_escapes() {
+        let mut dev = flipping_device();
+        let mut r = RecoveryState::new(RecoveryConfig::none());
+        let (_, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        assert!(escaped.is_some());
+        assert_eq!(r.stats().flips_escaped, 1);
+    }
+
+    #[test]
+    fn data_reads_ignore_flips() {
+        let mut dev = flipping_device();
+        let mut r = RecoveryState::new(RecoveryConfig::none());
+        r.read_data(&mut dev, Cycle::ZERO, 0, 64);
+        assert_eq!(r.stats().flips_escaped, 0);
+        assert_eq!(r.stats().ecc_corrected, 0);
+    }
+
+    #[test]
+    fn retry_recovers_intermittent_drops() {
+        // 50% drop rate: with 3 retries nearly every read recovers.
+        let mut dev = dropping_device(500_000);
+        let mut r = RecoveryState::new(RecoveryConfig::ecc_only());
+        let mut now = Cycle::ZERO;
+        for i in 0..200u64 {
+            let (done, _) = r.read_meta(&mut dev, now, i % 32, 64);
+            now = done;
+        }
+        assert!(r.stats().retries > 0, "retries were exercised");
+        assert!(
+            r.stats().drops_recovered > r.stats().drops_unrecovered,
+            "recovered {} vs unrecovered {}",
+            r.stats().drops_recovered,
+            r.stats().drops_unrecovered
+        );
+    }
+
+    #[test]
+    fn retry_pays_timeout_and_backoff() {
+        let mut dev = dropping_device(1_000_000); // every response dropped
+        let mut r = RecoveryState::new(RecoveryConfig {
+            retry: Some(RetryPolicy {
+                max_attempts: 2,
+                backoff_cycles: 10,
+            }),
+            ..RecoveryConfig::none()
+        });
+        let (done, _) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        // 3 attempts all dropped: at least 3 timeouts of latency.
+        assert!(done.raw() >= 3 * DROP_TIMEOUT_CYCLES, "done {done:?}");
+        assert_eq!(r.stats().retries, 2);
+        assert_eq!(r.stats().drops_unrecovered, 1);
+    }
+
+    #[test]
+    fn degradation_latches_after_threshold() {
+        let mut dev = dropping_device(1_000_000);
+        let mut r = RecoveryState::new(RecoveryConfig {
+            degrade_threshold: Some(3),
+            ..RecoveryConfig::none()
+        });
+        assert!(!r.degraded());
+        for _ in 0..3 {
+            r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        }
+        assert!(r.degraded(), "three unrecovered drops must degrade");
+    }
+
+    #[test]
+    fn truth_round_trips_and_keeps_first_version() {
+        let mut r = RecoveryState::new(RecoveryConfig::full());
+        let original = LltEntry::identity(4);
+        let mut later = original;
+        later.promote(2);
+        r.save_truth(5, original);
+        r.save_truth(5, later); // second corruption: original wins
+        assert_eq!(r.take_truth(5), Some(original));
+        assert_eq!(r.take_truth(5), None);
+    }
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(RecoveryConfig::none().label(), "none");
+        assert_eq!(RecoveryConfig::ecc_only().label(), "ecc");
+        assert_eq!(RecoveryConfig::scrub_only().label(), "scrub");
+        assert_eq!(RecoveryConfig::full().label(), "full");
+    }
+}

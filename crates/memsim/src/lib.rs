@@ -33,6 +33,8 @@
 
 mod config;
 mod device;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod specs;
 mod stats;
 

@@ -2,6 +2,49 @@
 
 use cameo_types::ByteSize;
 
+/// A degenerate [`SystemConfig`] value, reported instead of panicking so
+/// batch harnesses can surface the problem and keep sweeping.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ConfigError {
+    /// `scale` was zero.
+    ZeroScale,
+    /// `cores` was zero.
+    ZeroCores,
+    /// `instructions_per_core` was zero.
+    ZeroInstructions,
+    /// `warmup_fraction` was outside `[0, 0.9]` (the carried value).
+    WarmupOutOfRange(f64),
+    /// `mlp` was zero.
+    ZeroMlp,
+    /// `ipc` was not positive (the carried value).
+    NonPositiveIpc(f64),
+    /// `llp_entries` was not a power of two (the carried value).
+    LlpEntriesNotPowerOfTwo(usize),
+    /// `freq_epoch` was zero.
+    ZeroFreqEpoch,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroScale => f.write_str("scale must be positive"),
+            ConfigError::ZeroCores => f.write_str("need at least one core"),
+            ConfigError::ZeroInstructions => f.write_str("need instructions"),
+            ConfigError::WarmupOutOfRange(v) => {
+                write!(f, "warmup fraction {v} outside [0, 0.9]")
+            }
+            ConfigError::ZeroMlp => f.write_str("MLP must be positive"),
+            ConfigError::NonPositiveIpc(v) => write!(f, "IPC {v} must be positive"),
+            ConfigError::LlpEntriesNotPowerOfTwo(v) => {
+                write!(f, "LLP table size {v} must be a power of two")
+            }
+            ConfigError::ZeroFreqEpoch => f.write_str("freq epoch must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The simulated system: the paper's Table I machine with all capacities
 /// (memories, L3, workload footprints) divided by [`SystemConfig::scale`].
 ///
@@ -61,22 +104,37 @@ impl SystemConfig {
 
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on degenerate values (zero scale/cores/instructions, warmup
-    /// outside `[0, 0.9]`, non-power-of-two LLP table).
-    pub fn validate(&self) {
-        assert!(self.scale > 0, "scale must be positive");
-        assert!(self.cores > 0, "need at least one core");
-        assert!(self.instructions_per_core > 0, "need instructions");
-        assert!(
-            (0.0..=0.9).contains(&self.warmup_fraction),
-            "warmup fraction out of range"
-        );
-        assert!(self.mlp > 0, "MLP must be positive");
-        assert!(self.ipc > 0.0, "IPC must be positive");
-        assert!(self.llp_entries.is_power_of_two(), "LLP table power of two");
-        assert!(self.freq_epoch > 0, "freq epoch must be positive");
+    /// Returns the first degenerate value found (zero
+    /// scale/cores/instructions, warmup outside `[0, 0.9]`,
+    /// non-power-of-two LLP table, ...) as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.scale == 0 {
+            return Err(ConfigError::ZeroScale);
+        }
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.instructions_per_core == 0 {
+            return Err(ConfigError::ZeroInstructions);
+        }
+        if !(0.0..=0.9).contains(&self.warmup_fraction) {
+            return Err(ConfigError::WarmupOutOfRange(self.warmup_fraction));
+        }
+        if self.mlp == 0 {
+            return Err(ConfigError::ZeroMlp);
+        }
+        if self.ipc <= 0.0 {
+            return Err(ConfigError::NonPositiveIpc(self.ipc));
+        }
+        if !self.llp_entries.is_power_of_two() {
+            return Err(ConfigError::LlpEntriesNotPowerOfTwo(self.llp_entries));
+        }
+        if self.freq_epoch == 0 {
+            return Err(ConfigError::ZeroFreqEpoch);
+        }
+        Ok(())
     }
 }
 
@@ -125,7 +183,7 @@ mod tests {
     #[test]
     fn default_is_valid_and_scaled() {
         let c = SystemConfig::default();
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
         assert_eq!(c.stacked(), ByteSize::from_mib(32));
         assert_eq!(c.off_chip(), ByteSize::from_mib(96));
         assert_eq!(c.total_memory() / c.stacked(), 4);
@@ -143,7 +201,7 @@ mod tests {
     #[test]
     fn paper_preset_is_full_scale() {
         let c = SystemConfig::paper();
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
         assert_eq!(c.stacked(), ByteSize::from_gib(4));
         assert_eq!(c.off_chip(), ByteSize::from_gib(12));
         assert_eq!(c.cores, 32);
@@ -152,12 +210,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scale must be positive")]
-    fn zero_scale_rejected() {
-        SystemConfig {
-            scale: 0,
-            ..Default::default()
+    fn degenerate_values_rejected() {
+        let base = SystemConfig::default();
+        let cases = [
+            (SystemConfig { scale: 0, ..base }, ConfigError::ZeroScale),
+            (SystemConfig { cores: 0, ..base }, ConfigError::ZeroCores),
+            (
+                SystemConfig {
+                    instructions_per_core: 0,
+                    ..base
+                },
+                ConfigError::ZeroInstructions,
+            ),
+            (
+                SystemConfig {
+                    warmup_fraction: 0.95,
+                    ..base
+                },
+                ConfigError::WarmupOutOfRange(0.95),
+            ),
+            (SystemConfig { mlp: 0, ..base }, ConfigError::ZeroMlp),
+            (
+                SystemConfig { ipc: 0.0, ..base },
+                ConfigError::NonPositiveIpc(0.0),
+            ),
+            (
+                SystemConfig {
+                    llp_entries: 48,
+                    ..base
+                },
+                ConfigError::LlpEntriesNotPowerOfTwo(48),
+            ),
+            (
+                SystemConfig {
+                    freq_epoch: 0,
+                    ..base
+                },
+                ConfigError::ZeroFreqEpoch,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+            assert!(!want.to_string().is_empty());
         }
-        .validate();
     }
 }

@@ -1,0 +1,119 @@
+//! Typed errors for the simulation driver.
+//!
+//! The runner and the batch harness report failures as values instead of
+//! panicking, so a sweep over many design points can record what went wrong
+//! with one point and keep going (see [`crate::harness`]).
+
+use cameo_workloads::UnknownBenchmark;
+
+use crate::config::ConfigError;
+
+/// Anything that can go wrong while setting up or driving a simulation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SimError {
+    /// The [`crate::SystemConfig`] failed validation.
+    Config(ConfigError),
+    /// A benchmark name did not resolve against the Table II suite.
+    UnknownBenchmark(UnknownBenchmark),
+    /// `run_with_streams` was handed an empty stream list.
+    EmptyStreams,
+    /// The cycle-budget watchdog tripped: a core's issue clock passed the
+    /// budget before every core retired its instructions.
+    WatchdogExpired {
+        /// The configured budget, in cycles.
+        budget_cycles: u64,
+        /// Instructions the offending core had retired when it tripped.
+        retired_instructions: u64,
+    },
+    /// A design point panicked inside the crash-isolated harness.
+    PointPanicked {
+        /// The design-point key (`bench::org`).
+        key: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A design point failed on every allowed attempt.
+    PointExhausted {
+        /// The design-point key (`bench::org`).
+        key: String,
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// Rendering of the last attempt's error.
+        last_error: String,
+    },
+    /// Reading or writing the sweep checkpoint file failed.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid system configuration: {e}"),
+            SimError::UnknownBenchmark(e) => e.fmt(f),
+            SimError::EmptyStreams => f.write_str("need at least one miss stream"),
+            SimError::WatchdogExpired {
+                budget_cycles,
+                retired_instructions,
+            } => write!(
+                f,
+                "cycle-budget watchdog expired: {retired_instructions} instructions \
+                 retired within the {budget_cycles}-cycle budget"
+            ),
+            SimError::PointPanicked { key, message } => {
+                write!(f, "design point {key} panicked: {message}")
+            }
+            SimError::PointExhausted {
+                key,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "design point {key} failed after {attempts} attempts; last error: {last_error}"
+            ),
+            SimError::Checkpoint(detail) => write!(f, "checkpoint I/O failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<UnknownBenchmark> for SimError {
+    fn from(e: UnknownBenchmark) -> Self {
+        SimError::UnknownBenchmark(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_detail() {
+        let e = SimError::from(ConfigError::ZeroScale);
+        assert!(e.to_string().contains("scale must be positive"));
+        let e = SimError::WatchdogExpired {
+            budget_cycles: 500,
+            retired_instructions: 42,
+        };
+        assert!(e.to_string().contains("500"));
+        let e = SimError::PointExhausted {
+            key: "astar::CAMEO".into(),
+            attempts: 3,
+            last_error: "boom".into(),
+        };
+        assert!(e.to_string().contains("astar::CAMEO") && e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn unknown_benchmark_converts() {
+        let err = cameo_workloads::require("nope").expect_err("not a suite name");
+        let sim: SimError = err.into();
+        assert!(sim.to_string().contains("nope"));
+    }
+}

@@ -9,6 +9,7 @@ use cameo_vmem::tlm::{DynamicMigrator, FreqMigrator, OracleProfile};
 use cameo_workloads::{BenchSpec, TraceGenerator};
 
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::org::{
     AlloyCacheOrg, BaselineOrg, CameoOrg, DoubleUseOrg, LohHillCacheOrg, MemoryOrganization,
     TlmOrg, TlmPolicy,
@@ -158,9 +159,31 @@ pub fn build_org(
 }
 
 /// Runs one benchmark under one organization and returns its statistics.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid; batch code should prefer
+/// [`try_run_benchmark`], which reports the problem as a [`SimError`].
 pub fn run_benchmark(bench: &BenchSpec, kind: OrgKind, config: &SystemConfig) -> RunStats {
+    try_run_benchmark(bench, kind, config, None)
+        .expect("configuration must be valid; use try_run_benchmark to handle errors")
+}
+
+/// Fallible variant of [`run_benchmark`], with an optional cycle-budget
+/// watchdog (see [`Runner::try_run`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for an invalid configuration or
+/// [`SimError::WatchdogExpired`] when the budget trips.
+pub fn try_run_benchmark(
+    bench: &BenchSpec,
+    kind: OrgKind,
+    config: &SystemConfig,
+    budget_cycles: Option<u64>,
+) -> Result<RunStats, SimError> {
     let mut org = build_org(bench, kind, config);
-    Runner::new(*bench, config).run(org.as_mut())
+    Runner::new(*bench, config)?.try_run(org.as_mut(), budget_cycles)
 }
 
 #[cfg(test)]
@@ -180,7 +203,7 @@ mod tests {
     #[test]
     fn all_orgs_run_astar() {
         let cfg = quick();
-        let bench = cameo_workloads::by_name("astar").unwrap();
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
         let kinds = [
             OrgKind::Baseline,
             OrgKind::AlloyCache,
@@ -206,7 +229,7 @@ mod tests {
             instructions_per_core: 200_000,
             ..Default::default()
         };
-        let bench = cameo_workloads::by_name("sphinx3").unwrap();
+        let bench = cameo_workloads::require("sphinx3").expect("suite benchmark");
         let baseline = run_benchmark(&bench, OrgKind::Baseline, &cfg);
         for kind in [
             OrgKind::AlloyCache,
@@ -227,7 +250,7 @@ mod tests {
     #[test]
     fn page_profile_covers_trace() {
         let cfg = quick();
-        let bench = cameo_workloads::by_name("astar").unwrap();
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
         let profile = page_profile(&bench, &cfg);
         assert!(!profile.is_empty());
         let total: u64 = profile.iter().map(|(_, c)| *c).sum();

@@ -1,0 +1,530 @@
+//! Crash-isolated, resumable batch harness for design-point sweeps.
+//!
+//! A figure-scale experiment is a grid of (benchmark × organization)
+//! points, each minutes of simulation. One misbehaving point must not take
+//! the sweep down, and a killed sweep must not recompute finished points.
+//! The harness therefore runs every point:
+//!
+//! * under [`std::panic::catch_unwind`], so a panic (including `deep-audit`
+//!   violations) is recorded as a [`PointRecord::Failed`] and the sweep
+//!   continues;
+//! * with an optional cycle-budget watchdog
+//!   ([`SweepOptions::watchdog_cycles`]), so a point that stops making
+//!   progress is cut off deterministically;
+//! * with bounded retries, an optional wall-clock backoff, and an optional
+//!   capacity-scale reduction per retry
+//!   ([`SweepOptions::retry_scale_factor`]);
+//! * appending each outcome to a JSONL checkpoint
+//!   ([`crate::checkpoint`]), so re-invoking the sweep resumes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use cameo_workloads::BenchSpec;
+
+use crate::checkpoint::{self, PointRecord};
+use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::experiments::{build_org, OrgKind};
+use crate::org::MemoryOrganization;
+use crate::runner::Runner;
+use crate::stats::RunStats;
+
+/// One design point of a sweep: a benchmark and an organization.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// Stable identity of the point across sweep invocations — the
+    /// checkpoint key. Defaults to `"<bench>::<org label>"`.
+    pub key: String,
+    /// Benchmark name (resolved against the Table II suite at run time).
+    pub bench: String,
+    /// Organization to build for the point.
+    pub kind: OrgKind,
+}
+
+impl SweepPoint {
+    /// A point keyed by `"<bench>::<org label>"`.
+    pub fn new(bench: &str, kind: OrgKind) -> Self {
+        Self {
+            key: format!("{bench}::{}", kind.label()),
+            bench: bench.to_owned(),
+            kind,
+        }
+    }
+
+    /// The same point under a caller-chosen key — needed when one sweep
+    /// runs the same (bench, org) pair under different externally-imposed
+    /// conditions (e.g. fault rates), which the key must distinguish.
+    pub fn with_key(mut self, key: impl Into<String>) -> Self {
+        self.key = key.into();
+        self
+    }
+}
+
+/// Sweep-wide policy knobs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepOptions {
+    /// Base configuration for every point.
+    pub config: SystemConfig,
+    /// Attempts per point (first try plus retries); at least 1.
+    pub max_attempts: u32,
+    /// Each retry multiplies `config.scale` by this factor, shrinking the
+    /// simulated capacity and footprint so a point that died of its size
+    /// can still contribute a data point. `1` retries unchanged.
+    pub retry_scale_factor: u64,
+    /// Wall-clock backoff: retry `n` sleeps `n * retry_backoff_ms`
+    /// milliseconds first (0 disables), giving transient host-level causes
+    /// — memory pressure, a busy checkpoint filesystem — room to clear.
+    pub retry_backoff_ms: u64,
+    /// Abort a point whose issue clock passes this many cycles (see
+    /// [`Runner::try_run`]). `None` disables the watchdog.
+    pub watchdog_cycles: Option<u64>,
+    /// Suppress the default panic-hook backtrace spam while points run
+    /// crash-isolated (the panic is still captured and recorded).
+    pub quiet_panics: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            config: SystemConfig::default(),
+            max_attempts: 3,
+            retry_scale_factor: 2,
+            retry_backoff_ms: 0,
+            watchdog_cycles: None,
+            quiet_panics: true,
+        }
+    }
+}
+
+/// Outcome of one point in a finished sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PointOutcome {
+    /// The point this outcome belongs to.
+    pub point: SweepPoint,
+    /// What happened.
+    pub record: PointRecord,
+    /// Whether the record came from the checkpoint instead of being run.
+    pub resumed: bool,
+}
+
+/// Everything a finished sweep produced.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SweepReport {
+    /// Per-point outcomes, in input order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl SweepReport {
+    /// Statistics of a completed point, by key.
+    pub fn stats_of(&self, key: &str) -> Option<&RunStats> {
+        self.outcomes.iter().find_map(|o| match &o.record {
+            PointRecord::Done { stats, .. } if o.point.key == key => Some(stats.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Number of points that completed (freshly or resumed).
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.record, PointRecord::Done { .. }))
+            .count()
+    }
+
+    /// Number of points that failed every attempt.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// Number of points answered from the checkpoint without re-running.
+    pub fn resumed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.resumed).count()
+    }
+}
+
+/// Builds the organization for one point. Custom builders let a sweep vary
+/// conditions the [`OrgKind`] enum does not encode (fault injection,
+/// swap-policy variants, ...).
+pub type OrgBuilder<'b> = dyn Fn(&SweepPoint, &SystemConfig) -> Box<dyn MemoryOrganization> + 'b;
+
+/// Runs a sweep with the default organization builder
+/// ([`build_org`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on checkpoint I/O failure. Per-point
+/// failures do *not* abort the sweep; they are recorded in the report.
+pub fn run_sweep(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+) -> Result<SweepReport, SimError> {
+    run_sweep_with(points, opts, checkpoint_path, &|point, config| {
+        // The bench was resolved before the builder is called; an identity
+        // fallback keeps the builder infallible.
+        let bench = cameo_workloads::by_name(&point.bench)
+            .expect("run_sweep resolved the benchmark before building the organization");
+        build_org(&bench, point.kind, config)
+    })
+}
+
+/// Runs a sweep with a caller-provided organization builder.
+///
+/// Points already recorded as done in the checkpoint are skipped; failed
+/// or missing points run for up to [`SweepOptions::max_attempts`]
+/// attempts, each isolated with `catch_unwind` and bounded by the
+/// watchdog. Every fresh outcome is appended to the checkpoint before the
+/// next point starts.
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on checkpoint I/O failure — the only
+/// sweep-fatal condition.
+pub fn run_sweep_with(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+    build: &OrgBuilder<'_>,
+) -> Result<SweepReport, SimError> {
+    let done_map = match checkpoint_path {
+        Some(path) => checkpoint::load(path)?,
+        None => Default::default(),
+    };
+    let _quiet = opts.quiet_panics.then(QuietPanics::install);
+    let mut report = SweepReport::default();
+    for point in points {
+        if let Some(record @ PointRecord::Done { .. }) = done_map.get(&point.key) {
+            report.outcomes.push(PointOutcome {
+                point: point.clone(),
+                record: record.clone(),
+                resumed: true,
+            });
+            continue;
+        }
+        let record = run_point(point, opts, build);
+        if let Some(path) = checkpoint_path {
+            checkpoint::append(path, &point.key, &record)?;
+        }
+        report.outcomes.push(PointOutcome {
+            point: point.clone(),
+            record,
+            resumed: false,
+        });
+    }
+    Ok(report)
+}
+
+/// Runs one point to a terminal record: retries, scale reduction, backoff.
+fn run_point(point: &SweepPoint, opts: &SweepOptions, build: &OrgBuilder<'_>) -> PointRecord {
+    let bench = match cameo_workloads::require(&point.bench) {
+        Ok(bench) => bench,
+        Err(e) => {
+            // Deterministic configuration error: retrying cannot help.
+            return PointRecord::Failed {
+                attempts: 1,
+                error: SimError::from(e).to_string(),
+            };
+        }
+    };
+    let max_attempts = opts.max_attempts.max(1);
+    let mut config = opts.config;
+    let mut last_error = String::new();
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            if opts.retry_backoff_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    u64::from(attempt - 1) * opts.retry_backoff_ms,
+                ));
+            }
+            config.scale = config.scale.saturating_mul(opts.retry_scale_factor.max(1));
+        }
+        match run_attempt(point, &bench, &config, opts, build) {
+            Ok(stats) => {
+                return PointRecord::Done {
+                    attempts: attempt,
+                    stats: Box::new(stats),
+                }
+            }
+            Err(e) => last_error = e.to_string(),
+        }
+    }
+    PointRecord::Failed {
+        attempts: max_attempts,
+        error: last_error,
+    }
+}
+
+/// One crash-isolated attempt at one point.
+fn run_attempt(
+    point: &SweepPoint,
+    bench: &BenchSpec,
+    config: &SystemConfig,
+    opts: &SweepOptions,
+    build: &OrgBuilder<'_>,
+) -> Result<RunStats, SimError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut org = build(point, config);
+        Runner::new(*bench, config)?.try_run(org.as_mut(), opts.watchdog_cycles)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(SimError::PointPanicked {
+            key: point.key.clone(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Extracts the human-readable panic message, when there is one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The process-global panic hook, as stored by `std::panic::take_hook`.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// RAII guard replacing the process panic hook with a silent one for the
+/// duration of a sweep, so crash-isolated points do not spray backtraces.
+struct QuietPanics {
+    previous: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn install() -> Self {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        Self {
+            previous: Some(previous),
+        }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            std::panic::set_hook(previous);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_types::{Access, ByteSize, Cycle, PageAddr};
+    use crate::org::OrgResult;
+    use crate::stats::BandwidthReport;
+
+    fn quick_opts() -> SweepOptions {
+        SweepOptions {
+            config: SystemConfig {
+                scale: 8192,
+                cores: 2,
+                instructions_per_core: 20_000,
+                warmup_fraction: 0.2,
+                ..Default::default()
+            },
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// An organization that panics after a fixed number of accesses —
+    /// stands in for any buggy design point.
+    #[derive(Debug)]
+    struct FuseOrg {
+        remaining: u64,
+    }
+
+    impl MemoryOrganization for FuseOrg {
+        fn name(&self) -> &'static str {
+            "Fuse"
+        }
+        fn access(&mut self, now: Cycle, _access: &Access) -> OrgResult {
+            assert!(self.remaining > 0, "fuse blew: injected test failure");
+            self.remaining -= 1;
+            OrgResult {
+                completion: now + Cycle::new(10),
+                serviced_by: cameo_types::ServiceLocation::OffChip,
+                faulted: false,
+            }
+        }
+        fn visible_capacity(&self) -> ByteSize {
+            ByteSize::from_gib(1)
+        }
+        fn bandwidth(&self) -> BandwidthReport {
+            BandwidthReport::default()
+        }
+        fn faults(&self) -> u64 {
+            0
+        }
+        fn service_counts(&self) -> (u64, u64) {
+            (0, 0)
+        }
+        fn prediction_cases(&self) -> Option<cameo::PredictionCaseCounts> {
+            None
+        }
+        fn prefill(&mut self, _page: PageAddr) {}
+        fn reset_stats(&mut self) {}
+    }
+
+    #[test]
+    fn sweep_completes_all_points() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline),
+            SweepPoint::new("astar", OrgKind::cameo_default()),
+        ];
+        let report = run_sweep(&points, &quick_opts(), None).expect("no checkpoint I/O involved");
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.resumed(), 0);
+        assert!(report.stats_of("astar::CAMEO").is_some());
+        assert!(report.stats_of("astar::Baseline").is_some());
+    }
+
+    #[test]
+    fn panicking_point_is_isolated_and_recorded() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("ok-before"),
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("explodes"),
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("ok-after"),
+        ];
+        let report = run_sweep_with(&points, &quick_opts(), None, &|point, config| {
+            if point.key == "explodes" {
+                // The quick config issues ~60 post-L3 accesses; a 20-access
+                // fuse reliably blows mid-run rather than never.
+                Box::new(FuseOrg { remaining: 20 })
+            } else {
+                build_org(
+                    &cameo_workloads::require(&point.bench).expect("suite benchmark"),
+                    point.kind,
+                    config,
+                )
+            }
+        })
+        .expect("no checkpoint I/O involved");
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        match &report.outcomes[1].record {
+            PointRecord::Failed { attempts, error } => {
+                assert_eq!(*attempts, 1);
+                assert!(error.contains("fuse blew"), "{error}");
+            }
+            other => panic!("expected failure record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_bounds_runaway_points() {
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        let opts = SweepOptions {
+            watchdog_cycles: Some(50),
+            ..quick_opts()
+        };
+        let report = run_sweep(&points, &opts, None).expect("no checkpoint I/O involved");
+        assert_eq!(report.failed(), 1);
+        match &report.outcomes[0].record {
+            PointRecord::Failed { error, .. } => {
+                assert!(error.contains("watchdog"), "{error}");
+            }
+            other => panic!("expected watchdog failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_without_retries() {
+        let opts = SweepOptions {
+            max_attempts: 5,
+            ..quick_opts()
+        };
+        let points = [SweepPoint::new("notabench", OrgKind::Baseline)];
+        let report = run_sweep(&points, &opts, None).expect("no checkpoint I/O involved");
+        match &report.outcomes[0].record {
+            PointRecord::Failed { attempts, error } => {
+                assert_eq!(*attempts, 1, "deterministic errors must not retry");
+                assert!(error.contains("notabench"), "{error}");
+            }
+            other => panic!("expected failure record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_reduces_scale_until_success() {
+        // The fuse panics during the run; the builder swaps in a healthy
+        // org once the harness has down-scaled the config, proving both the
+        // retry loop and the scale reduction are applied.
+        let opts = SweepOptions {
+            max_attempts: 3,
+            retry_scale_factor: 2,
+            ..quick_opts()
+        };
+        let base_scale = opts.config.scale;
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        let report = run_sweep_with(&points, &opts, None, &|_, config| {
+            if config.scale > base_scale {
+                Box::new(crate::org::BaselineOrg::new(config.off_chip(), config.seed))
+            } else {
+                Box::new(FuseOrg { remaining: 10 })
+            }
+        })
+        .expect("no checkpoint I/O involved");
+        match &report.outcomes[0].record {
+            PointRecord::Done { attempts, .. } => assert_eq!(*attempts, 2),
+            other => panic!("expected recovery on retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_done_points() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_sweep_resume_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline),
+            SweepPoint::new("astar", OrgKind::cameo_default()),
+        ];
+        let opts = quick_opts();
+        let first = run_sweep(&points, &opts, Some(&path)).expect("checkpoint dir is writable");
+        assert_eq!(first.completed(), 2);
+        assert_eq!(first.resumed(), 0);
+
+        // Second invocation: every point must come from the checkpoint.
+        // The builder panics if called, proving nothing re-ran.
+        let second = run_sweep_with(&points, &opts, Some(&path), &|point, _| {
+            panic!("point {} should have been resumed", point.key)
+        })
+        .expect("checkpoint is readable");
+        assert_eq!(second.completed(), 2);
+        assert_eq!(second.resumed(), 2);
+        assert_eq!(
+            second.stats_of("astar::Baseline"),
+            first.stats_of("astar::Baseline")
+        );
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    #[test]
+    fn failed_points_are_retried_on_resume() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_sweep_refail_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        let opts = quick_opts();
+        let broken = run_sweep_with(&points, &opts, Some(&path), &|_, _| {
+            Box::new(FuseOrg { remaining: 5 })
+        })
+        .expect("checkpoint dir is writable");
+        assert_eq!(broken.failed(), 1);
+        // Re-invoking with a working builder re-runs the failed point.
+        let fixed = run_sweep(&points, &opts, Some(&path)).expect("checkpoint is readable");
+        assert_eq!(fixed.completed(), 1);
+        assert_eq!(fixed.resumed(), 0);
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+}

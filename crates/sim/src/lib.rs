@@ -28,7 +28,7 @@
 //! use cameo_sim::SystemConfig;
 //!
 //! let config = SystemConfig::default();
-//! let bench = cameo_workloads::by_name("astar").unwrap();
+//! let bench = cameo_workloads::require("astar").expect("astar is in the Table II suite");
 //! let baseline = run_benchmark(&bench, OrgKind::Baseline, &config);
 //! let cameo = run_benchmark(&bench, OrgKind::cameo_default(), &config);
 //! println!("speedup: {:.2}x", cameo.speedup_over(&baseline));
@@ -37,17 +37,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod config;
 mod core_model;
 pub mod energy;
+mod error;
 pub mod experiments;
+pub mod harness;
 pub mod l3_stream;
 pub mod org;
 pub mod report;
 pub mod runner;
 mod stats;
 
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig};
 pub use core_model::CoreTimeline;
+pub use error::SimError;
 pub use org::{MemoryOrganization, OrgResult};
 pub use stats::{BandwidthReport, RunStats};

@@ -61,6 +61,26 @@ impl CameoOrg {
         self
     }
 
+    /// Arms the controller's devices with seeded fault injection
+    /// (builder-style). Inert when `cfg` has all rates at zero.
+    #[cfg(feature = "faults")]
+    pub fn with_fault_injection(
+        mut self,
+        cfg: cameo_memsim::faults::FaultConfig,
+        seed: u64,
+    ) -> Self {
+        self.cameo.inject_faults(cfg, seed);
+        self
+    }
+
+    /// Selects the fault-recovery policy (builder-style); default is
+    /// [`cameo::recovery::RecoveryConfig::none`].
+    #[cfg(feature = "faults")]
+    pub fn with_recovery(mut self, cfg: cameo::recovery::RecoveryConfig) -> Self {
+        self.cameo.set_recovery(cfg);
+        self
+    }
+
     fn org_name(llt: LltDesign, predictor: PredictorKind) -> &'static str {
         match (llt, predictor) {
             (LltDesign::Ideal, _) => "CAMEO(Ideal-LLT)",

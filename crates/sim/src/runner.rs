@@ -9,6 +9,7 @@ use cameo_workloads::{BenchSpec, MissEvent, MissStream, TraceConfig, TraceGenera
 
 use crate::config::SystemConfig;
 use crate::core_model::CoreTimeline;
+use crate::error::SimError;
 use crate::org::MemoryOrganization;
 use crate::stats::RunStats;
 
@@ -53,13 +54,13 @@ pub fn trace_configs(bench: &BenchSpec, config: &SystemConfig) -> Vec<TraceConfi
 impl<'a> Runner<'a> {
     /// Creates a runner for one benchmark under `config`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid (see
+    /// Returns [`SimError::Config`] if the configuration is invalid (see
     /// [`SystemConfig::validate`]).
-    pub fn new(bench: BenchSpec, config: &'a SystemConfig) -> Self {
-        config.validate();
-        Self { bench, config }
+    pub fn new(bench: BenchSpec, config: &'a SystemConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self { bench, config })
     }
 
     fn build_streams(&self) -> Vec<Box<dyn MissStream>> {
@@ -71,8 +72,14 @@ impl<'a> Runner<'a> {
 
     /// Runs the benchmark's synthetic rate-mode streams to completion and
     /// returns the measured-region statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations; prefer
+    /// [`Runner::try_run`] in batch settings.
     pub fn run(&self, org: &mut dyn MemoryOrganization) -> RunStats {
-        self.run_with_streams(org, self.build_streams())
+        self.try_run(org, None)
+            .expect("unbudgeted run with generated streams cannot report a runner error")
     }
 
     /// Runs with caller-provided per-core miss streams — e.g. recorded
@@ -87,7 +94,43 @@ impl<'a> Runner<'a> {
         org: &mut dyn MemoryOrganization,
         streams: Vec<Box<dyn MissStream>>,
     ) -> RunStats {
-        assert!(!streams.is_empty(), "need at least one stream");
+        self.try_run_with_streams(org, streams, None)
+            .expect("unbudgeted run was handed at least one stream")
+    }
+
+    /// Like [`Runner::run`], with an optional cycle-budget watchdog: if any
+    /// core's issue clock passes `budget_cycles` before all cores retire
+    /// their instructions, the run aborts with
+    /// [`SimError::WatchdogExpired`] instead of spinning forever on a
+    /// misbehaving organization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogExpired`] when the budget trips.
+    pub fn try_run(
+        &self,
+        org: &mut dyn MemoryOrganization,
+        budget_cycles: Option<u64>,
+    ) -> Result<RunStats, SimError> {
+        self.try_run_with_streams(org, self.build_streams(), budget_cycles)
+    }
+
+    /// Fallible core of the runner: caller-provided streams plus the
+    /// optional cycle-budget watchdog of [`Runner::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyStreams`] if `streams` is empty, or
+    /// [`SimError::WatchdogExpired`] when the budget trips.
+    pub fn try_run_with_streams(
+        &self,
+        org: &mut dyn MemoryOrganization,
+        streams: Vec<Box<dyn MissStream>>,
+        budget_cycles: Option<u64>,
+    ) -> Result<RunStats, SimError> {
+        if streams.is_empty() {
+            return Err(SimError::EmptyStreams);
+        }
         let cfg = self.config;
         let warmup_instr = (cfg.instructions_per_core as f64 * cfg.warmup_fraction) as u64;
         let total_instr = cfg.instructions_per_core;
@@ -152,6 +195,14 @@ impl<'a> Runner<'a> {
                 let event = core.pending;
                 core.timeline.advance(event.gap_instructions);
                 let issue = core.timeline.issue();
+                if let Some(budget) = budget_cycles {
+                    if issue.raw() > budget {
+                        return Err(SimError::WatchdogExpired {
+                            budget_cycles: budget,
+                            retired_instructions: core.timeline.instructions(),
+                        });
+                    }
+                }
                 let access = Access {
                     core: CoreId(idx as u16),
                     line: event.line,
@@ -247,7 +298,7 @@ impl<'a> Runner<'a> {
             // aborting the audited run is the point. lint: allow(no-panic)
             panic!("deep-audit: run statistics inconsistent: {violation}");
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -267,12 +318,16 @@ mod tests {
         }
     }
 
+    fn runner<'a>(name: &str, cfg: &'a SystemConfig) -> Runner<'a> {
+        let bench = cameo_workloads::require(name).expect("suite benchmark");
+        Runner::new(bench, cfg).expect("test config is valid")
+    }
+
     #[test]
     fn baseline_run_produces_sane_stats() {
         let cfg = quick_config();
-        let bench = cameo_workloads::by_name("astar").unwrap();
         let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
-        let stats = Runner::new(bench, &cfg).run(&mut org);
+        let stats = runner("astar", &cfg).run(&mut org);
         assert!(stats.execution_cycles > 0);
         assert!(stats.instructions > 0);
         assert!(stats.demand_reads > 0);
@@ -284,11 +339,10 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let cfg = quick_config();
-        let bench = cameo_workloads::by_name("astar").unwrap();
         let mut a = BaselineOrg::new(cfg.off_chip(), cfg.seed);
         let mut b = BaselineOrg::new(cfg.off_chip(), cfg.seed);
-        let sa = Runner::new(bench, &cfg).run(&mut a);
-        let sb = Runner::new(bench, &cfg).run(&mut b);
+        let sa = runner("astar", &cfg).run(&mut a);
+        let sb = runner("astar", &cfg).run(&mut b);
         assert_eq!(sa.execution_cycles, sb.execution_cycles);
         assert_eq!(sa.demand_reads, sb.demand_reads);
         assert_eq!(sa.bandwidth, sb.bandwidth);
@@ -296,12 +350,53 @@ mod tests {
 
     #[test]
     fn warmup_reduces_measured_instructions() {
-        let bench = cameo_workloads::by_name("astar").unwrap();
         let cfg = quick_config();
         let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
-        let stats = Runner::new(bench, &cfg).run(&mut org);
+        let stats = runner("astar", &cfg).run(&mut org);
         let expected_total = cfg.instructions_per_core;
         assert!(stats.instructions < expected_total);
         assert!(stats.instructions > expected_total / 2);
+    }
+
+    #[test]
+    fn invalid_config_is_a_value_not_a_panic() {
+        let cfg = SystemConfig {
+            scale: 0,
+            ..Default::default()
+        };
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
+        let err = Runner::new(bench, &cfg).err().expect("zero scale rejected");
+        assert!(err.to_string().contains("scale must be positive"));
+    }
+
+    #[test]
+    fn watchdog_trips_on_tiny_budget() {
+        let cfg = quick_config();
+        let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
+        let err = runner("astar", &cfg)
+            .try_run(&mut org, Some(10))
+            .expect_err("a 10-cycle budget cannot cover the run");
+        assert!(matches!(
+            err,
+            crate::error::SimError::WatchdogExpired {
+                budget_cycles: 10,
+                ..
+            }
+        ));
+        // A generous budget completes normally.
+        let stats = runner("astar", &cfg)
+            .try_run(&mut BaselineOrg::new(cfg.off_chip(), cfg.seed), Some(u64::MAX))
+            .expect("u64::MAX budget never trips");
+        assert!(stats.demand_reads > 0);
+    }
+
+    #[test]
+    fn empty_streams_rejected() {
+        let cfg = quick_config();
+        let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
+        let err = runner("astar", &cfg)
+            .try_run_with_streams(&mut org, Vec::new(), None)
+            .expect_err("no streams to drive");
+        assert_eq!(err, crate::error::SimError::EmptyStreams);
     }
 }

@@ -41,7 +41,7 @@ pub struct NormalizedBandwidth {
 }
 
 /// Everything measured in one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RunStats {
     /// Organization label.
     pub org: String,

@@ -3,7 +3,7 @@
 use cameo_sim::experiments::{build_org, run_benchmark, OrgKind};
 use cameo_sim::runner::Runner;
 use cameo_sim::SystemConfig;
-use cameo_workloads::by_name;
+use cameo_workloads::require;
 
 fn cfg() -> SystemConfig {
     SystemConfig {
@@ -21,7 +21,7 @@ fn latency_histogram_partitions_reads() {
         OrgKind::cameo_default(),
         OrgKind::AlloyCache,
     ] {
-        let stats = run_benchmark(&by_name("xalancbmk").unwrap(), kind, &cfg());
+        let stats = run_benchmark(&require("xalancbmk").expect("suite benchmark"), kind, &cfg());
         let total: u64 = stats.latency_histogram.iter().sum();
         assert_eq!(total, stats.demand_reads, "{}", kind.label());
         // Average falls inside the histogram's support.
@@ -32,7 +32,7 @@ fn latency_histogram_partitions_reads() {
 
 #[test]
 fn bandwidth_matches_design_roles() {
-    let bench = by_name("omnetpp").unwrap();
+    let bench = require("omnetpp").expect("suite benchmark");
     let config = cfg();
     let baseline = run_benchmark(&bench, OrgKind::Baseline, &config);
     assert_eq!(
@@ -54,7 +54,7 @@ fn bandwidth_matches_design_roles() {
 
 #[test]
 fn migration_only_for_migrating_policies() {
-    let bench = by_name("soplex").unwrap();
+    let bench = require("soplex").expect("suite benchmark");
     let config = cfg();
     assert_eq!(
         run_benchmark(&bench, OrgKind::TlmStatic, &config).migrated_pages,
@@ -69,7 +69,7 @@ fn migration_only_for_migrating_policies() {
 
 #[test]
 fn prediction_cases_only_for_colocated_cameo() {
-    let bench = by_name("astar").unwrap();
+    let bench = require("astar").expect("suite benchmark");
     let config = cfg();
     use cameo::{LltDesign, PredictorKind};
     assert!(run_benchmark(&bench, OrgKind::cameo_default(), &config)
@@ -95,7 +95,7 @@ fn perfect_prediction_dominates_sam() {
     // For the same workload, a perfect location predictor can never be
     // slower than serial access (it strictly removes serialization).
     use cameo::{LltDesign, PredictorKind};
-    let bench = by_name("soplex").unwrap();
+    let bench = require("soplex").expect("suite benchmark");
     let config = SystemConfig {
         scale: 256,
         cores: 2,
@@ -130,7 +130,7 @@ fn perfect_prediction_dominates_sam() {
 #[test]
 fn ideal_llt_bounds_real_designs() {
     use cameo::{LltDesign, PredictorKind};
-    let bench = by_name("xalancbmk").unwrap();
+    let bench = require("xalancbmk").expect("suite benchmark");
     let config = SystemConfig {
         scale: 256,
         cores: 2,
@@ -174,12 +174,12 @@ fn ideal_llt_bounds_real_designs() {
 fn org_reuse_via_runner_is_fresh() {
     // build_org must hand back an organization with no residual state:
     // two consecutive runs from fresh orgs are identical.
-    let bench = by_name("astar").unwrap();
+    let bench = require("astar").expect("suite benchmark");
     let config = cfg();
     let mut a = build_org(&bench, OrgKind::TlmDynamic, &config);
     let mut b = build_org(&bench, OrgKind::TlmDynamic, &config);
-    let ra = Runner::new(bench, &config).run(a.as_mut());
-    let rb = Runner::new(bench, &config).run(b.as_mut());
+    let ra = Runner::new(bench, &config).expect("valid test config").run(a.as_mut());
+    let rb = Runner::new(bench, &config).expect("valid test config").run(b.as_mut());
     assert_eq!(ra.execution_cycles, rb.execution_cycles);
     assert_eq!(ra.migrated_pages, rb.migrated_pages);
 }
@@ -194,7 +194,7 @@ fn heterogeneous_streams_run() {
     let streams: Vec<Box<dyn MissStream>> = ["gcc", "sphinx3"]
         .iter()
         .map(|name| {
-            let bench = by_name(name).unwrap();
+            let bench = require(name).expect("suite benchmark");
             let g = TraceGenerator::new(
                 bench,
                 TraceConfig {
@@ -207,9 +207,9 @@ fn heterogeneous_streams_run() {
             Box::new(g) as Box<dyn MissStream>
         })
         .collect();
-    let bench = by_name("gcc").unwrap();
+    let bench = require("gcc").expect("suite benchmark");
     let mut org = build_org(&bench, OrgKind::cameo_default(), &config);
-    let stats = Runner::new(bench, &config).run_with_streams(org.as_mut(), streams);
+    let stats = Runner::new(bench, &config).expect("valid test config").run_with_streams(org.as_mut(), streams);
     assert!(stats.demand_reads > 0);
     assert!(stats.execution_cycles > 0);
     assert_eq!(

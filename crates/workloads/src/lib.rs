@@ -40,7 +40,7 @@ mod generator;
 mod suite;
 
 pub use generator::{MissEvent, TraceConfig, TraceGenerator};
-pub use suite::{by_name, suite, Behavior, BenchSpec, Category};
+pub use suite::{by_name, require, suite, Behavior, BenchSpec, Category, UnknownBenchmark};
 
 /// A source of post-L3 miss events — implemented by the synthetic
 /// [`TraceGenerator`] and by recorded-trace replayers (`cameo-trace`), so

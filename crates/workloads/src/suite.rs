@@ -355,6 +355,42 @@ pub fn by_name(name: &str) -> Option<BenchSpec> {
     suite().into_iter().find(|b| b.name == name)
 }
 
+/// A benchmark name that is not in the Table II suite.
+///
+/// Carries the rejected name and the full list of valid names so the error
+/// message tells the caller exactly what to type instead.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownBenchmark {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = suite().iter().map(|b| b.name).collect();
+        write!(
+            f,
+            "unknown benchmark {:?}; the Table II suite is: {}",
+            self.name,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Looks a benchmark up by name, with a descriptive error naming the whole
+/// suite on failure — use this instead of `by_name(..).unwrap()`.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] when `name` is not in the Table II suite.
+pub fn require(name: &str) -> Result<BenchSpec, UnknownBenchmark> {
+    by_name(name).ok_or_else(|| UnknownBenchmark {
+        name: name.to_owned(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +430,15 @@ mod tests {
         // milc touches ~10 of 64 lines per page in the paper.
         assert!((milc.behavior.page_density * 64.0 - 10.0).abs() < 1.0);
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn require_names_the_suite_on_failure() {
+        assert_eq!(require("astar").map(|b| b.name), Ok("astar"));
+        let err = require("asstar").expect_err("typo must not resolve");
+        let msg = err.to_string();
+        assert!(msg.contains("asstar"), "{msg}");
+        assert!(msg.contains("astar") && msg.contains("mcf"), "{msg}");
     }
 
     #[test]

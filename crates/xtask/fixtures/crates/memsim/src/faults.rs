@@ -1,0 +1,43 @@
+//! Seeded violations typical of fault-injection code, for the linter
+//! self-test: the fault and recovery modules live in hot-path crates
+//! (`memsim`, `core`), so `no-panic` applies to them in full.
+//!
+//! This file is never compiled. Lines carrying a seeded-rule marker MUST
+//! be diagnosed; every other line MUST stay clean.
+
+/// The patterns fault-handling code is tempted into — and must not use.
+pub fn fault_handling_violations(pending: Option<u8>, meta: Result<u32, ()>) -> u32 {
+    // Consuming a pending fault that "must" exist: recovery paths race
+    // with injection, so the absence case is real.
+    let bit = pending.unwrap(); // seeded: no-panic
+    if bit > 31 {
+        panic!("fault bit out of range"); // seeded: no-panic
+    }
+    // "Corrupt metadata can't happen here" is exactly what injection makes
+    // happen; a terse expect documents nothing.
+    meta.expect("no fault") // seeded: no-panic
+}
+
+/// Sanctioned shape: an expect whose message states the invariant that
+/// makes the panic unreachable.
+pub fn documented_invariant(entry: Option<u32>) -> u32 {
+    entry.expect("a scrub only triggers after a corruption that saved the entry")
+}
+
+/// Sanctioned shape: the escape hatch records the justification in place.
+pub fn justified_unwrap(drawn: Option<u8>) -> u8 {
+    // lint: allow(no-panic) — fixture: deliberate crash-on-injection demo
+    drawn.unwrap()
+}
+
+pub fn undocumented_recovery_hook() {} // seeded: missing-docs
+
+#[cfg(test)]
+mod tests {
+    // Fault tests may assert by panicking like any other tests.
+    #[test]
+    fn injected_fault_is_observed() {
+        let pending: Option<u8> = Some(3);
+        assert_eq!(pending.unwrap(), 3);
+    }
+}

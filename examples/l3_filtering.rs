@@ -85,7 +85,9 @@ fn main() {
         })
         .collect();
     let mut org = build_org(&spec, OrgKind::cameo_default(), &config);
-    let run = Runner::new(spec, &config).run_with_streams(org.as_mut(), streams);
+    let run = Runner::new(spec, &config)
+        .expect("example config is valid")
+        .run_with_streams(org.as_mut(), streams);
     println!(
         "explicit-L3 pipeline, omnetpp through CAMEO: CPI {:.2}, {} reads, \
          {:.0}% serviced by stacked DRAM",

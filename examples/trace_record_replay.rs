@@ -54,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in [OrgKind::Baseline, OrgKind::cameo_default()] {
         let replay: Box<dyn MissStream> = Box::new(TraceFile::parse(&bytes)?.into_replay());
         let mut org = build_org(&spec, kind, &config);
-        let stats = Runner::new(spec, &config).run_with_streams(org.as_mut(), vec![replay]);
+        let stats = Runner::new(spec, &config)
+            .expect("example config is valid")
+            .run_with_streams(org.as_mut(), vec![replay]);
         println!(
             "{:<10} CPI {:.2}, avg read latency {:.0} cycles, {:.0}% stacked",
             kind.label(),

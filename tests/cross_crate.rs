@@ -5,7 +5,7 @@
 use cameo_repro::cameo::{Cameo, CameoConfig, LltDesign, PredictorKind};
 use cameo_repro::types::{Access, AccessKind, ByteSize, CoreId, Cycle, LineAddr, MemKind};
 use cameo_repro::vmem::{Placement, Vmm, VmmConfig};
-use cameo_repro::workloads::{by_name, TraceConfig, TraceGenerator};
+use cameo_repro::workloads::{require, TraceConfig, TraceGenerator};
 
 /// Drive a CAMEO controller behind a hand-built VMM with a real workload
 /// trace; check conservation properties across the stack.
@@ -27,7 +27,7 @@ fn vmm_plus_cameo_composition() {
         placement: Placement::Random,
         seed: 5,
     });
-    let spec = by_name("sphinx3").unwrap();
+    let spec = require("sphinx3").expect("suite benchmark");
     let mut generator = TraceGenerator::new(
         spec,
         TraceConfig {
@@ -89,7 +89,7 @@ fn one_copy_invariant_under_real_traffic() {
         cores: 1,
         llp_entries: 64,
     });
-    let spec = by_name("omnetpp").unwrap();
+    let spec = require("omnetpp").expect("suite benchmark");
     let mut generator = TraceGenerator::new(
         spec,
         TraceConfig {

@@ -4,7 +4,7 @@
 use cameo_repro::sim::experiments::{build_org, run_benchmark, OrgKind};
 use cameo_repro::sim::runner::Runner;
 use cameo_repro::sim::SystemConfig;
-use cameo_repro::workloads::{by_name, suite};
+use cameo_repro::workloads::{require, suite};
 
 fn quick() -> SystemConfig {
     SystemConfig {
@@ -48,7 +48,7 @@ fn all_kinds() -> Vec<OrgKind> {
 #[test]
 fn every_org_runs_every_category() {
     let cfg = quick();
-    for bench in [by_name("astar").unwrap(), by_name("zeusmp").unwrap()] {
+    for bench in [require("astar").expect("suite benchmark"), require("zeusmp").expect("suite benchmark")] {
         for kind in all_kinds() {
             let stats = run_benchmark(&bench, kind, &cfg);
             assert!(
@@ -82,7 +82,7 @@ impl FaultReads for cameo_repro::sim::RunStats {
 #[test]
 fn runs_are_deterministic_across_kinds() {
     let cfg = quick();
-    let bench = by_name("soplex").unwrap();
+    let bench = require("soplex").expect("suite benchmark");
     for kind in [OrgKind::cameo_default(), OrgKind::TlmDynamic] {
         let a = run_benchmark(&bench, kind, &cfg);
         let b = run_benchmark(&bench, kind, &cfg);
@@ -94,7 +94,7 @@ fn runs_are_deterministic_across_kinds() {
 
 #[test]
 fn seeds_change_results() {
-    let bench = by_name("soplex").unwrap();
+    let bench = require("soplex").expect("suite benchmark");
     let a = run_benchmark(&bench, OrgKind::Baseline, &quick());
     let cfg_b = SystemConfig {
         seed: 1234,
@@ -109,7 +109,7 @@ fn visible_capacity_ordering() {
     // Cache < CAMEO(CoLocated) < TLM == DoubleUse: the capacity story of
     // Figure 1.
     let cfg = quick();
-    let bench = by_name("astar").unwrap();
+    let bench = require("astar").expect("suite benchmark");
     let cap = |kind| build_org(&bench, kind, &cfg).visible_capacity();
     let cache = cap(OrgKind::AlloyCache);
     let cameo = cap(OrgKind::cameo_default());
@@ -132,7 +132,7 @@ fn capacity_workload_prefers_capacity_designs() {
         instructions_per_core: 400_000,
         ..SystemConfig::default()
     };
-    let bench = by_name("lbm").unwrap();
+    let bench = require("lbm").expect("suite benchmark");
     let baseline = run_benchmark(&bench, OrgKind::Baseline, &cfg);
     let cache = run_benchmark(&bench, OrgKind::AlloyCache, &cfg);
     let cameo = run_benchmark(&bench, OrgKind::cameo_default(), &cfg);
@@ -152,10 +152,10 @@ fn capacity_workload_prefers_capacity_designs() {
 
 #[test]
 fn warmup_region_is_excluded() {
-    let bench = by_name("astar").unwrap();
+    let bench = require("astar").expect("suite benchmark");
     let cfg = quick();
     let mut org = build_org(&bench, OrgKind::Baseline, &cfg);
-    let stats = Runner::new(bench, &cfg).run(org.as_mut());
+    let stats = Runner::new(bench, &cfg).expect("valid test config").run(org.as_mut());
     // Measured instructions are per-core and strictly less than the budget
     // (a warmup fraction was carved out).
     assert!(stats.instructions < cfg.instructions_per_core);

@@ -5,7 +5,7 @@ use cameo_repro::sim::experiments::{build_org, OrgKind};
 use cameo_repro::sim::runner::{trace_configs, Runner};
 use cameo_repro::sim::SystemConfig;
 use cameo_repro::trace::{TraceFile, TraceWriter};
-use cameo_repro::workloads::{by_name, MissStream, TraceGenerator};
+use cameo_repro::workloads::{require, MissStream, TraceGenerator};
 
 fn config() -> SystemConfig {
     SystemConfig {
@@ -23,11 +23,11 @@ fn config() -> SystemConfig {
 #[test]
 fn replay_reproduces_live_run() {
     let cfg = config();
-    let bench = by_name("xalancbmk").unwrap();
+    let bench = require("xalancbmk").expect("suite benchmark");
 
     // Live run.
     let mut live_org = build_org(&bench, OrgKind::cameo_default(), &cfg);
-    let live = Runner::new(bench, &cfg).run(live_org.as_mut());
+    let live = Runner::new(bench, &cfg).expect("valid test config").run(live_org.as_mut());
 
     // Record each core's stream with ample headroom, then replay.
     let events_per_core = cfg.expected_events_per_core(bench.mpki) * 2;
@@ -42,7 +42,7 @@ fn replay_reproduces_live_run() {
         })
         .collect();
     let mut replay_org = build_org(&bench, OrgKind::cameo_default(), &cfg);
-    let replayed = Runner::new(bench, &cfg).run_with_streams(replay_org.as_mut(), streams);
+    let replayed = Runner::new(bench, &cfg).expect("valid test config").run_with_streams(replay_org.as_mut(), streams);
 
     // Identical event streams: demand counts agree up to the warmup
     // boundary, whose exact event index shifts with timing interleaving.
@@ -72,7 +72,7 @@ fn replay_reproduces_live_run() {
 #[test]
 fn short_recording_wraps_and_completes() {
     let cfg = config();
-    let bench = by_name("astar").unwrap();
+    let bench = require("astar").expect("suite benchmark");
     let mut generator = TraceGenerator::new(bench, trace_configs(&bench, &cfg)[0]);
     // astar at this config produces ~220 events per core: a 50-event
     // recording must wrap several times.
@@ -81,7 +81,7 @@ fn short_recording_wraps_and_completes() {
     let mut org = build_org(&bench, OrgKind::AlloyCache, &cfg);
     let single_core = SystemConfig { cores: 1, ..cfg };
     let stats =
-        Runner::new(bench, &single_core).run_with_streams(org.as_mut(), vec![Box::new(replay)]);
+        Runner::new(bench, &single_core).expect("valid test config").run_with_streams(org.as_mut(), vec![Box::new(replay)]);
     assert!(stats.demand_reads + stats.demand_writes > 50); // must have wrapped
     assert!(stats.execution_cycles > 0);
     // A cyclic 500-event working set is tiny: the cache should end up
@@ -94,7 +94,7 @@ fn short_recording_wraps_and_completes() {
 #[test]
 fn replay_prefill_matches_touched_pages() {
     let cfg = config();
-    let bench = by_name("sphinx3").unwrap();
+    let bench = require("sphinx3").expect("suite benchmark");
     let mut generator = TraceGenerator::new(bench, trace_configs(&bench, &cfg)[1]);
     let bytes = TraceWriter::record(Vec::new(), bench.name, &mut generator, 2_000).expect("record");
     let trace = TraceFile::parse(&bytes).expect("parse");
