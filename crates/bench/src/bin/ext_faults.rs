@@ -42,10 +42,9 @@ fn main() {
 
 #[cfg(feature = "faults")]
 mod faulted {
-    use std::cell::RefCell;
     use std::collections::HashMap;
     use std::path::PathBuf;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     use cameo::recovery::{RecoveryConfig, RecoveryStats};
     use cameo::{LltDesign, PredictorKind};
@@ -103,7 +102,8 @@ mod faulted {
                     println!(
                         "flags: --rates A,B,C --drop-ppm N --delay-ppm N --checkpoint PATH\n\
                          plus the shared set: --scale N --cores N --instructions N --seed N \
-                         --mlp N --bench NAME (repeatable) --quick --csv"
+                         --mlp N --bench NAME (repeatable) --jobs N --bench-json PATH \
+                         --quick --csv"
                     );
                     std::process::exit(0);
                 }
@@ -131,7 +131,18 @@ mod faulted {
         degraded: bool,
     }
 
-    type Sink = Rc<RefCell<HashMap<String, PointReport>>>;
+    // Shared across sweep workers: the builder closure must be `Sync`, and
+    // points on different threads deposit their reports concurrently.
+    type Sink = Arc<Mutex<HashMap<String, PointReport>>>;
+
+    /// Locks the sink, tolerating poison: a panicking point is unwound by
+    /// the harness and its partial report is still worth keeping.
+    fn lock_sink(sink: &Sink) -> std::sync::MutexGuard<'_, HashMap<String, PointReport>> {
+        match sink.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 
     /// [`CameoOrg`] plus an exit report: on drop (normal completion or
     /// panic unwind alike) the controller's fault and recovery counters are
@@ -146,7 +157,7 @@ mod faulted {
     impl Drop for ReportingOrg {
         fn drop(&mut self) {
             let c = self.inner.controller();
-            self.sink.borrow_mut().insert(
+            lock_sink(&self.sink).insert(
                 self.key.clone(),
                 PointReport {
                     recovery: *c.recovery_stats(),
@@ -247,12 +258,13 @@ mod faulted {
             Box::new(ReportingOrg {
                 inner: org,
                 key: point.key.clone(),
-                sink: Rc::clone(&sink),
+                sink: Arc::clone(&sink),
             })
         };
 
         let opts = SweepOptions {
             config: cli.config,
+            jobs: cli.jobs,
             ..SweepOptions::default()
         };
         let report = match run_sweep_with(&points, &opts, flags.checkpoint.as_deref(), &build) {
@@ -293,8 +305,10 @@ mod faulted {
         println!("Metadata faults vs. recovery policy — CPI and IPC delta vs fault-free\n");
         cli.emit(&table);
 
+        cli.emit_perf("ext_faults", &report);
+
         println!("\nRecovery activity (final attempt of each freshly-run point):");
-        let reports = sink.borrow();
+        let reports = lock_sink(&sink);
         for point in &points {
             let Some(r) = reports.get(&point.key) else {
                 continue; // resumed from checkpoint: never built this run

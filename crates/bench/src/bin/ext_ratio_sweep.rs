@@ -5,51 +5,80 @@
 //! (congruence ratio 4). This sweep holds total memory constant and varies
 //! the stacked share — ratio 2 (half), 4 (quarter, the paper's point) and
 //! 8 (eighth) — showing how CAMEO's advantage moves with the split.
+//!
+//! Every (bench, ratio, organization) cell is an independent sweep point
+//! run through the crash-isolated harness, so the grid parallelizes across
+//! `--jobs` workers with results identical to a serial run.
+
+use std::collections::HashMap;
 
 use cameo::{LltDesign, PredictorKind};
 use cameo_bench::{print_header, Cli};
+use cameo_sim::experiments::OrgKind;
+use cameo_sim::harness::{run_sweep_with, SweepOptions, SweepPoint};
 use cameo_sim::org::{AlloyCacheOrg, BaselineOrg, CameoOrg, MemoryOrganization};
 use cameo_sim::report::Table;
-use cameo_sim::runner::Runner;
+use cameo_sim::{RunStats, SystemConfig};
 use cameo_types::ByteSize;
+
+/// The three columns of each ratio: the split's own baseline (off-chip
+/// share alone), Alloy-style cache, and CAMEO.
+#[derive(Clone, Copy)]
+enum Variant {
+    Base,
+    Cache,
+    Cameo,
+}
+
+const VARIANTS: [(&str, Variant); 3] = [
+    ("base", Variant::Base),
+    ("cache", Variant::Cache),
+    ("cameo", Variant::Cameo),
+];
 
 fn main() {
     let cli = Cli::parse();
     print_header("Extension — stacked fraction sweep", &cli);
-    let cfg = &cli.config;
-    let total = cfg.total_memory();
+    let total = cli.config.total_memory();
     let ratios = [2u64, 4, 8];
 
-    let mut headers = vec!["bench".to_owned()];
-    for r in ratios {
-        headers.push(format!("cache 1/{r}"));
-        headers.push(format!("CAMEO 1/{r}"));
-    }
-    let mut table = Table::new(headers);
-
+    let mut points = Vec::new();
+    let mut grid: HashMap<String, (u64, Variant)> = HashMap::new();
     for bench in &cli.benches {
-        let mut row = vec![bench.name.to_owned()];
         for ratio in ratios {
-            eprintln!("[run] {} ratio 1/{}", bench.name, ratio);
-            let stacked = ByteSize::from_bytes(total.bytes() / ratio);
-            let off_chip = total - stacked;
-            // Baseline for this split: the off-chip share alone.
-            let mut base = BaselineOrg::new(off_chip, cfg.seed ^ 0xBEEF);
-            let baseline = Runner::new(*bench, cfg)
-                .expect("CLI configuration was validated at parse time")
-                .run(&mut base);
+            for (tag, variant) in VARIANTS {
+                let key = format!("{}@r{ratio}::{tag}", bench.name);
+                grid.insert(key.clone(), (ratio, variant));
+                // The org kind is a placeholder: the custom builder below
+                // decides the organization from the grid entry.
+                points.push(SweepPoint::new(bench.name, OrgKind::Baseline).with_key(key));
+            }
+        }
+    }
+    eprintln!(
+        "[sweep] {} points ({} benches x {} ratios x {} orgs) across {} worker(s)",
+        points.len(),
+        cli.benches.len(),
+        ratios.len(),
+        VARIANTS.len(),
+        cli.jobs.max(1),
+    );
 
-            let mut alloy: Box<dyn MemoryOrganization> = Box::new(AlloyCacheOrg::new(
+    let build = |point: &SweepPoint, cfg: &SystemConfig| -> Box<dyn MemoryOrganization> {
+        let (ratio, variant) = *grid
+            .get(&point.key)
+            .expect("every sweep point key was entered into the grid");
+        let stacked = ByteSize::from_bytes(total.bytes() / ratio);
+        let off_chip = total - stacked;
+        match variant {
+            Variant::Base => Box::new(BaselineOrg::new(off_chip, cfg.seed ^ 0xBEEF)),
+            Variant::Cache => Box::new(AlloyCacheOrg::new(
                 stacked,
                 off_chip,
                 cfg.cores,
                 cfg.seed ^ 0xBEEF,
-            ));
-            let cache = Runner::new(*bench, cfg)
-                .expect("CLI configuration was validated at parse time")
-                .run(alloy.as_mut());
-
-            let mut cameo_org = CameoOrg::new(
+            )),
+            Variant::Cameo => Box::new(CameoOrg::new(
                 stacked,
                 off_chip,
                 LltDesign::CoLocated,
@@ -57,13 +86,43 @@ fn main() {
                 cfg.cores,
                 cfg.llp_entries,
                 cfg.seed ^ 0xBEEF,
-            );
-            let cameo_stats = Runner::new(*bench, cfg)
-                .expect("CLI configuration was validated at parse time")
-                .run(&mut cameo_org);
+            )),
+        }
+    };
 
-            row.push(format!("{:.2}x", cache.speedup_over(&baseline)));
-            row.push(format!("{:.2}x", cameo_stats.speedup_over(&baseline)));
+    let opts = SweepOptions {
+        config: cli.config,
+        max_attempts: 1,
+        jobs: cli.jobs,
+        ..SweepOptions::default()
+    };
+    let report = match run_sweep_with(&points, &opts, None, &build) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats_of = |bench: &str, ratio: u64, tag: &str| -> &RunStats {
+        report
+            .stats_of(&format!("{bench}@r{ratio}::{tag}"))
+            .unwrap_or_else(|| panic!("design point {bench}@r{ratio}::{tag} failed"))
+    };
+
+    let mut headers = vec!["bench".to_owned()];
+    for r in ratios {
+        headers.push(format!("cache 1/{r}"));
+        headers.push(format!("CAMEO 1/{r}"));
+    }
+    let mut table = Table::new(headers);
+    for bench in &cli.benches {
+        let mut row = vec![bench.name.to_owned()];
+        for ratio in ratios {
+            let baseline = stats_of(bench.name, ratio, "base");
+            let cache = stats_of(bench.name, ratio, "cache");
+            let cameo_stats = stats_of(bench.name, ratio, "cameo");
+            row.push(format!("{:.2}x", cache.speedup_over(baseline)));
+            row.push(format!("{:.2}x", cameo_stats.speedup_over(baseline)));
         }
         table.row(row);
     }
@@ -72,6 +131,7 @@ fn main() {
          baseline with only that split's off-chip share\n"
     );
     cli.emit(&table);
+    cli.emit_perf("ext_ratio_sweep", &report);
     println!(
         "\nAs the stacked share grows, a cache forfeits ever more OS-visible\n\
          capacity; CAMEO's advantage widens — the paper's core motivation."

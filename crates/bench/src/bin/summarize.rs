@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run --release -p cameo-bench --bin summarize -- --bench gcc
 //! ```
+//!
+//! With `--perf-json PATH` the binary instead reads a `BENCH_sweep.json`
+//! artifact (written by any sweep binary via `--bench-json PATH`) and
+//! prints its per-point throughput / wall-time table — no simulation runs.
 
 use cameo::llp::PredictionCase;
 use cameo_bench::{print_header, Cli};
@@ -33,8 +37,27 @@ fn latency_histogram(stats: &RunStats) -> String {
     out
 }
 
+/// Strips `--perf-json PATH` from the argument list; in that mode the
+/// artifact is tabulated and the process exits without simulating.
+fn perf_json_mode(args: Vec<String>) -> Vec<String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--perf-json" {
+            let path = it.next().unwrap_or_else(|| panic!("--perf-json needs a value"));
+            let doc = cameo_bench::perf::read_sweep_json(std::path::Path::new(&path))
+                .unwrap_or_else(|e| panic!("{e}"));
+            println!("Host throughput — {path}\n");
+            print!("{}", cameo_bench::perf::perf_table(&doc));
+            std::process::exit(0);
+        }
+        rest.push(arg);
+    }
+    rest
+}
+
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::from_args(perf_json_mode(std::env::args().skip(1).collect()));
     let bench = cli.benches[0];
     print_header("summary", &cli);
     println!(

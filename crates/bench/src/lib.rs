@@ -8,21 +8,30 @@
 //! --instructions N   measured+warmup instructions per core (default 12M)
 //! --seed N           deterministic seed (default 42)
 //! --bench NAME       restrict to one benchmark (repeatable)
+//! --jobs N           parallel sweep workers (default: all host cores; 0 = auto)
+//! --bench-json PATH  write the machine-readable BENCH_sweep.json perf artifact
 //! --quick            small smoke-test configuration
 //! --csv              emit CSV instead of an aligned table
 //! ```
 //!
 //! and prints the regenerated rows/series of one paper table or figure.
+//! Results are deterministic at any `--jobs` value: points are
+//! independent and the harness reassembles them in canonical order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
-use cameo_sim::experiments::{gmean, run_benchmark, OrgKind};
+use cameo_sim::checkpoint::PointRecord;
+use cameo_sim::experiments::{gmean, OrgKind};
+use cameo_sim::harness::{run_sweep, SweepOptions, SweepPoint, SweepReport};
 use cameo_sim::report::Table;
 use cameo_sim::{RunStats, SystemConfig};
 use cameo_workloads::{suite, BenchSpec, Category};
+
+pub mod perf;
 
 /// Parsed command line shared by all figure binaries.
 #[derive(Clone, Debug)]
@@ -33,6 +42,11 @@ pub struct Cli {
     pub csv: bool,
     /// The benchmarks to run.
     pub benches: Vec<BenchSpec>,
+    /// Sweep worker threads (`--jobs`; defaults to the host's available
+    /// parallelism).
+    pub jobs: usize,
+    /// Where to write the `BENCH_sweep.json` perf artifact, if anywhere.
+    pub bench_json: Option<PathBuf>,
 }
 
 impl Cli {
@@ -54,6 +68,8 @@ impl Cli {
         let mut config = SystemConfig::default();
         let mut csv = false;
         let mut names: Vec<String> = Vec::new();
+        let mut jobs = 0usize; // 0 = auto (available parallelism)
+        let mut bench_json = None;
         let mut it = args.into_iter();
         let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
             it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
@@ -71,6 +87,10 @@ impl Cli {
                 "--mlp" => config.mlp = need(&mut it, "--mlp").parse().expect("--mlp"),
                 "--ipc" => config.ipc = need(&mut it, "--ipc").parse().expect("--ipc"),
                 "--bench" => names.push(need(&mut it, "--bench")),
+                "--jobs" => jobs = need(&mut it, "--jobs").parse().expect("--jobs"),
+                "--bench-json" => {
+                    bench_json = Some(PathBuf::from(need(&mut it, "--bench-json")));
+                }
                 "--quick" => {
                     config.scale = 512;
                     config.cores = 2;
@@ -80,7 +100,7 @@ impl Cli {
                 "--help" | "-h" => {
                     println!(
                         "flags: --scale N --cores N --instructions N --seed N --mlp N \
-                         --bench NAME (repeatable) --quick --csv"
+                         --bench NAME (repeatable) --jobs N --bench-json PATH --quick --csv"
                     );
                     std::process::exit(0);
                 }
@@ -100,10 +120,35 @@ impl Cli {
                 })
                 .collect()
         };
+        if jobs == 0 {
+            jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        }
         Self {
             config,
             csv,
             benches,
+            jobs,
+            bench_json,
+        }
+    }
+
+    /// Writes the `BENCH_sweep.json` perf artifact for a finished sweep
+    /// if `--bench-json` was given, and echoes the throughput gauges to
+    /// stderr either way.
+    pub fn emit_perf(&self, sweep_name: &str, report: &SweepReport) {
+        eprintln!(
+            "[perf] {sweep_name}: {:.2}s wall, {} points ({} resumed), \
+             {:.0} accesses/s, {:.0} cycles/s",
+            report.wall_seconds(),
+            report.outcomes.len(),
+            report.resumed(),
+            report.accesses_per_sec().unwrap_or(0.0),
+            report.cycles_per_sec().unwrap_or(0.0),
+        );
+        if let Some(path) = &self.bench_json {
+            perf::write_sweep_json(path, sweep_name, self.jobs, &self.config, report)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("[perf] wrote {}", path.display());
         }
     }
 
@@ -127,22 +172,67 @@ pub struct SpeedupGrid {
     pub runs: BTreeMap<String, Vec<RunStats>>,
     /// Benchmark order.
     pub order: Vec<BenchSpec>,
+    /// The underlying sweep report, carrying per-point and per-sweep
+    /// wall-clock and throughput gauges (see [`Cli::emit_perf`]).
+    pub report: SweepReport,
 }
 
 impl SpeedupGrid {
-    /// Runs the baseline plus every `kind` for every benchmark in `cli`,
-    /// printing progress to stderr.
+    /// Runs the baseline plus every `kind` for every benchmark in `cli`
+    /// through the sweep harness, across [`Cli::jobs`] workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any design point fails — figure binaries want broken
+    /// points loud, not silently missing columns.
     pub fn collect(kinds: &[OrgKind], cli: &Cli) -> Self {
+        // Column-indexed keys: stable for checkpoints and immune to two
+        // columns sharing an organization label.
+        let mut points = Vec::with_capacity(cli.benches.len() * (kinds.len() + 1));
+        for bench in &cli.benches {
+            points.push(
+                SweepPoint::new(bench.name, OrgKind::Baseline)
+                    .with_key(format!("{}::#base", bench.name)),
+            );
+            for (col, kind) in kinds.iter().enumerate() {
+                points.push(
+                    SweepPoint::new(bench.name, *kind).with_key(format!("{}::#{col}", bench.name)),
+                );
+            }
+        }
+        eprintln!(
+            "[sweep] {} points ({} benches x {} orgs) across {} worker(s)",
+            points.len(),
+            cli.benches.len(),
+            kinds.len() + 1,
+            cli.jobs.max(1),
+        );
+        let opts = SweepOptions {
+            config: cli.config,
+            max_attempts: 1,
+            jobs: cli.jobs,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&points, &opts, None)
+            .unwrap_or_else(|e| panic!("sweep failed before any checkpointing: {e}"));
+
+        let mut outcomes = report.outcomes.iter();
+        let mut take = || {
+            let outcome = outcomes
+                .next()
+                .expect("the report has one outcome per submitted point");
+            match &outcome.record {
+                PointRecord::Done { stats, .. } => (**stats).clone(),
+                PointRecord::Failed { error, .. } => {
+                    panic!("design point {} failed: {error}", outcome.point.key)
+                }
+            }
+        };
         let mut baselines = BTreeMap::new();
         let mut runs = BTreeMap::new();
         for bench in &cli.benches {
-            eprintln!("[run] {} baseline", bench.name);
-            let base = run_benchmark(bench, OrgKind::Baseline, &cli.config);
-            let mut row = Vec::with_capacity(kinds.len());
-            for kind in kinds {
-                eprintln!("[run] {} {}", bench.name, kind.label());
-                row.push(run_benchmark(bench, *kind, &cli.config));
-            }
+            let base = take();
+            let row: Vec<RunStats> = kinds.iter().map(|_| take()).collect();
             baselines.insert(bench.name.to_owned(), base);
             runs.insert(bench.name.to_owned(), row);
         }
@@ -151,6 +241,7 @@ impl SpeedupGrid {
             baselines,
             runs,
             order: cli.benches.clone(),
+            report,
         }
     }
 
@@ -266,6 +357,20 @@ mod tests {
         let cli = args("--quick");
         assert_eq!(cli.config.scale, 512);
         assert_eq!(cli.config.cores, 2);
+    }
+
+    #[test]
+    fn jobs_and_bench_json_parse() {
+        let cli = args("--jobs 3 --bench-json /tmp/b.json");
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(
+            cli.bench_json.as_deref(),
+            Some(std::path::Path::new("/tmp/b.json"))
+        );
+        // `--jobs 0` (and the default) resolve to the host parallelism,
+        // which is always at least one worker.
+        assert!(args("--jobs 0").jobs >= 1);
+        assert!(args("").jobs >= 1);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! The machine-readable host-performance artifact (`BENCH_sweep.json`).
+//!
+//! Every sweep binary can emit one JSON document (via `--bench-json PATH`,
+//! see [`crate::Cli::emit_perf`]) recording how fast the *host* chewed
+//! through the sweep: wall-clock per point and per sweep, and simulated
+//! accesses/sec and cycles/sec throughput gauges. Checked-in artifacts
+//! give future perf work a trajectory to regress against; `summarize
+//! --perf-json PATH` renders any artifact as a table.
+//!
+//! Schema (`cameo-bench-sweep/1`): one object with sweep identity
+//! (`sweep`, `jobs`, `config`), sweep totals (`wall_nanos`,
+//! `sim_accesses`, `sim_cycles`, `accesses_per_sec`, `cycles_per_sec`,
+//! `completed`/`failed`/`resumed`), and a `point_metrics` array with one
+//! object per point (`key`, `wall_nanos`, `accesses`, `cycles`,
+//! `resumed`). Simulated counters are exact `u64`s; only derived rates
+//! are floats.
+
+use std::path::Path;
+
+use cameo_sim::checkpoint::{Json, PointRecord};
+use cameo_sim::harness::{PointOutcome, SweepReport};
+use cameo_sim::report::Table;
+use cameo_sim::SystemConfig;
+
+/// Schema identifier embedded in every artifact.
+pub const SCHEMA: &str = "cameo-bench-sweep/1";
+
+/// Builds the artifact document for a finished sweep.
+pub fn sweep_json(
+    sweep_name: &str,
+    jobs: usize,
+    config: &SystemConfig,
+    report: &SweepReport,
+) -> Json {
+    let rate = |quantity: u64, wall_nanos: u64| {
+        if wall_nanos > 0 {
+            Json::F64(quantity as f64 / (wall_nanos as f64 / 1e9))
+        } else {
+            Json::Null
+        }
+    };
+    let point_metrics: Vec<Json> = report.outcomes.iter().map(|o| point_json(o, &rate)).collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("sweep".into(), Json::Str(sweep_name.into())),
+        ("jobs".into(), Json::U64(jobs as u64)),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("scale".into(), Json::U64(config.scale)),
+                ("cores".into(), Json::U64(u64::from(config.cores))),
+                (
+                    "instructions_per_core".into(),
+                    Json::U64(config.instructions_per_core),
+                ),
+                ("seed".into(), Json::U64(config.seed)),
+            ]),
+        ),
+        ("points".into(), Json::U64(report.outcomes.len() as u64)),
+        ("completed".into(), Json::U64(report.completed() as u64)),
+        ("failed".into(), Json::U64(report.failed() as u64)),
+        ("resumed".into(), Json::U64(report.resumed() as u64)),
+        ("wall_nanos".into(), Json::U64(report.wall_nanos)),
+        ("sim_accesses".into(), Json::U64(report.sim_accesses())),
+        ("sim_cycles".into(), Json::U64(report.sim_cycles())),
+        (
+            "accesses_per_sec".into(),
+            rate(report.sim_accesses(), report.wall_nanos),
+        ),
+        (
+            "cycles_per_sec".into(),
+            rate(report.sim_cycles(), report.wall_nanos),
+        ),
+        ("point_metrics".into(), Json::Arr(point_metrics)),
+    ])
+}
+
+fn point_json(outcome: &PointOutcome, rate: &impl Fn(u64, u64) -> Json) -> Json {
+    let mut fields = vec![
+        ("key".into(), Json::Str(outcome.point.key.clone())),
+        ("resumed".into(), Json::Bool(outcome.resumed)),
+        ("wall_nanos".into(), Json::U64(outcome.wall_nanos)),
+    ];
+    match &outcome.record {
+        PointRecord::Done { stats, .. } => {
+            fields.push(("accesses".into(), Json::U64(stats.accesses())));
+            fields.push(("cycles".into(), Json::U64(stats.execution_cycles)));
+            fields.push((
+                "accesses_per_sec".into(),
+                rate(stats.accesses(), outcome.wall_nanos),
+            ));
+        }
+        PointRecord::Failed { error, .. } => {
+            fields.push(("error".into(), Json::Str(error.clone())));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Renders and writes the artifact for a finished sweep.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_sweep_json(
+    path: &Path,
+    sweep_name: &str,
+    jobs: usize,
+    config: &SystemConfig,
+    report: &SweepReport,
+) -> std::io::Result<()> {
+    let mut text = sweep_json(sweep_name, jobs, config, report).render();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// Reads an artifact back into its [`Json`] document.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure.
+pub fn read_sweep_json(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn u64_of(json: &Json, key: &str) -> u64 {
+    match json.get(key) {
+        Some(Json::U64(v)) => *v,
+        _ => 0,
+    }
+}
+
+fn str_of<'j>(json: &'j Json, key: &str) -> &'j str {
+    match json.get(key) {
+        Some(Json::Str(s)) => s,
+        _ => "?",
+    }
+}
+
+fn seconds(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+fn rate_cell(quantity: u64, wall_nanos: u64) -> String {
+    if wall_nanos == 0 {
+        return "-".to_owned();
+    }
+    format!("{:.0}", quantity as f64 / seconds(wall_nanos))
+}
+
+/// Renders an artifact as a per-point throughput / wall-time table with a
+/// sweep-total footer row.
+pub fn perf_table(doc: &Json) -> Table {
+    let mut table = Table::new(vec![
+        "point".to_owned(),
+        "wall s".to_owned(),
+        "accesses".to_owned(),
+        "acc/s".to_owned(),
+        "note".to_owned(),
+    ]);
+    if let Some(Json::Arr(points)) = doc.get("point_metrics") {
+        for p in points {
+            let note = if matches!(p.get("resumed"), Some(Json::Bool(true))) {
+                "resumed"
+            } else if p.get("error").is_some() {
+                "FAILED"
+            } else {
+                ""
+            };
+            table.row(vec![
+                str_of(p, "key").to_owned(),
+                format!("{:.3}", seconds(u64_of(p, "wall_nanos"))),
+                u64_of(p, "accesses").to_string(),
+                rate_cell(u64_of(p, "accesses"), u64_of(p, "wall_nanos")),
+                note.to_owned(),
+            ]);
+        }
+    }
+    let wall = u64_of(doc, "wall_nanos");
+    table.row(vec![
+        format!("TOTAL ({}, --jobs {})", str_of(doc, "sweep"), u64_of(doc, "jobs")),
+        format!("{:.3}", seconds(wall)),
+        u64_of(doc, "sim_accesses").to_string(),
+        rate_cell(u64_of(doc, "sim_accesses"), wall),
+        format!(
+            "{} done / {} failed / {} resumed",
+            u64_of(doc, "completed"),
+            u64_of(doc, "failed"),
+            u64_of(doc, "resumed"),
+        ),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_sim::experiments::OrgKind;
+    use cameo_sim::harness::{run_sweep, SweepOptions, SweepPoint};
+
+    fn tiny_report() -> (SweepReport, SystemConfig) {
+        let config = SystemConfig {
+            scale: 8192,
+            cores: 2,
+            instructions_per_core: 20_000,
+            warmup_fraction: 0.2,
+            ..SystemConfig::default()
+        };
+        let opts = SweepOptions {
+            config,
+            max_attempts: 1,
+            ..SweepOptions::default()
+        };
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        (
+            run_sweep(&points, &opts, None).expect("no checkpoint I/O involved"),
+            config,
+        )
+    }
+
+    #[test]
+    fn artifact_round_trips_and_tabulates() {
+        let (report, config) = tiny_report();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_bench_sweep_{}.json", std::process::id()));
+        write_sweep_json(&path, "unit-test", 2, &config, &report).expect("tmp write");
+        let doc = read_sweep_json(&path).expect("artifact parses");
+        assert_eq!(str_of(&doc, "schema"), SCHEMA);
+        assert_eq!(str_of(&doc, "sweep"), "unit-test");
+        assert_eq!(u64_of(&doc, "jobs"), 2);
+        assert_eq!(u64_of(&doc, "points"), 1);
+        assert_eq!(u64_of(&doc, "completed"), 1);
+        assert_eq!(u64_of(&doc, "sim_accesses"), report.sim_accesses());
+        assert!(u64_of(&doc, "wall_nanos") > 0);
+        assert!(matches!(doc.get("accesses_per_sec"), Some(Json::F64(v)) if *v > 0.0));
+
+        let rendered = perf_table(&doc).to_string();
+        assert!(rendered.contains("astar::Baseline"), "{rendered}");
+        assert!(rendered.contains("TOTAL"), "{rendered}");
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    #[test]
+    fn unreadable_artifact_is_an_error_value() {
+        let missing = std::env::temp_dir().join("cameo_bench_sweep_nonexistent.json");
+        assert!(read_sweep_json(&missing).is_err());
+    }
+}

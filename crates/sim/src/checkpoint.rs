@@ -20,9 +20,10 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::fs::OpenOptions;
+use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use cameo::PredictionCaseCounts;
 
@@ -564,20 +565,74 @@ pub fn load(path: &Path) -> Result<HashMap<String, PointRecord>, SimError> {
 /// Appends one record to the checkpoint file (creating it if needed) and
 /// flushes, so a kill immediately afterwards loses nothing.
 ///
+/// One-shot convenience over [`Writer`]: opens, appends, closes. Sweeps
+/// hold a [`Writer`] open instead of paying an open per record.
+///
 /// # Errors
 ///
 /// Returns [`SimError::Checkpoint`] on I/O failure.
 pub fn append(path: &Path, key: &str, record: &PointRecord) -> Result<(), SimError> {
-    let io_err = |e: std::io::Error| SimError::Checkpoint(format!("{}: {e}", path.display()));
-    let mut file = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(io_err)?;
-    let mut line = render_record(key, record);
-    line.push('\n');
-    file.write_all(line.as_bytes()).map_err(io_err)?;
-    file.flush().map_err(io_err)
+    Writer::open(path)?.append(key, record)
+}
+
+/// A shared, internally synchronized checkpoint appender.
+///
+/// The parallel sweep engine funnels every worker's outcome through one
+/// `Writer`: the open file handle sits behind a mutex, and each record is
+/// rendered first, then written as a single `write_all` of one full line
+/// and flushed while the lock is held. Concurrent completions therefore
+/// can never interleave or tear records — the JSONL file parses
+/// line-by-line no matter how many workers append — and a kill loses at
+/// most the final in-flight line, which [`load`] already tolerates.
+#[derive(Debug)]
+pub struct Writer {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Writer {
+    /// Opens (creating if needed) the checkpoint file for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] on I/O failure.
+    pub fn open(path: &Path) -> Result<Self, SimError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record as a single flushed line. Callable from any
+    /// thread through a shared reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] on I/O failure.
+    pub fn append(&self, key: &str, record: &PointRecord) -> Result<(), SimError> {
+        let mut line = render_record(key, record);
+        line.push('\n');
+        let io_err = |e: std::io::Error| SimError::Checkpoint(format!("{}: {e}", self.path.display()));
+        let mut file = match self.file.lock() {
+            Ok(guard) => guard,
+            // A worker that panicked while appending cannot have left a
+            // partial line (the buffer is written in one call); the file
+            // handle itself is still sound to use.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        file.write_all(line.as_bytes()).map_err(io_err)?;
+        file.flush().map_err(io_err)
+    }
 }
 
 #[cfg(test)]
@@ -703,6 +758,57 @@ mod tests {
         append(&path, "astar::CAMEO", &rec).expect("append succeeds");
         let map = load(&path).expect("appended file loads");
         assert_eq!(map.get("astar::CAMEO"), Some(&rec));
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// Hammers one shared [`Writer`] from many threads and verifies the
+    /// resulting JSONL has no interleaved or torn records: every line
+    /// parses on its own, and every (thread, record) pair is present
+    /// exactly once with the payload it wrote.
+    #[test]
+    fn concurrent_appends_never_tear_records() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_conc_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let writer = Writer::open(&path).expect("tmp dir is writable");
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let writer = &writer;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // A long error string makes torn writes visible.
+                        let rec = PointRecord::Failed {
+                            attempts: 1,
+                            error: format!("t{t}i{i}:").repeat(64),
+                        };
+                        writer
+                            .append(&format!("t{t}::{i}"), &rec)
+                            .expect("tmp append succeeds");
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).expect("tmp readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * PER_THREAD as usize);
+        for line in &lines {
+            let (key, rec) = parse_record(line).expect("every line is a whole record");
+            let (t, i) = key
+                .split_once("::")
+                .map(|(a, b)| (a.trim_start_matches('t').to_owned(), b.to_owned()))
+                .expect("key has the t<thread>::<i> shape");
+            match rec {
+                PointRecord::Failed { error, .. } => {
+                    assert_eq!(error, format!("t{t}i{i}:").repeat(64));
+                }
+                other => panic!("expected failed record, got {other:?}"),
+            }
+        }
+        // And the map view sees every record.
+        let map = load(&path).expect("concurrently written file loads");
+        assert_eq!(map.len(), THREADS * PER_THREAD as usize);
         std::fs::remove_file(&path).expect("tmp cleanup");
     }
 }

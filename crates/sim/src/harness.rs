@@ -16,9 +16,26 @@
 //!   ([`SweepOptions::retry_scale_factor`]);
 //! * appending each outcome to a JSONL checkpoint
 //!   ([`crate::checkpoint`]), so re-invoking the sweep resumes.
+//!
+//! Points are independent (each builds its own organization and streams
+//! from the per-point configuration), so the harness also runs them in
+//! parallel: [`SweepOptions::jobs`] workers pull points from a shared
+//! queue ([`crate::pool`]), outcomes funnel through one internally
+//! synchronized [`checkpoint::Writer`], and the report is assembled in
+//! canonical input order — a parallel sweep's [`SweepReport`] compares
+//! equal to the serial one, and its checkpoint resumes identically (the
+//! on-disk record *order* is completion order, which [`checkpoint::load`]
+//! never depends on).
+//!
+//! Host-side wall-clock per point and per sweep is recorded alongside —
+//! see [`PointOutcome::wall_nanos`] and the [`SweepReport`] throughput
+//! gauges — but deliberately excluded from report equality, which covers
+//! simulated results only.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use cameo_workloads::BenchSpec;
 
@@ -82,6 +99,12 @@ pub struct SweepOptions {
     /// Suppress the default panic-hook backtrace spam while points run
     /// crash-isolated (the panic is still captured and recorded).
     pub quiet_panics: bool,
+    /// Worker threads running points concurrently. `0` and `1` both mean
+    /// serial (the library default — CLIs typically pass the host's
+    /// available parallelism). Results are bit-identical at any job
+    /// count: points are independent and the report is assembled in
+    /// input order.
+    pub jobs: usize,
 }
 
 impl Default for SweepOptions {
@@ -93,12 +116,17 @@ impl Default for SweepOptions {
             retry_backoff_ms: 0,
             watchdog_cycles: None,
             quiet_panics: true,
+            jobs: 1,
         }
     }
 }
 
 /// Outcome of one point in a finished sweep.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Equality ignores [`PointOutcome::wall_nanos`]: two outcomes are equal
+/// when their *simulated* results agree, which is what the serial ↔
+/// parallel determinism guarantee covers.
+#[derive(Clone, Debug)]
 pub struct PointOutcome {
     /// The point this outcome belongs to.
     pub point: SweepPoint,
@@ -106,13 +134,33 @@ pub struct PointOutcome {
     pub record: PointRecord,
     /// Whether the record came from the checkpoint instead of being run.
     pub resumed: bool,
+    /// Host wall-clock spent producing the record, in nanoseconds
+    /// (all attempts and backoff included; `0` for resumed points).
+    pub wall_nanos: u64,
+}
+
+impl PartialEq for PointOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.point == other.point && self.record == other.record && self.resumed == other.resumed
+    }
 }
 
 /// Everything a finished sweep produced.
-#[derive(Clone, PartialEq, Debug, Default)]
+///
+/// Equality ignores the host-side timing fields (see [`PointOutcome`]).
+#[derive(Clone, Debug, Default)]
 pub struct SweepReport {
     /// Per-point outcomes, in input order.
     pub outcomes: Vec<PointOutcome>,
+    /// Host wall-clock of the whole sweep in nanoseconds, resume lookup
+    /// and checkpoint I/O included (`0` for hand-assembled reports).
+    pub wall_nanos: u64,
+}
+
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+    }
 }
 
 impl SweepReport {
@@ -141,12 +189,53 @@ impl SweepReport {
     pub fn resumed(&self) -> usize {
         self.outcomes.iter().filter(|o| o.resumed).count()
     }
+
+    /// Total simulated demand accesses across completed points (resumed
+    /// ones included — they carry full statistics).
+    pub fn sim_accesses(&self) -> u64 {
+        self.completed_stats().map(RunStats::accesses).sum()
+    }
+
+    /// Total simulated cycles across completed points.
+    pub fn sim_cycles(&self) -> u64 {
+        self.completed_stats().map(|s| s.execution_cycles).sum()
+    }
+
+    /// Host throughput gauge: simulated accesses per wall-clock second of
+    /// the sweep. `None` when no wall-clock was recorded.
+    pub fn accesses_per_sec(&self) -> Option<f64> {
+        self.per_sec(self.sim_accesses())
+    }
+
+    /// Host throughput gauge: simulated cycles per wall-clock second of
+    /// the sweep. `None` when no wall-clock was recorded.
+    pub fn cycles_per_sec(&self) -> Option<f64> {
+        self.per_sec(self.sim_cycles())
+    }
+
+    /// The sweep wall-clock in seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    fn per_sec(&self, quantity: u64) -> Option<f64> {
+        (self.wall_nanos > 0).then(|| quantity as f64 / self.wall_seconds())
+    }
+
+    fn completed_stats(&self) -> impl Iterator<Item = &RunStats> {
+        self.outcomes.iter().filter_map(|o| match &o.record {
+            PointRecord::Done { stats, .. } => Some(stats.as_ref()),
+            PointRecord::Failed { .. } => None,
+        })
+    }
 }
 
 /// Builds the organization for one point. Custom builders let a sweep vary
 /// conditions the [`OrgKind`] enum does not encode (fault injection,
-/// swap-policy variants, ...).
-pub type OrgBuilder<'b> = dyn Fn(&SweepPoint, &SystemConfig) -> Box<dyn MemoryOrganization> + 'b;
+/// swap-policy variants, ...). `Sync` because sweep workers call the
+/// builder concurrently — share mutable sinks behind a `Mutex`.
+pub type OrgBuilder<'b> =
+    dyn Fn(&SweepPoint, &SystemConfig) -> Box<dyn MemoryOrganization> + Sync + 'b;
 
 /// Runs a sweep with the default organization builder
 /// ([`build_org`]).
@@ -174,45 +263,103 @@ pub fn run_sweep(
 /// Points already recorded as done in the checkpoint are skipped; failed
 /// or missing points run for up to [`SweepOptions::max_attempts`]
 /// attempts, each isolated with `catch_unwind` and bounded by the
-/// watchdog. Every fresh outcome is appended to the checkpoint before the
-/// next point starts.
+/// watchdog, across [`SweepOptions::jobs`] workers. Every fresh outcome
+/// is appended to the checkpoint the moment it completes (through one
+/// shared [`checkpoint::Writer`]), so a kill at any instant loses at
+/// most the in-flight points. The report lists outcomes in input order
+/// regardless of completion order.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::Checkpoint`] on checkpoint I/O failure — the only
-/// sweep-fatal condition.
+/// sweep-fatal condition. Under concurrency the failure cancels the
+/// work queue; in-flight points finish but the sweep returns the error.
 pub fn run_sweep_with(
     points: &[SweepPoint],
     opts: &SweepOptions,
     checkpoint_path: Option<&Path>,
     build: &OrgBuilder<'_>,
 ) -> Result<SweepReport, SimError> {
+    let sweep_start = Instant::now();
     let done_map = match checkpoint_path {
         Some(path) => checkpoint::load(path)?,
         None => Default::default(),
     };
+    let writer = match checkpoint_path {
+        Some(path) => Some(checkpoint::Writer::open(path)?),
+        None => None,
+    };
     let _quiet = opts.quiet_panics.then(QuietPanics::install);
-    let mut report = SweepReport::default();
-    for point in points {
-        if let Some(record @ PointRecord::Done { .. }) = done_map.get(&point.key) {
-            report.outcomes.push(PointOutcome {
+
+    // Canonical-order slots: resumed points are answered immediately;
+    // the rest are indexed into the work queue.
+    let mut slots: Vec<Option<PointOutcome>> = points
+        .iter()
+        .map(|point| match done_map.get(&point.key) {
+            Some(record @ PointRecord::Done { .. }) => Some(PointOutcome {
                 point: point.clone(),
                 record: record.clone(),
                 resumed: true,
-            });
-            continue;
-        }
+                wall_nanos: 0,
+            }),
+            _ => None,
+        })
+        .collect();
+    let pending: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
+
+    // One mutex-guarded result cell per pending point: workers write
+    // disjoint cells, so contention is zero and completion order never
+    // reaches the report.
+    let results: Vec<Mutex<Option<(PointRecord, u64)>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+    let checkpoint_failure: Mutex<Option<SimError>> = Mutex::new(None);
+    crate::pool::for_each_indexed(opts.jobs.max(1), pending.len(), |n, cancel| {
+        let point = &points[pending[n]];
+        let point_start = Instant::now();
         let record = run_point(point, opts, build);
-        if let Some(path) = checkpoint_path {
-            checkpoint::append(path, &point.key, &record)?;
+        let wall_nanos = u64::try_from(point_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(writer) = &writer {
+            if let Err(e) = writer.append(&point.key, &record) {
+                *lock(&checkpoint_failure) = Some(e);
+                cancel.cancel();
+                return;
+            }
         }
-        report.outcomes.push(PointOutcome {
-            point: point.clone(),
+        *lock(&results[n]) = Some((record, wall_nanos));
+    });
+    if let Some(e) = lock(&checkpoint_failure).take() {
+        return Err(e);
+    }
+
+    for (n, &i) in pending.iter().enumerate() {
+        let (record, wall_nanos) = lock(&results[n])
+            .take()
+            .expect("an uncancelled pool runs every pending point to completion");
+        slots[i] = Some(PointOutcome {
+            point: points[i].clone(),
             record,
             resumed: false,
+            wall_nanos,
         });
     }
-    Ok(report)
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is either resumed or filled by its worker"))
+        .collect();
+    Ok(SweepReport {
+        outcomes,
+        wall_nanos: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    })
+}
+
+/// Locks a mutex, continuing through poisoning: sweep state behind these
+/// mutexes is written atomically (one `Option` store), so a panicking
+/// worker cannot leave it half-updated.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Runs one point to a terminal record: retries, scale reduction, backoff.
@@ -232,6 +379,10 @@ fn run_point(point: &SweepPoint, opts: &SweepOptions, build: &OrgBuilder<'_>) ->
     let mut last_error = String::new();
     for attempt in 1..=max_attempts {
         if attempt > 1 {
+            // Linear backoff before retry `n`: `n * retry_backoff_ms`.
+            // Compiled out of test builds so harness tests never
+            // wall-block, whatever backoff the options under test carry.
+            #[cfg(not(test))]
             if opts.retry_backoff_ms > 0 {
                 std::thread::sleep(std::time::Duration::from_millis(
                     u64::from(attempt - 1) * opts.retry_backoff_ms,
@@ -478,6 +629,165 @@ mod tests {
             PointRecord::Done { attempts, .. } => assert_eq!(*attempts, 2),
             other => panic!("expected recovery on retry, got {other:?}"),
         }
+    }
+
+    /// The tentpole determinism guarantee: the same sweep run serially
+    /// and with 4 workers produces an equal [`SweepReport`] (stats,
+    /// order, resume flags) and checkpoints that replay identically.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline),
+            SweepPoint::new("astar", OrgKind::cameo_default()),
+            SweepPoint::new("milc", OrgKind::Baseline),
+            SweepPoint::new("milc", OrgKind::AlloyCache),
+            SweepPoint::new("mcf", OrgKind::cameo_default()),
+        ];
+        let dir = std::env::temp_dir();
+        let serial_path = dir.join(format!("cameo_sweep_det_s_{}.jsonl", std::process::id()));
+        let parallel_path = dir.join(format!("cameo_sweep_det_p_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&parallel_path);
+
+        let serial =
+            run_sweep(&points, &quick_opts(), Some(&serial_path)).expect("tmp dir is writable");
+        let parallel_opts = SweepOptions {
+            jobs: 4,
+            ..quick_opts()
+        };
+        let parallel = run_sweep(&points, &parallel_opts, Some(&parallel_path))
+            .expect("tmp dir is writable");
+
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.completed(), points.len());
+        for (outcome, point) in parallel.outcomes.iter().zip(&points) {
+            assert_eq!(outcome.point.key, point.key, "canonical order preserved");
+        }
+        // Checkpoint replay: on-disk record order may differ (completion
+        // order), but the loaded key → record maps must be identical.
+        let serial_map = checkpoint::load(&serial_path).expect("serial checkpoint loads");
+        let parallel_map = checkpoint::load(&parallel_path).expect("parallel checkpoint loads");
+        assert_eq!(serial_map, parallel_map);
+        std::fs::remove_file(&serial_path).expect("tmp cleanup");
+        std::fs::remove_file(&parallel_path).expect("tmp cleanup");
+    }
+
+    /// Kill-and-resume under parallelism: a checkpoint holding a subset
+    /// of the points (as a killed parallel sweep leaves behind) resumes
+    /// those and computes the rest, with the same stats as an
+    /// uninterrupted serial run.
+    #[test]
+    fn parallel_resume_completes_partial_checkpoint() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline),
+            SweepPoint::new("astar", OrgKind::cameo_default()),
+            SweepPoint::new("milc", OrgKind::Baseline),
+            SweepPoint::new("milc", OrgKind::cameo_default()),
+        ];
+        let truth = run_sweep(&points, &quick_opts(), None).expect("no checkpoint I/O involved");
+
+        // A "killed" sweep finished two arbitrary points (parallel
+        // completion order is arbitrary — use the 2nd and 4th).
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_sweep_kill_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        for i in [1, 3] {
+            checkpoint::append(&path, &truth.outcomes[i].point.key, &truth.outcomes[i].record)
+                .expect("tmp dir is writable");
+        }
+
+        let resumed_opts = SweepOptions {
+            jobs: 4,
+            ..quick_opts()
+        };
+        let resumed =
+            run_sweep(&points, &resumed_opts, Some(&path)).expect("checkpoint is readable");
+        assert_eq!(resumed.resumed(), 2);
+        assert_eq!(resumed.completed(), points.len());
+        for point in &points {
+            assert_eq!(
+                resumed.stats_of(&point.key),
+                truth.stats_of(&point.key),
+                "{} differs after resume",
+                point.key
+            );
+        }
+        // The completed checkpoint now resumes everything.
+        let replayed = run_sweep_with(&points, &resumed_opts, Some(&path), &|point, _| {
+            panic!("point {} should have been resumed", point.key)
+        })
+        .expect("checkpoint is readable");
+        assert_eq!(replayed.resumed(), points.len());
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// A panicking point stays isolated when it runs on a worker thread.
+    #[test]
+    fn parallel_sweep_isolates_panicking_points() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("ok-1"),
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("explodes"),
+            SweepPoint::new("astar", OrgKind::Baseline).with_key("ok-2"),
+        ];
+        let opts = SweepOptions {
+            jobs: 3,
+            ..quick_opts()
+        };
+        let report = run_sweep_with(&points, &opts, None, &|point, config| {
+            if point.key == "explodes" {
+                Box::new(FuseOrg { remaining: 20 })
+            } else {
+                build_org(
+                    &cameo_workloads::require(&point.bench).expect("suite benchmark"),
+                    point.kind,
+                    config,
+                )
+            }
+        })
+        .expect("no checkpoint I/O involved");
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.outcomes[1].record,
+            PointRecord::Failed { .. }
+        ));
+    }
+
+    /// Host-side gauges: fresh points carry a wall-clock, the sweep
+    /// total is recorded, and the throughput rates derive from them.
+    #[test]
+    fn wall_clock_and_throughput_are_recorded() {
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        let report = run_sweep(&points, &quick_opts(), None).expect("no checkpoint I/O involved");
+        assert!(report.wall_nanos > 0);
+        assert!(report.outcomes[0].wall_nanos > 0);
+        assert!(report.sim_accesses() > 0);
+        assert!(report.sim_cycles() > 0);
+        let aps = report.accesses_per_sec().expect("wall-clock was recorded");
+        assert!(aps > 0.0);
+        assert!(report.cycles_per_sec().expect("wall-clock was recorded") > aps);
+    }
+
+    /// The backoff sleep is compiled out of test builds: a huge
+    /// configured backoff must not wall-block the retry loop.
+    #[test]
+    fn retry_backoff_is_skipped_under_cfg_test() {
+        let opts = SweepOptions {
+            max_attempts: 3,
+            retry_backoff_ms: 60_000,
+            ..quick_opts()
+        };
+        let points = [SweepPoint::new("astar", OrgKind::Baseline)];
+        let start = std::time::Instant::now();
+        let report = run_sweep_with(&points, &opts, None, &|_, _| {
+            Box::new(FuseOrg { remaining: 5 })
+        })
+        .expect("no checkpoint I/O involved");
+        assert_eq!(report.failed(), 1);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "a 60 s backoff ran under cfg(test)"
+        );
     }
 
     #[test]

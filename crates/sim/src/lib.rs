@@ -46,6 +46,7 @@ pub mod experiments;
 pub mod harness;
 pub mod l3_stream;
 pub mod org;
+mod pool;
 pub mod report;
 pub mod runner;
 mod stats;

@@ -1,9 +1,6 @@
 //! The multi-core event loop driving an organization with rate-mode
 //! workload copies.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use cameo_types::{Access, AccessKind, CoreId, Cycle};
 use cameo_workloads::{BenchSpec, MissEvent, MissStream, TraceConfig, TraceGenerator};
 
@@ -24,10 +21,34 @@ pub struct Runner<'a> {
     config: &'a SystemConfig,
 }
 
-struct CoreState {
+struct CoreState<S> {
     timeline: CoreTimeline,
-    stream: Box<dyn MissStream>,
+    stream: S,
     pending: MissEvent,
+}
+
+/// Sentinel in the next-issue scan for a core that retired all of its
+/// instructions. Projected issue times are real cycle counts and sit many
+/// orders of magnitude below this; the watchdog trips long before any
+/// clock could approach it.
+const CORE_DONE: u64 = u64::MAX;
+
+/// Index of the core with the earliest projected issue time, breaking
+/// ties toward the lowest index — the same `(time, index)` lexicographic
+/// order the former `BinaryHeap<Reverse<(u64, usize)>>` produced, so
+/// event interleaving (and therefore every statistic) is bit-identical.
+/// A flat scan beats heap maintenance for the small fixed core counts we
+/// simulate (the paper's configurations are 8-core).
+fn earliest_core(next_issue: &[u64]) -> Option<usize> {
+    let mut best = CORE_DONE;
+    let mut idx = None;
+    for (i, &t) in next_issue.iter().enumerate() {
+        if t < best {
+            best = t;
+            idx = Some(i);
+        }
+    }
+    idx
 }
 
 /// Per-core trace configurations for one benchmark under `config`.
@@ -63,10 +84,10 @@ impl<'a> Runner<'a> {
         Ok(Self { bench, config })
     }
 
-    fn build_streams(&self) -> Vec<Box<dyn MissStream>> {
+    fn build_streams(&self) -> Vec<TraceGenerator> {
         trace_configs(&self.bench, self.config)
             .into_iter()
-            .map(|tc| Box::new(TraceGenerator::new(self.bench, tc)) as Box<dyn MissStream>)
+            .map(|tc| TraceGenerator::new(self.bench, tc))
             .collect()
     }
 
@@ -84,15 +105,16 @@ impl<'a> Runner<'a> {
 
     /// Runs with caller-provided per-core miss streams — e.g. recorded
     /// traces replayed through `cameo-trace` — instead of the synthetic
-    /// generators.
+    /// generators. Heterogeneous stream sets can be passed as
+    /// `Vec<Box<dyn MissStream>>`; concrete types dispatch statically.
     ///
     /// # Panics
     ///
     /// Panics if `streams` is empty.
-    pub fn run_with_streams(
+    pub fn run_with_streams<S: MissStream>(
         &self,
         org: &mut dyn MemoryOrganization,
-        streams: Vec<Box<dyn MissStream>>,
+        streams: Vec<S>,
     ) -> RunStats {
         self.try_run_with_streams(org, streams, None)
             .expect("unbudgeted run was handed at least one stream")
@@ -116,16 +138,19 @@ impl<'a> Runner<'a> {
     }
 
     /// Fallible core of the runner: caller-provided streams plus the
-    /// optional cycle-budget watchdog of [`Runner::try_run`].
+    /// optional cycle-budget watchdog of [`Runner::try_run`]. Generic over
+    /// the stream type so the synthetic-trace path ([`Runner::try_run`])
+    /// monomorphizes on [`TraceGenerator`] and dispatches `next_event`
+    /// statically instead of through a `Box<dyn MissStream>` vtable.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::EmptyStreams`] if `streams` is empty, or
     /// [`SimError::WatchdogExpired`] when the budget trips.
-    pub fn try_run_with_streams(
+    pub fn try_run_with_streams<S: MissStream>(
         &self,
         org: &mut dyn MemoryOrganization,
-        streams: Vec<Box<dyn MissStream>>,
+        streams: Vec<S>,
         budget_cycles: Option<u64>,
     ) -> Result<RunStats, SimError> {
         if streams.is_empty() {
@@ -140,7 +165,7 @@ impl<'a> Runner<'a> {
         // the footprint exceeds memory) to absorb the compulsory-fault
         // transient that the paper's 20 B-instruction slices amortize away.
         let prefill_lists: Vec<Vec<cameo_types::PageAddr>> =
-            streams.iter().map(|s| s.prefill_pages()).collect();
+            streams.iter().map(MissStream::prefill_pages).collect();
         let longest = prefill_lists.iter().map(Vec::len).max().unwrap_or(0);
         for i in 0..longest {
             for list in &prefill_lists {
@@ -151,7 +176,7 @@ impl<'a> Runner<'a> {
         }
         drop(prefill_lists);
 
-        let mut cores: Vec<CoreState> = streams
+        let mut cores: Vec<CoreState<S>> = streams
             .into_iter()
             .map(|mut stream| {
                 let pending = stream.next_event();
@@ -163,18 +188,13 @@ impl<'a> Runner<'a> {
             })
             .collect();
 
-        // (projected issue time, core index) min-heap. The projection
-        // includes MLP-window stalls so device accesses are generated in
+        // Per-core projected issue times ([`CORE_DONE`] once retired),
+        // min-scanned by [`earliest_core`]. The projection includes
+        // MLP-window stalls so device accesses are generated in
         // (approximately) nondecreasing time order.
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = cores
+        let mut next_issue: Vec<u64> = cores
             .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                Reverse((
-                    c.timeline.projected_issue(c.pending.gap_instructions).raw(),
-                    i,
-                ))
-            })
+            .map(|c| c.timeline.projected_issue(c.pending.gap_instructions).raw())
             .collect();
 
         let mut measuring = warmup_instr == 0;
@@ -188,7 +208,7 @@ impl<'a> Runner<'a> {
         let mut read_latency_sum = 0u64;
         let mut latency_histogram = [0u64; 24];
 
-        while let Some(Reverse((_, idx))) = heap.pop() {
+        while let Some(idx) = earliest_core(&next_issue) {
             let finished_instructions;
             {
                 let core = &mut cores[idx];
@@ -259,8 +279,12 @@ impl<'a> Runner<'a> {
             if finished_instructions < total_instr {
                 let core = &mut cores[idx];
                 core.pending = core.stream.next_event();
-                let projected = core.timeline.projected_issue(core.pending.gap_instructions);
-                heap.push(Reverse((projected.raw(), idx)));
+                next_issue[idx] = core
+                    .timeline
+                    .projected_issue(core.pending.gap_instructions)
+                    .raw();
+            } else {
+                next_issue[idx] = CORE_DONE;
             }
         }
 
@@ -395,7 +419,7 @@ mod tests {
         let cfg = quick_config();
         let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
         let err = runner("astar", &cfg)
-            .try_run_with_streams(&mut org, Vec::new(), None)
+            .try_run_with_streams(&mut org, Vec::<cameo_workloads::TraceGenerator>::new(), None)
             .expect_err("no streams to drive");
         assert_eq!(err, crate::error::SimError::EmptyStreams);
     }

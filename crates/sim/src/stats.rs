@@ -97,6 +97,12 @@ impl RunStats {
         baseline.cpi() / self.cpi()
     }
 
+    /// Total demand accesses (reads + writes) in the measured region —
+    /// the numerator of the host-side accesses/sec throughput gauge.
+    pub fn accesses(&self) -> u64 {
+        self.demand_reads + self.demand_writes
+    }
+
     /// Fraction of demand reads serviced by stacked DRAM.
     pub fn stacked_service_rate(&self) -> Option<f64> {
         (self.demand_reads > 0).then(|| self.serviced_stacked as f64 / self.demand_reads as f64)

@@ -28,6 +28,7 @@
 mod addr;
 mod capacity;
 mod cycle;
+mod hash;
 mod request;
 
 pub use addr::{
@@ -35,4 +36,5 @@ pub use addr::{
 };
 pub use capacity::ByteSize;
 pub use cycle::Cycle;
+pub use hash::{DetBuildHasher, DetHasher, DetHashMap, DetHashSet};
 pub use request::{Access, AccessKind, CoreId, MemKind, ServiceLocation};

@@ -17,9 +17,9 @@
 //!   place the hottest pages in stacked memory at fault-in time and never
 //!   migrate.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use cameo_types::{PageAddr, PAGE_BYTES};
+use cameo_types::{DetHashMap, PageAddr, PAGE_BYTES};
 
 use crate::frames::{FrameId, Region};
 use crate::vmm::Vmm;
@@ -157,7 +157,10 @@ pub struct RebalanceReport {
 pub struct FreqMigrator {
     epoch_accesses: u64,
     seen: u64,
-    counts: HashMap<PageAddr, u64>,
+    // Updated on every access in the Freq organization — deterministic
+    // fast hasher, and rebalance sorts with a full (count, page) order so
+    // iteration order never reaches simulated behaviour.
+    counts: DetHashMap<PageAddr, u64>,
     min_count: u64,
     promotion_cap_divisor: u64,
 }
@@ -175,7 +178,7 @@ impl FreqMigrator {
         Self {
             epoch_accesses,
             seen: 0,
-            counts: HashMap::new(),
+            counts: DetHashMap::default(),
             min_count: 2,
             promotion_cap_divisor: 8,
         }

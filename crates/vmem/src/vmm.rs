@@ -1,8 +1,6 @@
 //! The virtual memory manager: page table, demand paging, fault accounting.
 
-use std::collections::HashMap;
-
-use cameo_types::{ByteSize, PageAddr, PhysPageAddr, PAGE_BYTES};
+use cameo_types::{ByteSize, DetHashMap, PageAddr, PhysPageAddr, PAGE_BYTES};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -97,7 +95,11 @@ pub struct TranslateOutcome {
 pub struct Vmm {
     config: VmmConfig,
     allocator: FrameAllocator,
-    table: HashMap<PageAddr, FrameId>,
+    // The page table is probed on every simulated access: use the
+    // deterministic fast hasher, not SipHash. Safe because lookups are
+    // point queries — no simulated decision iterates this map (the
+    // `deep-audit` iteration in `audit_page_table` only checks invariants).
+    table: DetHashMap<PageAddr, FrameId>,
     rng: SmallRng,
     stats: VmmStats,
 }
@@ -113,7 +115,7 @@ impl Vmm {
         Self {
             config,
             allocator,
-            table: HashMap::new(),
+            table: DetHashMap::default(),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: VmmStats::default(),
         }

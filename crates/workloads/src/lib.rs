@@ -63,6 +63,23 @@ pub trait MissStream {
     }
 }
 
+/// Boxed streams forward to their contents, so heterogeneous stream sets
+/// (`Vec<Box<dyn MissStream>>`) satisfy generic `S: MissStream` bounds
+/// while homogeneous sets stay fully devirtualized.
+impl<M: MissStream + ?Sized> MissStream for Box<M> {
+    fn next_event(&mut self) -> MissEvent {
+        (**self).next_event()
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        (**self).footprint_pages()
+    }
+
+    fn prefill_pages(&self) -> Vec<cameo_types::PageAddr> {
+        (**self).prefill_pages()
+    }
+}
+
 impl MissStream for TraceGenerator {
     fn next_event(&mut self) -> MissEvent {
         TraceGenerator::next_event(self)

@@ -1,0 +1,11 @@
+//! Unseeded fixture proving the `thread-spawn` worker-pool exemption:
+//! this file's path ends in `crates/sim/src/pool.rs`, the one location
+//! allowed to create threads, so the bare spawns below must produce no
+//! diagnostics (note: no `seeded:` markers anywhere in this file).
+
+/// The worker pool itself may call `thread::spawn` without findings.
+pub fn pool_spawns() {
+    std::thread::spawn(|| {});
+    let handle = thread::spawn(|| 42);
+    drop(handle);
+}

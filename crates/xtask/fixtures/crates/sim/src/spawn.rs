@@ -1,0 +1,38 @@
+//! Seeded `thread-spawn` violations for the linter self-test.
+//!
+//! Never compiled; see `../../core/src/hot.rs` for the marker convention.
+//! The companion `pool.rs` in this fixture tree proves the worker-pool
+//! path exemption: the same calls there produce no diagnostics.
+
+/// Bare spawns are flagged whether or not the path is fully qualified.
+pub fn detached() {
+    std::thread::spawn(move || background_work()); // seeded: thread-spawn
+    let handle = thread::spawn(|| 42); // seeded: thread-spawn
+    drop(handle);
+}
+
+/// Scoped spawns are the sanctioned shape and stay legal.
+pub fn scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+        std::thread::Builder::new()
+            .name("fixture".into())
+            .spawn_scoped(s, || {})
+            .expect("spawning a scoped worker fails only on OS thread exhaustion");
+    });
+}
+
+/// The escape hatch works for justified detached threads.
+pub fn allowed() {
+    // lint: allow(thread-spawn) — fixture: justified detached thread
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may spawn freely (scoped hammers, timeouts).
+    #[test]
+    fn spawns_freely() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! The lint rules enforced by `cargo xtask lint`.
 //!
-//! Three rule families, matched against [`scanner::SourceFile`] lines:
+//! Four rule families, matched against [`scanner::SourceFile`] lines:
 //!
 //! * `no-panic` — hot-path crates (`core`, `sim`, `memsim`, `cachesim`)
 //!   must not call `.unwrap()` / `.unwrap_err()`, `panic!`, `todo!`, or
@@ -16,6 +16,10 @@
 //! * `missing-docs` — every `pub` item needs a doc comment. `pub use`
 //!   re-exports and `pub mod x;` declarations (documented by `//!` inner
 //!   docs) are exempt.
+//! * `thread-spawn` — bare `thread::spawn` is forbidden outside the sweep
+//!   worker pool (`crates/sim/src/pool.rs`): detached threads escape the
+//!   harness's crash isolation, cancellation and checkpoint discipline.
+//!   Parallel work goes through the pool's scoped, named workers.
 //!
 //! Any finding can be suppressed in place with `// lint: allow(<rule>)`
 //! on the same line or alone on the line above — the escape hatch doubles
@@ -32,6 +36,11 @@ pub const NO_PANIC: &str = "no-panic";
 pub const ADDR_CAST: &str = "addr-cast";
 /// Rule name: undocumented public items.
 pub const MISSING_DOCS: &str = "missing-docs";
+/// Rule name: bare `thread::spawn` outside the sweep worker pool.
+pub const THREAD_SPAWN: &str = "thread-spawn";
+
+/// The one file allowed to create threads: the sweep worker pool.
+pub const THREAD_SPAWN_EXEMPT_FILE: &str = "crates/sim/src/pool.rs";
 
 /// Shortest `.expect()` message accepted as "states an invariant".
 pub const MIN_EXPECT_MESSAGE: usize = 20;
@@ -74,6 +83,7 @@ impl fmt::Display for Diagnostic {
 /// Runs every applicable rule over one scanned file.
 pub fn check_file(path: &std::path::Path, class: FileClass, src: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    let is_pool = path.ends_with(THREAD_SPAWN_EXEMPT_FILE);
     for (idx, line) in src.lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -101,8 +111,31 @@ pub fn check_file(path: &std::path::Path, class: FileClass, src: &SourceFile) ->
         if let Some(msg) = missing_docs_finding(src, idx) {
             report(MISSING_DOCS, msg);
         }
+        if !is_pool {
+            if let Some(msg) = thread_spawn_finding(&line.code) {
+                report(THREAD_SPAWN, msg);
+            }
+        }
     }
     out
+}
+
+/// `thread-spawn`: a bare `thread::spawn` call outside the worker pool.
+/// Scoped spawns (`Builder::spawn_scoped`, `scope.spawn`) do not match.
+fn thread_spawn_finding(code: &str) -> Option<String> {
+    let needle = "thread::spawn";
+    let pos = code.find(needle)?;
+    // Word boundary after: `thread::spawner` or a longer path segment is
+    // not the std free function.
+    let next = code[pos + needle.len()..].chars().next();
+    if next.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some(format!(
+        "bare `thread::spawn` outside `{THREAD_SPAWN_EXEMPT_FILE}`; detached \
+         threads escape the sweep harness's crash isolation — use the scoped \
+         worker pool in `cameo_sim` instead"
+    ))
 }
 
 /// `no-panic`: forbidden constructs on one code line (at most one finding).
@@ -432,5 +465,50 @@ mod tests {
     fn strings_and_comments_never_fire() {
         let src = "let s = \"x.unwrap() panic!\"; // .unwrap() todo!";
         assert!(lint(src, HOT).is_empty());
+    }
+
+    #[test]
+    fn bare_thread_spawn_flagged_everywhere() {
+        for src in [
+            "fn f() { std::thread::spawn(move || work()); }",
+            "fn f() { thread::spawn(|| {}); }",
+        ] {
+            let d = lint(src, COLD);
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].rule, THREAD_SPAWN);
+            assert_eq!(lint(src, HOT).len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn scoped_spawns_are_fine() {
+        assert!(lint("fn f(s: &Scope) { s.spawn(|| {}); }", COLD).is_empty());
+        assert!(lint(
+            "fn f() { builder.spawn_scoped(scope, move || run()); }",
+            COLD
+        )
+        .is_empty());
+        // Longer path segments are not the std free function.
+        assert!(lint("fn f() { my::thread::spawner(); }", COLD).is_empty());
+    }
+
+    #[test]
+    fn worker_pool_file_is_exempt() {
+        let src = SourceFile::parse("fn f() { std::thread::spawn(|| {}); }");
+        let pool = check_file(Path::new(THREAD_SPAWN_EXEMPT_FILE), COLD, &src);
+        assert!(pool.is_empty());
+        let elsewhere = check_file(Path::new("crates/sim/src/harness.rs"), COLD, &src);
+        assert_eq!(elsewhere.len(), 1);
+    }
+
+    #[test]
+    fn thread_spawn_allow_and_test_exemptions() {
+        assert!(lint(
+            "fn f() { thread::spawn(|| {}) } // lint: allow(thread-spawn)",
+            COLD
+        )
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { thread::spawn(|| {}); }\n}";
+        assert!(lint(src, COLD).is_empty());
     }
 }
