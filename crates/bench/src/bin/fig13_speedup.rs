@@ -21,6 +21,7 @@ fn main() {
         println!("\nGmean ALL:\n{}", grid.gmean_chart());
     }
     cli.emit_perf("fig13_speedup", &grid.report);
+    cli.emit_trace("fig13_speedup", &grid.report);
     println!(
         "\npaper gmeans (ALL): Cache 1.50x, TLM-Static 1.33x, TLM-Dynamic 1.50x, \
          CAMEO 1.78x, DoubleUse 1.82x"

@@ -9,6 +9,11 @@
 //! With `--perf-json PATH` the binary instead reads a `BENCH_sweep.json`
 //! artifact (written by any sweep binary via `--bench-json PATH`) and
 //! prints its per-point throughput / wall-time table — no simulation runs.
+//!
+//! With `--trace-json PATH` the binary reads a `--trace-out` JSONL event
+//! dump, validates every line (and the `PATH.chrome.json` sibling when
+//! present), and prints the per-epoch tables — swap rate, LLP accuracy
+//! and stacked service rate over simulated time.
 
 use cameo::llp::PredictionCase;
 use cameo_bench::{print_header, Cli};
@@ -37,9 +42,10 @@ fn latency_histogram(stats: &RunStats) -> String {
     out
 }
 
-/// Strips `--perf-json PATH` from the argument list; in that mode the
-/// artifact is tabulated and the process exits without simulating.
-fn perf_json_mode(args: Vec<String>) -> Vec<String> {
+/// Strips `--perf-json PATH` / `--trace-json PATH` from the argument
+/// list; in those modes the artifact is tabulated and the process exits
+/// without simulating.
+fn artifact_modes(args: Vec<String>) -> Vec<String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -51,13 +57,53 @@ fn perf_json_mode(args: Vec<String>) -> Vec<String> {
             print!("{}", cameo_bench::perf::perf_table(&doc));
             std::process::exit(0);
         }
+        if arg == "--trace-json" {
+            let path = it.next().unwrap_or_else(|| panic!("--trace-json needs a value"));
+            trace_json_mode(std::path::Path::new(&path));
+            std::process::exit(0);
+        }
         rest.push(arg);
     }
     rest
 }
 
+/// Validates a `--trace-out` JSONL dump (and its Chrome-trace sibling,
+/// when present) and prints the per-epoch tables.
+fn trace_json_mode(path: &std::path::Path) {
+    use cameo_bench::trace_export;
+    let lines = trace_export::read_trace_jsonl(path).unwrap_or_else(|e| panic!("{e}"));
+    let (mut points, mut events, mut epochs) = (0u64, 0u64, 0u64);
+    for line in lines.iter().skip(1) {
+        match line.get("kind").and_then(|k| k.as_str()) {
+            Some("point") => points += 1,
+            Some("event") => events += 1,
+            Some("epoch") => epochs += 1,
+            other => panic!("{}: unknown record kind {other:?}", path.display()),
+        }
+    }
+    eprintln!(
+        "[trace] {}: {points} traced point(s), {events} retained event(s), {epochs} epoch row(s)",
+        path.display()
+    );
+    let chrome = trace_export::chrome_path(path);
+    if chrome.exists() {
+        let text = std::fs::read_to_string(&chrome)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", chrome.display()));
+        let doc = cameo_sim::checkpoint::Json::parse(&text)
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", chrome.display()));
+        match doc.get("traceEvents") {
+            Some(cameo_sim::checkpoint::Json::Arr(items)) => {
+                eprintln!("[trace] {}: {} trace event(s)", chrome.display(), items.len());
+            }
+            other => panic!("{}: traceEvents missing or not an array: {other:?}", chrome.display()),
+        }
+    }
+    println!("Epoch breakdown — {}\n", path.display());
+    print!("{}", trace_export::epoch_table(&lines));
+}
+
 fn main() {
-    let cli = Cli::from_args(perf_json_mode(std::env::args().skip(1).collect()));
+    let cli = Cli::from_args(artifact_modes(std::env::args().skip(1).collect()));
     let bench = cli.benches[0];
     print_header("summary", &cli);
     println!(

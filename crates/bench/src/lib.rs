@@ -10,6 +10,7 @@
 //! --bench NAME       restrict to one benchmark (repeatable)
 //! --jobs N           parallel sweep workers (default: all host cores; 0 = auto)
 //! --bench-json PATH  write the machine-readable BENCH_sweep.json perf artifact
+//! --trace-out PATH   arm event tracing; write PATH (JSONL) + PATH.chrome.json
 //! --quick            small smoke-test configuration
 //! --csv              emit CSV instead of an aligned table
 //! ```
@@ -26,12 +27,14 @@ use std::path::PathBuf;
 
 use cameo_sim::checkpoint::PointRecord;
 use cameo_sim::experiments::{gmean, OrgKind};
-use cameo_sim::harness::{run_sweep, SweepOptions, SweepPoint, SweepReport};
+use cameo_sim::harness::{run_sweep, run_sweep_traced, SweepOptions, SweepPoint, SweepReport};
 use cameo_sim::report::Table;
+use cameo_sim::trace::TraceOptions;
 use cameo_sim::{RunStats, SystemConfig};
 use cameo_workloads::{suite, BenchSpec, Category};
 
 pub mod perf;
+pub mod trace_export;
 
 /// Parsed command line shared by all figure binaries.
 #[derive(Clone, Debug)]
@@ -47,6 +50,10 @@ pub struct Cli {
     pub jobs: usize,
     /// Where to write the `BENCH_sweep.json` perf artifact, if anywhere.
     pub bench_json: Option<PathBuf>,
+    /// Where to write the JSONL event dump (`--trace-out`); the
+    /// Chrome-trace sibling lands next to it. `None` keeps the sweep on
+    /// the no-op sink — tracing compiled to nothing.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -70,6 +77,7 @@ impl Cli {
         let mut names: Vec<String> = Vec::new();
         let mut jobs = 0usize; // 0 = auto (available parallelism)
         let mut bench_json = None;
+        let mut trace_out = None;
         let mut it = args.into_iter();
         let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
             it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
@@ -91,6 +99,9 @@ impl Cli {
                 "--bench-json" => {
                     bench_json = Some(PathBuf::from(need(&mut it, "--bench-json")));
                 }
+                "--trace-out" => {
+                    trace_out = Some(PathBuf::from(need(&mut it, "--trace-out")));
+                }
                 "--quick" => {
                     config.scale = 512;
                     config.cores = 2;
@@ -100,7 +111,8 @@ impl Cli {
                 "--help" | "-h" => {
                     println!(
                         "flags: --scale N --cores N --instructions N --seed N --mlp N \
-                         --bench NAME (repeatable) --jobs N --bench-json PATH --quick --csv"
+                         --bench NAME (repeatable) --jobs N --bench-json PATH \
+                         --trace-out PATH --quick --csv"
                     );
                     std::process::exit(0);
                 }
@@ -129,6 +141,7 @@ impl Cli {
             benches,
             jobs,
             bench_json,
+            trace_out,
         }
     }
 
@@ -149,6 +162,20 @@ impl Cli {
             perf::write_sweep_json(path, sweep_name, self.jobs, &self.config, report)
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             eprintln!("[perf] wrote {}", path.display());
+        }
+    }
+
+    /// Writes the `--trace-out` JSONL and Chrome-trace artifacts for a
+    /// traced sweep, if the flag was given; a no-op otherwise.
+    pub fn emit_trace(&self, sweep_name: &str, report: &SweepReport) {
+        if let Some(path) = &self.trace_out {
+            trace_export::write_trace_artifacts(path, sweep_name, report)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!(
+                "[trace] wrote {} and {}",
+                path.display(),
+                trace_export::chrome_path(path).display()
+            );
         }
     }
 
@@ -213,8 +240,14 @@ impl SpeedupGrid {
             jobs: cli.jobs,
             ..SweepOptions::default()
         };
-        let report = run_sweep(&points, &opts, None)
-            .unwrap_or_else(|e| panic!("sweep failed before any checkpointing: {e}"));
+        // `--trace-out` arms the recording sink; results are bit-identical
+        // either way (the harness guarantees report equality).
+        let report = if cli.trace_out.is_some() {
+            run_sweep_traced(&points, &opts, None, TraceOptions::default())
+        } else {
+            run_sweep(&points, &opts, None)
+        }
+        .unwrap_or_else(|e| panic!("sweep failed before any checkpointing: {e}"));
 
         let mut outcomes = report.outcomes.iter();
         let mut take = || {
@@ -371,6 +404,16 @@ mod tests {
         // which is always at least one worker.
         assert!(args("--jobs 0").jobs >= 1);
         assert!(args("").jobs >= 1);
+    }
+
+    #[test]
+    fn trace_out_parses_and_defaults_off() {
+        let cli = args("--trace-out /tmp/fig.trace");
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/fig.trace"))
+        );
+        assert!(args("").trace_out.is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! and the [`HitPredictor`] — while the organization layer in `cameo-sim`
 //! charges DRAM timing for TAD reads, fills and writebacks.
 
-use cameo_types::{CoreId, LineAddr};
+use cameo_types::{CoreId, Cycle, LineAddr, TraceEvent, TraceSink};
 
 use crate::Eviction;
 
@@ -228,6 +228,34 @@ impl HitPredictor {
     pub fn storage_bits(&self) -> usize {
         self.counters.len() * 3
     }
+
+    /// Trains the predictor like [`HitPredictor::train`] and, with tracing
+    /// armed, emits an [`TraceEvent::LlpPredict`] event recording whether
+    /// the pre-training prediction routed this request correctly (a
+    /// predicted-hit that hit, or a predicted-miss that missed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the configured core count.
+    pub fn train_traced<S: TraceSink>(
+        &mut self,
+        core: CoreId,
+        pc: u64,
+        was_hit: bool,
+        now: Cycle,
+        sink: &mut S,
+    ) {
+        if S::ENABLED {
+            let predicted_hit = self.predict(core, pc) == PredictedRoute::Cache;
+            sink.emit(
+                now,
+                TraceEvent::LlpPredict {
+                    correct: predicted_hit == was_hit,
+                },
+            );
+        }
+        self.train(core, pc, was_hit);
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +335,30 @@ mod tests {
         // 8 cores x 256 entries x 3 bits = 768 bytes.
         assert_eq!(p.storage_bits(), 8 * 256 * 3);
         assert!(p.storage_bits() / 8 < 1024);
+    }
+
+    #[test]
+    fn traced_training_scores_the_pre_training_route() {
+        use cameo_types::{NopSink, VecSink};
+        let mut p = HitPredictor::new(1, 64);
+        let mut sink = VecSink::default();
+        // Default weakly predicts hit: a hit outcome is correct, a miss is not.
+        p.train_traced(CoreId(0), 0x2000, true, Cycle::new(5), &mut sink);
+        for _ in 0..8 {
+            p.train(CoreId(0), 0x2000, false);
+        }
+        p.train_traced(CoreId(0), 0x2000, false, Cycle::new(9), &mut sink);
+        assert_eq!(
+            sink.events,
+            vec![
+                (Cycle::new(5), TraceEvent::LlpPredict { correct: true }),
+                (Cycle::new(9), TraceEvent::LlpPredict { correct: true }),
+            ]
+        );
+        // The no-op sink path trains identically.
+        let mut q = HitPredictor::new(1, 64);
+        q.train_traced(CoreId(0), 0x2000, true, Cycle::new(5), &mut NopSink);
+        assert_eq!(q.predict(CoreId(0), 0x2000), PredictedRoute::Cache);
     }
 
     #[test]

@@ -5,7 +5,9 @@ use cameo_memsim::DramConfig;
 #[cfg(not(feature = "faults"))]
 use cameo_memsim::Dram;
 
-use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind};
+use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind, NopSink, TraceEvent, TraceSink};
+#[cfg(feature = "faults")]
+use cameo_types::RecoveryKind;
 
 use crate::congruence::{div31, CongruenceMap};
 use crate::llp::{LineLocationPredictor, PredictionCase, PredictionCaseCounts};
@@ -132,8 +134,13 @@ pub struct AccessResult {
 /// buses — creating back-pressure for later accesses — but do not extend
 /// the completion time of the access that triggered them, mirroring the
 /// paper's use of existing writeback/fill queues.
+///
+/// The `S` parameter is the [`TraceSink`] receiving typed events. The
+/// default [`NopSink`] has `ENABLED == false`, so every emission site —
+/// guarded by `if S::ENABLED` — monomorphizes away and the untraced
+/// controller is byte-for-byte the pre-tracing hot path.
 #[derive(Clone, Debug)]
-pub struct Cameo {
+pub struct Cameo<S: TraceSink = NopSink> {
     config: CameoConfig,
     map: CongruenceMap,
     llt: LineLocationTable,
@@ -153,10 +160,12 @@ pub struct Cameo {
     /// must compare against this baseline.
     #[cfg(feature = "deep-audit")]
     swaps_at_reset: u64,
+    sink: S,
 }
 
 impl Cameo {
-    /// Builds a CAMEO system with identity-mapped lines.
+    /// Builds a CAMEO system with identity-mapped lines and tracing
+    /// disabled (the [`NopSink`] — zero overhead).
     ///
     /// # Panics
     ///
@@ -164,6 +173,18 @@ impl Cameo {
     /// the resulting ratio exceeds 8, or if `cores == 0`, or if
     /// `llp_entries` is not a power of two.
     pub fn new(config: CameoConfig) -> Self {
+        Self::with_sink(config, NopSink)
+    }
+}
+
+impl<S: TraceSink> Cameo<S> {
+    /// Builds a CAMEO system with identity-mapped lines, emitting
+    /// [`TraceEvent`]s into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Cameo::new`].
+    pub fn with_sink(config: CameoConfig, sink: S) -> Self {
         let stacked_lines = config.stacked.lines();
         let off_lines = config.off_chip.lines();
         assert!(stacked_lines > 0, "stacked capacity must be non-zero");
@@ -193,6 +214,7 @@ impl Cameo {
             auditor: crate::audit::InvariantAuditor::sampled(),
             #[cfg(feature = "deep-audit")]
             swaps_at_reset: 0,
+            sink,
         }
     }
 
@@ -394,6 +416,14 @@ impl Cameo {
             return self.write(now, access);
         }
         self.stats.demand_reads += 1;
+        let rows_before = if S::ENABLED {
+            Some((
+                row_counters(self.stacked.stats()),
+                row_counters(self.off_chip.stats()),
+            ))
+        } else {
+            None
+        };
         let result = match self.config.llt {
             LltDesign::Ideal => self.read_ideal(now, access.line),
             LltDesign::Sram => self.read_ideal(now + Cycle::new(SRAM_LLT_CYCLES), access.line),
@@ -404,6 +434,18 @@ impl Cameo {
             MemKind::Stacked => self.stats.serviced_stacked += 1,
             MemKind::OffChip => self.stats.serviced_off_chip += 1,
         }
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                TraceEvent::Service {
+                    stacked: result.serviced_by == MemKind::Stacked,
+                },
+            );
+            if let Some((stacked_before, off_before)) = rows_before {
+                self.emit_row_delta(now, true, stacked_before);
+                self.emit_row_delta(now, false, off_before);
+            }
+        }
         #[cfg(feature = "deep-audit")]
         if self.auditor.tick() {
             if let Err(violation) = self.audit_now() {
@@ -413,6 +455,35 @@ impl Cameo {
             }
         }
         result
+    }
+
+    /// Emits the row-buffer outcome delta one demand access produced on one
+    /// device. Only called with tracing armed (`S::ENABLED`); silent when
+    /// the access opened no row on that device.
+    fn emit_row_delta(&mut self, now: Cycle, stacked: bool, before: (u64, u64, u64)) {
+        let stats = if stacked {
+            self.stacked.stats()
+        } else {
+            self.off_chip.stats()
+        };
+        let (hits, closed, conflicts) = (
+            stats.row_hits - before.0,
+            stats.row_closed - before.1,
+            stats.row_conflicts - before.2,
+        );
+        if hits + closed + conflicts == 0 {
+            return;
+        }
+        let clamp = |v: u64| u16::try_from(v).unwrap_or(u16::MAX);
+        self.sink.emit(
+            now,
+            TraceEvent::RowBufferOutcome {
+                stacked,
+                hits: clamp(hits),
+                closed: clamp(closed),
+                conflicts: clamp(conflicts),
+            },
+        );
     }
 
     /// Performs the swap bookkeeping after an off-chip demand read: promote
@@ -436,6 +507,9 @@ impl Cameo {
         }
         let promoted = self.llt.promote(line);
         debug_assert!(promoted.is_some(), "line was off-chip; promote must swap");
+        if S::ENABLED {
+            self.sink.emit(at, TraceEvent::Swap { group });
+        }
         if !victim_in_hand {
             // Read the displaced line out of stacked DRAM before overwriting.
             self.stacked.read_line(at, group);
@@ -467,6 +541,9 @@ impl Cameo {
     /// and, if scrubbing is enabled, repaired from the group's data-line
     /// tags before the entry is trusted.
     fn meta_read(&mut self, now: Cycle, group: u64, line: u64, bytes: u32) -> Cycle {
+        if S::ENABLED {
+            self.sink.emit(now, TraceEvent::LltProbe { group });
+        }
         #[cfg(not(feature = "faults"))]
         {
             let _ = group;
@@ -474,7 +551,9 @@ impl Cameo {
         }
         #[cfg(feature = "faults")]
         {
-            let (done, escaped) = self.recovery.read_meta(&mut self.stacked, now, line, bytes);
+            let (done, escaped) =
+                self.recovery
+                    .read_meta(&mut self.stacked, now, line, bytes, &mut self.sink);
             if let Some(bit) = escaped {
                 self.recovery.save_truth(group, *self.llt.entry(group));
                 self.llt.corrupt_entry_bit(group, bit);
@@ -494,13 +573,18 @@ impl Cameo {
     #[cfg(feature = "faults")]
     fn scrub_group(&mut self, now: Cycle, group: u64) -> Cycle {
         let ratio = self.map.ratio();
-        let mut done = self.recovery.read_data(&mut self.stacked, now, group, LINE_BYTES);
+        let mut done =
+            self.recovery
+                .read_data(&mut self.stacked, now, group, LINE_BYTES, &mut self.sink);
         for slot in 1..ratio {
             let line = self.map.device_line(group, Slot::new(slot));
-            done = done.later(
-                self.recovery
-                    .read_data(&mut self.off_chip, now, line, LINE_BYTES),
-            );
+            done = done.later(self.recovery.read_data(
+                &mut self.off_chip,
+                now,
+                line,
+                LINE_BYTES,
+                &mut self.sink,
+            ));
         }
         match self.config.llt {
             LltDesign::CoLocated => {
@@ -519,6 +603,14 @@ impl Cameo {
             .expect("a scrub only triggers after a corruption that saved the entry");
         self.llt.restore_entry(group, restored);
         self.recovery.record_scrub();
+        if S::ENABLED {
+            self.sink.emit(
+                done,
+                TraceEvent::RecoveryAction {
+                    kind: RecoveryKind::Scrub,
+                },
+            );
+        }
         done
     }
 
@@ -533,7 +625,7 @@ impl Cameo {
         #[cfg(feature = "faults")]
         {
             self.recovery
-                .read_data(&mut self.stacked, now, line, LINE_BYTES)
+                .read_data(&mut self.stacked, now, line, LINE_BYTES, &mut self.sink)
         }
     }
 
@@ -547,7 +639,7 @@ impl Cameo {
         #[cfg(feature = "faults")]
         {
             self.recovery
-                .read_data(&mut self.off_chip, now, line, LINE_BYTES)
+                .read_data(&mut self.off_chip, now, line, LINE_BYTES, &mut self.sink)
         }
     }
 
@@ -632,6 +724,14 @@ impl Cameo {
         let actual = self.llt.locate(line);
         let case = PredictionCase::classify(predicted, actual);
         self.stats.cases.record(case);
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                TraceEvent::LlpPredict {
+                    correct: case.is_accurate(),
+                },
+            );
+        }
         if case.wastes_bandwidth() {
             self.stats.wasted_off_chip_fetches += 1;
         }
@@ -745,6 +845,12 @@ impl Cameo {
             case: None,
         }
     }
+}
+
+/// Snapshot of one device's row-buffer outcome counters, diffed around a
+/// demand access to recover that access's contribution.
+fn row_counters(stats: &cameo_memsim::DramStats) -> (u64, u64, u64) {
+    (stats.row_hits, stats.row_closed, stats.row_conflicts)
 }
 
 #[cfg(test)]

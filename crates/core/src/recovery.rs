@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use cameo_memsim::faults::{DeviceFault, FaultyDevice};
-use cameo_types::Cycle;
+use cameo_types::{Cycle, RecoveryKind, TraceEvent, TraceSink};
 
 use crate::latency_model::{DROP_TIMEOUT_CYCLES, ECC_CORRECT_CYCLES, RETRY_BACKOFF_CYCLES};
 use crate::llt::LltEntry;
@@ -176,45 +176,64 @@ impl RecoveryState {
         self.degraded
     }
 
-    fn note_unreliable(&mut self) {
+    /// Notes one unreliable event; returns `true` when this event newly
+    /// latched the degradation state (the caller emits the trace event).
+    fn note_unreliable(&mut self) -> bool {
         if let Some(threshold) = self.cfg.degrade_threshold {
-            if self.stats.unreliable_events() >= threshold {
+            if !self.degraded && self.stats.unreliable_events() >= threshold {
                 self.degraded = true;
+                return true;
             }
         }
+        false
     }
 
     /// Reads a *metadata* line (LEAD or embedded-LLT entry) through the
     /// recovery policy. Returns the completion cycle and, when an
     /// uncorrectable flip escaped, the flipped bit the caller must apply
-    /// to the in-table entry.
-    pub fn read_meta(
+    /// to the in-table entry. Recovery actions taken along the way are
+    /// emitted into `sink`.
+    pub fn read_meta<S: TraceSink>(
         &mut self,
         dev: &mut FaultyDevice,
         now: Cycle,
         line: u64,
         bytes: u32,
+        sink: &mut S,
     ) -> (Cycle, Option<u8>) {
-        self.read_inner(dev, now, line, bytes, true)
+        self.read_inner(dev, now, line, bytes, true, sink)
     }
 
     /// Reads a *data* line through the drop/delay recovery policy. Data
     /// lines carry their own in-band ECC, so bit flips never surface here;
     /// only transport faults (drops, delays, outages) matter.
-    pub fn read_data(&mut self, dev: &mut FaultyDevice, now: Cycle, line: u64, bytes: u32) -> Cycle {
-        self.read_inner(dev, now, line, bytes, false).0
+    pub fn read_data<S: TraceSink>(
+        &mut self,
+        dev: &mut FaultyDevice,
+        now: Cycle,
+        line: u64,
+        bytes: u32,
+        sink: &mut S,
+    ) -> Cycle {
+        self.read_inner(dev, now, line, bytes, false, sink).0
     }
 
-    fn read_inner(
+    fn read_inner<S: TraceSink>(
         &mut self,
         dev: &mut FaultyDevice,
         now: Cycle,
         line: u64,
         bytes: u32,
         meta: bool,
+        sink: &mut S,
     ) -> (Cycle, Option<u8>) {
         let mut at = now;
         let mut attempt: u32 = 0;
+        let emit = |kind: RecoveryKind, s: &mut S, when: Cycle| {
+            if S::ENABLED {
+                s.emit(when, TraceEvent::RecoveryAction { kind });
+            }
+        };
         loop {
             let done = dev.access(at, line, false, bytes);
             match dev.take_fault() {
@@ -223,12 +242,16 @@ impl RecoveryState {
                     if attempt < budget {
                         attempt += 1;
                         self.stats.retries += 1;
+                        emit(RecoveryKind::Retry, sink, done);
                         let backoff = self.cfg.retry.map_or(0, |r| r.backoff_cycles);
                         at = done
                             + Cycle::new(DROP_TIMEOUT_CYCLES + backoff * u64::from(attempt));
                     } else {
                         self.stats.drops_unrecovered += 1;
-                        self.note_unreliable();
+                        emit(RecoveryKind::DropUnrecovered, sink, done);
+                        if self.note_unreliable() {
+                            emit(RecoveryKind::Degrade, sink, done);
+                        }
                         // Proceed with whatever stale value the controller
                         // holds; the caller's validation (scrub, audit)
                         // decides whether that is survivable.
@@ -238,13 +261,18 @@ impl RecoveryState {
                 Some(DeviceFault::BitFlip { bit }) if meta => {
                     if attempt > 0 {
                         self.stats.drops_recovered += 1;
+                        emit(RecoveryKind::DropRecovered, sink, done);
                     }
                     if self.cfg.ecc {
                         self.stats.ecc_corrected += 1;
+                        emit(RecoveryKind::EccCorrect, sink, done);
                         return (done + Cycle::new(ECC_CORRECT_CYCLES), None);
                     }
                     self.stats.flips_escaped += 1;
-                    self.note_unreliable();
+                    emit(RecoveryKind::FlipEscaped, sink, done);
+                    if self.note_unreliable() {
+                        emit(RecoveryKind::Degrade, sink, done);
+                    }
                     return (done, Some(bit));
                 }
                 // Clean, delayed (extra latency already in `done`), outage
@@ -252,6 +280,7 @@ impl RecoveryState {
                 _ => {
                     if attempt > 0 {
                         self.stats.drops_recovered += 1;
+                        emit(RecoveryKind::DropRecovered, sink, done);
                     }
                     return (done, None);
                 }
@@ -283,7 +312,7 @@ mod tests {
     use super::*;
     use cameo_memsim::faults::FaultConfig;
     use cameo_memsim::DramConfig;
-    use cameo_types::ByteSize;
+    use cameo_types::{ByteSize, NopSink};
 
     fn flipping_device() -> FaultyDevice {
         let mut dev = FaultyDevice::new(DramConfig::stacked(ByteSize::from_mib(1)));
@@ -315,7 +344,7 @@ mod tests {
         let mut clean = FaultyDevice::new(DramConfig::stacked(ByteSize::from_mib(1)));
         let baseline = clean.read_line(Cycle::ZERO, 0);
         let mut r = RecoveryState::new(RecoveryConfig::ecc_only());
-        let (done, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        let (done, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64, &mut NopSink);
         assert_eq!(escaped, None);
         assert_eq!(done, baseline + Cycle::new(ECC_CORRECT_CYCLES));
         assert_eq!(r.stats().ecc_corrected, 1);
@@ -325,7 +354,7 @@ mod tests {
     fn without_ecc_the_flip_escapes() {
         let mut dev = flipping_device();
         let mut r = RecoveryState::new(RecoveryConfig::none());
-        let (_, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        let (_, escaped) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64, &mut NopSink);
         assert!(escaped.is_some());
         assert_eq!(r.stats().flips_escaped, 1);
     }
@@ -334,7 +363,7 @@ mod tests {
     fn data_reads_ignore_flips() {
         let mut dev = flipping_device();
         let mut r = RecoveryState::new(RecoveryConfig::none());
-        r.read_data(&mut dev, Cycle::ZERO, 0, 64);
+        r.read_data(&mut dev, Cycle::ZERO, 0, 64, &mut NopSink);
         assert_eq!(r.stats().flips_escaped, 0);
         assert_eq!(r.stats().ecc_corrected, 0);
     }
@@ -346,7 +375,7 @@ mod tests {
         let mut r = RecoveryState::new(RecoveryConfig::ecc_only());
         let mut now = Cycle::ZERO;
         for i in 0..200u64 {
-            let (done, _) = r.read_meta(&mut dev, now, i % 32, 64);
+            let (done, _) = r.read_meta(&mut dev, now, i % 32, 64, &mut NopSink);
             now = done;
         }
         assert!(r.stats().retries > 0, "retries were exercised");
@@ -368,7 +397,7 @@ mod tests {
             }),
             ..RecoveryConfig::none()
         });
-        let (done, _) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+        let (done, _) = r.read_meta(&mut dev, Cycle::ZERO, 0, 64, &mut NopSink);
         // 3 attempts all dropped: at least 3 timeouts of latency.
         assert!(done.raw() >= 3 * DROP_TIMEOUT_CYCLES, "done {done:?}");
         assert_eq!(r.stats().retries, 2);
@@ -384,7 +413,7 @@ mod tests {
         });
         assert!(!r.degraded());
         for _ in 0..3 {
-            r.read_meta(&mut dev, Cycle::ZERO, 0, 64);
+            r.read_meta(&mut dev, Cycle::ZERO, 0, 64, &mut NopSink);
         }
         assert!(r.degraded(), "three unrecovered drops must degrade");
     }

@@ -1,0 +1,108 @@
+//! Property-based tests for the Line Location Predictor: a 2-bit
+//! last-location register can only replay slots it observed, so it can
+//! never "invent" a location outside the congruence group, and under a
+//! stable location it converges to correct predictions after one miss.
+
+use cameo::llp::{LineLocationPredictor, PredictionCase};
+use cameo::llt::Slot;
+use cameo::{Cameo, CameoConfig, LltDesign, PredictorKind};
+use cameo_types::{Access, ByteSize, CoreId, Cycle, LineAddr};
+use proptest::prelude::*;
+
+proptest! {
+    /// Predictions never leave the congruence group: when every training
+    /// observation is a valid slot (`< ratio`), every prediction — on any
+    /// core, at any PC, trained or cold — is a valid slot too. A 2-bit LLR
+    /// holds exactly one past observation; it has no way to fabricate a
+    /// slot index the LLT never reported.
+    #[test]
+    fn predictions_stay_inside_the_congruence_group(
+        ratio in 1u8..=4,
+        cores in 1u16..=8,
+        entries_log2 in 0u32..=8,
+        ops in prop::collection::vec(
+            (0u16..8, any::<u64>(), 0u8..4, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let mut llp = LineLocationPredictor::new(cores, 1 << entries_log2);
+        for (core, pc, slot, is_train) in ops {
+            let core = CoreId(core % cores);
+            if is_train {
+                llp.train(core, pc, Slot::new(slot % ratio));
+            } else {
+                let predicted = llp.predict(core, pc);
+                prop_assert!(
+                    predicted.raw() < ratio,
+                    "predicted slot {} outside group of ratio {ratio}",
+                    predicted.raw()
+                );
+            }
+        }
+    }
+
+    /// Last-time prediction: after each training of a (core, PC) register,
+    /// the very next prediction replays exactly that slot, however the
+    /// location bounced around before — and repeated observations of a
+    /// stable location therefore stay correct indefinitely.
+    #[test]
+    fn repeated_same_location_converges(
+        cores in 1u16..=8,
+        entries_log2 in 0u32..=8,
+        core in 0u16..8,
+        pc in any::<u64>(),
+        history in prop::collection::vec(0u8..4, 0..50),
+        stable in 0u8..4,
+        repeats in 1usize..50,
+    ) {
+        let mut llp = LineLocationPredictor::new(cores, 1 << entries_log2);
+        let core = CoreId(core % cores);
+        // A churning location: the register always replays the last slot.
+        for slot in history {
+            llp.train(core, pc, Slot::new(slot));
+            prop_assert_eq!(llp.predict(core, pc), Slot::new(slot));
+        }
+        // The location settles: every subsequent prediction is correct.
+        for _ in 0..repeats {
+            llp.train(core, pc, Slot::new(stable));
+            prop_assert_eq!(llp.predict(core, pc), Slot::new(stable));
+        }
+    }
+
+    /// End-to-end convergence through the controller: one PC re-reading
+    /// one line mispredicts at most twice. The first access may find the
+    /// line off-chip with a cold (predict-stacked) register; that read
+    /// swaps the line into stacked DRAM but trains the LLR with the
+    /// pre-swap location the LLT reported, so the second access can still
+    /// replay the stale slot. From the third access on, the line is
+    /// stacked-resident and so is the register — every prediction is a
+    /// correct case 1.
+    #[test]
+    fn controller_repeated_reads_converge(
+        line in 0u64..4096,
+        pc in any::<u64>(),
+        reads in 3u64..50,
+    ) {
+        let mut cameo = Cameo::new(CameoConfig {
+            stacked: ByteSize::from_kib(64),
+            off_chip: ByteSize::from_kib(192),
+            llt: LltDesign::CoLocated,
+            predictor: PredictorKind::Llp,
+            cores: 1,
+            llp_entries: 64,
+        });
+        let mut now = Cycle::ZERO;
+        for _ in 0..reads {
+            let r = cameo.access(now, &Access::read(CoreId(0), LineAddr::new(line), pc));
+            now = r.completion;
+        }
+        let cases = cameo.stats().cases;
+        prop_assert_eq!(cases.total(), reads);
+        let correct = cases.count(PredictionCase::StackedPredictedStacked)
+            + cases.count(PredictionCase::OffChipPredictedCorrect);
+        prop_assert!(
+            correct + 2 >= reads,
+            "{correct} correct of {reads} repeated reads — the LLP failed to converge"
+        );
+    }
+}

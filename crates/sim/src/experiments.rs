@@ -16,6 +16,7 @@ use crate::org::{
 };
 use crate::runner::{trace_configs, Runner};
 use crate::stats::RunStats;
+use crate::trace::SharedSink;
 
 pub use crate::stats::gmean;
 
@@ -158,6 +159,78 @@ pub fn build_org(
     }
 }
 
+/// Builds a fresh organization of `kind` with the armed `sink` receiving
+/// its trace events.
+///
+/// The kinds the tracing subsystem instruments — CAMEO (controller events),
+/// Alloy (hit-predictor and service events) and the TLM policies (migration
+/// and service events) — are constructed around `sink`; the remaining kinds
+/// (Baseline, LH cache, DoubleUse) have no emission sites and fall back to
+/// [`build_org`], so their armed runs record an empty trace.
+pub fn build_org_traced(
+    bench: &BenchSpec,
+    kind: OrgKind,
+    config: &SystemConfig,
+    sink: SharedSink,
+) -> Box<dyn MemoryOrganization> {
+    let stacked = config.stacked();
+    let off_chip = config.off_chip();
+    let seed = config.seed ^ 0xBEEF;
+    match kind {
+        OrgKind::Baseline | OrgKind::LhCache | OrgKind::DoubleUse => {
+            build_org(bench, kind, config)
+        }
+        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::with_sink(
+            stacked,
+            off_chip,
+            config.cores,
+            seed,
+            sink,
+        )),
+        OrgKind::TlmStatic => Box::new(TlmOrg::with_sink(
+            stacked,
+            off_chip,
+            TlmPolicy::Static,
+            seed,
+            sink,
+        )),
+        OrgKind::TlmDynamic => Box::new(TlmOrg::with_sink(
+            stacked,
+            off_chip,
+            TlmPolicy::Dynamic(DynamicMigrator::new()),
+            seed,
+            sink,
+        )),
+        OrgKind::TlmFreq => Box::new(TlmOrg::with_sink(
+            stacked,
+            off_chip,
+            TlmPolicy::Freq(FreqMigrator::new(config.freq_epoch)),
+            seed,
+            sink,
+        )),
+        OrgKind::TlmOracle => {
+            let profile = OracleProfile::from_counts(page_profile(bench, config), stacked.pages());
+            Box::new(TlmOrg::with_sink(
+                stacked,
+                off_chip,
+                TlmPolicy::Oracle(profile),
+                seed,
+                sink,
+            ))
+        }
+        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::with_sink(
+            stacked,
+            off_chip,
+            llt,
+            predictor,
+            config.cores,
+            config.llp_entries,
+            seed,
+            sink,
+        )),
+    }
+}
+
 /// Runs one benchmark under one organization and returns its statistics.
 ///
 /// # Panics
@@ -256,6 +329,38 @@ mod tests {
         let total: u64 = profile.iter().map(|(_, c)| *c).sum();
         let expected = cfg.expected_events_per_core(bench.mpki) * u64::from(cfg.cores);
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn traced_build_matches_untraced_results() {
+        use crate::trace::{SharedSink, TraceOptions};
+        let cfg = quick();
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
+        for kind in [
+            OrgKind::cameo_default(),
+            OrgKind::AlloyCache,
+            OrgKind::TlmDynamic,
+        ] {
+            let plain = run_benchmark(&bench, kind, &cfg);
+            let sink = SharedSink::new(TraceOptions::default());
+            let mut org = build_org_traced(&bench, kind, &cfg, sink.clone());
+            let traced = Runner::new(bench, &cfg)
+                .expect("valid config")
+                .try_run(org.as_mut(), None)
+                .expect("run completes");
+            assert_eq!(plain, traced, "{}: tracing must not perturb results", kind.label());
+            let totals = sink.take().totals();
+            assert!(totals.serviced() > 0, "{}: no service events", kind.label());
+            // The epoch counters agree with the end-of-run aggregates for
+            // the post-warmup measured region... plus warmup (events are
+            // emitted from cycle zero; stats are reset at the boundary).
+            assert!(
+                totals.stacked_serviced + totals.off_chip_serviced
+                    >= traced.serviced_stacked + traced.serviced_off_chip,
+                "{}: event counts below reported aggregates",
+                kind.label()
+            );
+        }
     }
 
     #[test]

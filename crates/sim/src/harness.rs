@@ -42,10 +42,11 @@ use cameo_workloads::BenchSpec;
 use crate::checkpoint::{self, PointRecord};
 use crate::config::SystemConfig;
 use crate::error::SimError;
-use crate::experiments::{build_org, OrgKind};
+use crate::experiments::{build_org, build_org_traced, OrgKind};
 use crate::org::MemoryOrganization;
 use crate::runner::Runner;
 use crate::stats::RunStats;
+use crate::trace::{SharedSink, TraceData, TraceOptions};
 
 /// One design point of a sweep: a benchmark and an organization.
 #[derive(Clone, PartialEq, Debug)]
@@ -123,9 +124,11 @@ impl Default for SweepOptions {
 
 /// Outcome of one point in a finished sweep.
 ///
-/// Equality ignores [`PointOutcome::wall_nanos`]: two outcomes are equal
-/// when their *simulated* results agree, which is what the serial ↔
-/// parallel determinism guarantee covers.
+/// Equality ignores [`PointOutcome::wall_nanos`] and
+/// [`PointOutcome::trace`]: two outcomes are equal when their *simulated*
+/// results agree, which is what the serial ↔ parallel determinism
+/// guarantee covers — and what lets a traced report compare equal to an
+/// untraced one (the tracing-is-free contract).
 #[derive(Clone, Debug)]
 pub struct PointOutcome {
     /// The point this outcome belongs to.
@@ -137,6 +140,11 @@ pub struct PointOutcome {
     /// Host wall-clock spent producing the record, in nanoseconds
     /// (all attempts and backoff included; `0` for resumed points).
     pub wall_nanos: u64,
+    /// The event recording of the successful attempt, when the sweep ran
+    /// through [`run_sweep_traced`]. `None` for untraced sweeps, failed
+    /// points, and resumed points (the checkpoint stores results only —
+    /// its format is unchanged by tracing).
+    pub trace: Option<TraceData>,
 }
 
 impl PartialEq for PointOutcome {
@@ -170,6 +178,14 @@ impl SweepReport {
             PointRecord::Done { stats, .. } if o.point.key == key => Some(stats.as_ref()),
             _ => None,
         })
+    }
+
+    /// Event recording of a freshly-run traced point, by key.
+    pub fn trace_of(&self, key: &str) -> Option<&TraceData> {
+        self.outcomes
+            .iter()
+            .find(|o| o.point.key == key)
+            .and_then(|o| o.trace.as_ref())
     }
 
     /// Number of points that completed (freshly or resumed).
@@ -237,6 +253,13 @@ impl SweepReport {
 pub type OrgBuilder<'b> =
     dyn Fn(&SweepPoint, &SystemConfig) -> Box<dyn MemoryOrganization> + Sync + 'b;
 
+/// An organization plus the armed sink it emits into, when tracing.
+type TracedBuild = (Box<dyn MemoryOrganization>, Option<SharedSink>);
+
+/// Internal builder shape: every sweep path funnels through this, with
+/// untraced paths returning `None` for the sink.
+type TracedOrgBuilder<'b> = dyn Fn(&SweepPoint, &SystemConfig) -> TracedBuild + Sync + 'b;
+
 /// Runs a sweep with the default organization builder
 /// ([`build_org`]).
 ///
@@ -255,6 +278,37 @@ pub fn run_sweep(
         let bench = cameo_workloads::by_name(&point.bench)
             .expect("run_sweep resolved the benchmark before building the organization");
         build_org(&bench, point.kind, config)
+    })
+}
+
+/// Runs a sweep with event tracing armed: each point's organization is
+/// built through [`build_org_traced`] with a fresh [`SharedSink`] per
+/// attempt (so a retried point never double-counts events), and the
+/// recording of the successful attempt lands on
+/// [`PointOutcome::trace`].
+///
+/// The simulated results are bit-identical to [`run_sweep`] — the report
+/// compares equal, and the checkpoint format is unchanged (resumed
+/// points simply carry no recording). Organizations without emission
+/// sites (Baseline, LH-Cache, DoubleUse) run untraced and produce empty
+/// recordings.
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on checkpoint I/O failure. Per-point
+/// failures do *not* abort the sweep; they are recorded in the report.
+pub fn run_sweep_traced(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+    trace_opts: TraceOptions,
+) -> Result<SweepReport, SimError> {
+    run_sweep_inner(points, opts, checkpoint_path, &|point, config| {
+        let bench = cameo_workloads::by_name(&point.bench)
+            .expect("run_sweep resolved the benchmark before building the organization");
+        let sink = SharedSink::new(trace_opts);
+        let org = build_org_traced(&bench, point.kind, config, sink.clone());
+        (org, Some(sink))
     })
 }
 
@@ -280,6 +334,20 @@ pub fn run_sweep_with(
     checkpoint_path: Option<&Path>,
     build: &OrgBuilder<'_>,
 ) -> Result<SweepReport, SimError> {
+    run_sweep_inner(points, opts, checkpoint_path, &|point, config| {
+        (build(point, config), None)
+    })
+}
+
+/// The sweep engine: resume lookup, work queue, crash isolation,
+/// checkpoint appends. Both the traced and untraced public entry points
+/// land here; only the builder differs.
+fn run_sweep_inner(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+    build: &TracedOrgBuilder<'_>,
+) -> Result<SweepReport, SimError> {
     let sweep_start = Instant::now();
     let done_map = match checkpoint_path {
         Some(path) => checkpoint::load(path)?,
@@ -301,6 +369,7 @@ pub fn run_sweep_with(
                 record: record.clone(),
                 resumed: true,
                 wall_nanos: 0,
+                trace: None,
             }),
             _ => None,
         })
@@ -310,13 +379,13 @@ pub fn run_sweep_with(
     // One mutex-guarded result cell per pending point: workers write
     // disjoint cells, so contention is zero and completion order never
     // reaches the report.
-    let results: Vec<Mutex<Option<(PointRecord, u64)>>> =
-        pending.iter().map(|_| Mutex::new(None)).collect();
+    type ResultCell = Mutex<Option<(PointRecord, u64, Option<TraceData>)>>;
+    let results: Vec<ResultCell> = pending.iter().map(|_| Mutex::new(None)).collect();
     let checkpoint_failure: Mutex<Option<SimError>> = Mutex::new(None);
     crate::pool::for_each_indexed(opts.jobs.max(1), pending.len(), |n, cancel| {
         let point = &points[pending[n]];
         let point_start = Instant::now();
-        let record = run_point(point, opts, build);
+        let (record, trace) = run_point(point, opts, build);
         let wall_nanos = u64::try_from(point_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Some(writer) = &writer {
             if let Err(e) = writer.append(&point.key, &record) {
@@ -325,14 +394,14 @@ pub fn run_sweep_with(
                 return;
             }
         }
-        *lock(&results[n]) = Some((record, wall_nanos));
+        *lock(&results[n]) = Some((record, wall_nanos, trace));
     });
     if let Some(e) = lock(&checkpoint_failure).take() {
         return Err(e);
     }
 
     for (n, &i) in pending.iter().enumerate() {
-        let (record, wall_nanos) = lock(&results[n])
+        let (record, wall_nanos, trace) = lock(&results[n])
             .take()
             .expect("an uncancelled pool runs every pending point to completion");
         slots[i] = Some(PointOutcome {
@@ -340,6 +409,7 @@ pub fn run_sweep_with(
             record,
             resumed: false,
             wall_nanos,
+            trace,
         });
     }
     let outcomes = slots
@@ -363,15 +433,23 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Runs one point to a terminal record: retries, scale reduction, backoff.
-fn run_point(point: &SweepPoint, opts: &SweepOptions, build: &OrgBuilder<'_>) -> PointRecord {
+/// Returns the recording of the successful attempt, when one was armed.
+fn run_point(
+    point: &SweepPoint,
+    opts: &SweepOptions,
+    build: &TracedOrgBuilder<'_>,
+) -> (PointRecord, Option<TraceData>) {
     let bench = match cameo_workloads::require(&point.bench) {
         Ok(bench) => bench,
         Err(e) => {
             // Deterministic configuration error: retrying cannot help.
-            return PointRecord::Failed {
-                attempts: 1,
-                error: SimError::from(e).to_string(),
-            };
+            return (
+                PointRecord::Failed {
+                    attempts: 1,
+                    error: SimError::from(e).to_string(),
+                },
+                None,
+            );
         }
     };
     let max_attempts = opts.max_attempts.max(1);
@@ -391,32 +469,42 @@ fn run_point(point: &SweepPoint, opts: &SweepOptions, build: &OrgBuilder<'_>) ->
             config.scale = config.scale.saturating_mul(opts.retry_scale_factor.max(1));
         }
         match run_attempt(point, &bench, &config, opts, build) {
-            Ok(stats) => {
-                return PointRecord::Done {
-                    attempts: attempt,
-                    stats: Box::new(stats),
-                }
+            Ok((stats, trace)) => {
+                return (
+                    PointRecord::Done {
+                        attempts: attempt,
+                        stats: Box::new(stats),
+                    },
+                    trace,
+                )
             }
             Err(e) => last_error = e.to_string(),
         }
     }
-    PointRecord::Failed {
-        attempts: max_attempts,
-        error: last_error,
-    }
+    (
+        PointRecord::Failed {
+            attempts: max_attempts,
+            error: last_error,
+        },
+        None,
+    )
 }
 
-/// One crash-isolated attempt at one point.
+/// One crash-isolated attempt at one point. The builder arms a fresh sink
+/// per call, so a failed attempt's partial recording is simply dropped
+/// with its organization — the surviving recording covers exactly the
+/// successful run.
 fn run_attempt(
     point: &SweepPoint,
     bench: &BenchSpec,
     config: &SystemConfig,
     opts: &SweepOptions,
-    build: &OrgBuilder<'_>,
-) -> Result<RunStats, SimError> {
+    build: &TracedOrgBuilder<'_>,
+) -> Result<(RunStats, Option<TraceData>), SimError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        let mut org = build(point, config);
-        Runner::new(*bench, config)?.try_run(org.as_mut(), opts.watchdog_cycles)
+        let (mut org, sink) = build(point, config);
+        let stats = Runner::new(*bench, config)?.try_run(org.as_mut(), opts.watchdog_cycles)?;
+        Ok((stats, sink.map(|s| s.take())))
     }));
     match attempt {
         Ok(result) => result,
@@ -788,6 +876,31 @@ mod tests {
             start.elapsed() < std::time::Duration::from_secs(30),
             "a 60 s backoff ran under cfg(test)"
         );
+    }
+
+    /// Arming the recording sink must not perturb simulated results: a
+    /// traced sweep's report compares equal to the untraced one, fresh
+    /// traced points carry recordings, and untraced organizations come
+    /// back with an empty (but present) recording.
+    #[test]
+    fn traced_sweep_matches_untraced_and_records() {
+        let points = [
+            SweepPoint::new("astar", OrgKind::cameo_default()),
+            SweepPoint::new("astar", OrgKind::Baseline),
+        ];
+        let plain = run_sweep(&points, &quick_opts(), None).expect("no checkpoint I/O involved");
+        let traced = run_sweep_traced(&points, &quick_opts(), None, TraceOptions::default())
+            .expect("no checkpoint I/O involved");
+        assert_eq!(plain, traced, "tracing must not change simulated results");
+        assert!(plain.trace_of("astar::CAMEO").is_none());
+        let recording = traced
+            .trace_of("astar::CAMEO")
+            .expect("fresh traced points carry a recording");
+        assert!(recording.totals().serviced() > 0);
+        let baseline = traced
+            .trace_of("astar::Baseline")
+            .expect("untraced organizations still return their armed sink");
+        assert_eq!(baseline.event_count(), 0, "Baseline has no emission sites");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   binaries;
 //! * [`l3_stream`] — an explicit-L3 trace mode where the post-L3 stream
 //!   emerges from the cache model instead of being generated directly;
-//! * [`report`] — plain-text/CSV table formatting.
+//! * [`report`] — plain-text/CSV table formatting;
+//! * [`trace`] — the armed event sink and epoch aggregation for the
+//!   zero-overhead tracing subsystem defined in [`cameo_types`].
 //!
 //! # Examples
 //!
@@ -50,6 +52,7 @@ mod pool;
 pub mod report;
 pub mod runner;
 mod stats;
+pub mod trace;
 
 pub use config::{ConfigError, SystemConfig};
 pub use core_model::CoreTimeline;

@@ -3,7 +3,10 @@
 
 use cameo_cachesim::alloy::{AlloyDirectory, HitPredictor, PredictedRoute, TAD_BYTES};
 use cameo_memsim::{Dram, DramConfig};
-use cameo_types::{Access, ByteSize, Cycle, LineAddr, ServiceLocation, LINES_PER_PAGE};
+use cameo_types::{
+    Access, ByteSize, Cycle, LineAddr, NopSink, ServiceLocation, TraceEvent, TraceSink,
+    LINES_PER_PAGE,
+};
 use cameo_vmem::{Placement, Vmm, VmmConfig};
 
 use crate::org::paging::service_fault;
@@ -14,7 +17,7 @@ use crate::stats::BandwidthReport;
 /// in front of off-chip memory. The stacked capacity is *not* part of the
 /// OS address space — that is exactly the deficiency CAMEO fixes.
 #[derive(Clone, Debug)]
-pub struct AlloyCacheOrg {
+pub struct AlloyCacheOrg<S: TraceSink = NopSink> {
     vmm: Vmm,
     stacked: Dram,
     off_chip: Dram,
@@ -22,26 +25,14 @@ pub struct AlloyCacheOrg {
     predictor: HitPredictor,
     hits: u64,
     misses: u64,
+    sink: S,
 }
 
 impl AlloyCacheOrg {
     /// Creates the organization: `stacked` bytes of cache over `off_chip`
-    /// bytes of visible memory.
+    /// bytes of visible memory, tracing disabled.
     pub fn new(stacked: ByteSize, off_chip: ByteSize, cores: u16, seed: u64) -> Self {
-        Self {
-            vmm: Vmm::new(VmmConfig {
-                stacked: ByteSize::ZERO,
-                off_chip,
-                placement: Placement::Random,
-                seed,
-            }),
-            stacked: Dram::new(DramConfig::stacked(stacked)),
-            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
-            directory: AlloyDirectory::new(stacked.lines()),
-            predictor: HitPredictor::new(cores, 256),
-            hits: 0,
-            misses: 0,
-        }
+        Self::with_sink(stacked, off_chip, cores, seed, NopSink)
     }
 
     /// Builds with an existing VMM (used by DoubleUse, whose visible memory
@@ -60,6 +51,34 @@ impl AlloyCacheOrg {
             predictor: HitPredictor::new(cores, 256),
             hits: 0,
             misses: 0,
+            sink: NopSink,
+        }
+    }
+}
+
+impl<S: TraceSink> AlloyCacheOrg<S> {
+    /// Creates the organization with trace events emitted into `sink`.
+    pub fn with_sink(
+        stacked: ByteSize,
+        off_chip: ByteSize,
+        cores: u16,
+        seed: u64,
+        sink: S,
+    ) -> Self {
+        Self {
+            vmm: Vmm::new(VmmConfig {
+                stacked: ByteSize::ZERO,
+                off_chip,
+                placement: Placement::Random,
+                seed,
+            }),
+            stacked: Dram::new(DramConfig::stacked(stacked)),
+            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
+            directory: AlloyDirectory::new(stacked.lines()),
+            predictor: HitPredictor::new(cores, 256),
+            hits: 0,
+            misses: 0,
+            sink,
         }
     }
 
@@ -85,7 +104,8 @@ impl AlloyCacheOrg {
         let set = self.directory.set_of(phys);
         let probe_done = self.stacked.access(now, set, false, TAD_BYTES);
         let hit = self.directory.probe(phys);
-        self.predictor.train(access.core, access.pc, hit);
+        self.predictor
+            .train_traced(access.core, access.pc, hit, now, &mut self.sink);
         if hit {
             self.hits += 1;
             if route == PredictedRoute::Memory {
@@ -127,7 +147,7 @@ impl AlloyCacheOrg {
     }
 }
 
-impl MemoryOrganization for AlloyCacheOrg {
+impl<S: TraceSink> MemoryOrganization for AlloyCacheOrg<S> {
     fn name(&self) -> &'static str {
         "Cache(Alloy)"
     }
@@ -153,6 +173,14 @@ impl MemoryOrganization for AlloyCacheOrg {
         } else {
             self.read(now, access, phys)
         };
+        if S::ENABLED && !access.kind.is_write() {
+            self.sink.emit(
+                now,
+                TraceEvent::Service {
+                    stacked: serviced_by == ServiceLocation::Stacked,
+                },
+            );
+        }
         OrgResult {
             completion,
             serviced_by,

@@ -2,7 +2,9 @@
 //! OS that sees the combined (minus LLT reserve) capacity.
 
 use cameo::{Cameo, CameoConfig, LltDesign, PredictionCaseCounts, PredictorKind};
-use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind, ServiceLocation};
+use cameo_types::{
+    Access, ByteSize, Cycle, LineAddr, MemKind, NopSink, ServiceLocation, TraceSink,
+};
 use cameo_vmem::{Placement, Vmm, VmmConfig, PAGE_FAULT_CYCLES};
 
 use crate::org::{MemoryOrganization, OrgResult};
@@ -14,13 +16,14 @@ use crate::stats::BandwidthReport;
 /// places pages randomly; the controller relocates individual lines under
 /// the OS without its knowledge.
 #[derive(Clone, Debug)]
-pub struct CameoOrg {
+pub struct CameoOrg<S: TraceSink = NopSink> {
     vmm: Vmm,
-    cameo: Cameo,
+    cameo: Cameo<S>,
 }
 
 impl CameoOrg {
-    /// Creates a CAMEO system with the given LLT design and predictor.
+    /// Creates a CAMEO system with the given LLT design and predictor,
+    /// tracing disabled.
     pub fn new(
         stacked: ByteSize,
         off_chip: ByteSize,
@@ -30,14 +33,43 @@ impl CameoOrg {
         llp_entries: usize,
         seed: u64,
     ) -> Self {
-        let cameo = Cameo::new(CameoConfig {
+        Self::with_sink(
             stacked,
             off_chip,
             llt,
             predictor,
             cores,
             llp_entries,
-        });
+            seed,
+            NopSink,
+        )
+    }
+}
+
+impl<S: TraceSink> CameoOrg<S> {
+    /// Creates a CAMEO system emitting trace events into `sink`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_sink(
+        stacked: ByteSize,
+        off_chip: ByteSize,
+        llt: LltDesign,
+        predictor: PredictorKind,
+        cores: u16,
+        llp_entries: usize,
+        seed: u64,
+        sink: S,
+    ) -> Self {
+        let cameo = Cameo::with_sink(
+            CameoConfig {
+                stacked,
+                off_chip,
+                llt,
+                predictor,
+                cores,
+                llp_entries,
+            },
+            sink,
+        );
         let vmm = Vmm::new(VmmConfig {
             // The OS has no notion of fast/slow regions under CAMEO: one
             // flat visible space, randomly placed.
@@ -50,7 +82,7 @@ impl CameoOrg {
     }
 
     /// The underlying controller (for LLT/predictor statistics).
-    pub fn controller(&self) -> &Cameo {
+    pub fn controller(&self) -> &Cameo<S> {
         &self.cameo
     }
 
@@ -93,7 +125,7 @@ impl CameoOrg {
     }
 }
 
-impl MemoryOrganization for CameoOrg {
+impl<S: TraceSink> MemoryOrganization for CameoOrg<S> {
     fn name(&self) -> &'static str {
         Self::org_name(self.cameo.config().llt, self.cameo.config().predictor)
     }

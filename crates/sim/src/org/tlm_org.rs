@@ -2,7 +2,9 @@
 //! (paper Sections II-B/C and VI-D).
 
 use cameo_memsim::{Dram, DramConfig};
-use cameo_types::{Access, ByteSize, Cycle, PageAddr, ServiceLocation, PAGE_BYTES};
+use cameo_types::{
+    Access, ByteSize, Cycle, NopSink, PageAddr, ServiceLocation, TraceEvent, TraceSink, PAGE_BYTES,
+};
 use cameo_vmem::tlm::{DynamicMigrator, FreqMigrator, MigrationTraffic, OracleProfile};
 use cameo_vmem::{Placement, Vmm, VmmConfig};
 
@@ -38,7 +40,7 @@ impl TlmPolicy {
 /// A Two-Level Memory system: both device capacities are OS-visible;
 /// frames `0..stacked_pages` live in stacked DRAM.
 #[derive(Clone, Debug)]
-pub struct TlmOrg {
+pub struct TlmOrg<S: TraceSink = NopSink> {
     vmm: Vmm,
     stacked: Dram,
     off_chip: Dram,
@@ -55,11 +57,25 @@ pub struct TlmOrg {
     /// Rotates the addresses migration chunks are charged to, spreading
     /// them over channels and banks.
     migration_cursor: u64,
+    sink: S,
 }
 
 impl TlmOrg {
-    /// Creates a TLM system with the given policy.
+    /// Creates a TLM system with the given policy, tracing disabled.
     pub fn new(stacked: ByteSize, off_chip: ByteSize, policy: TlmPolicy, seed: u64) -> Self {
+        Self::with_sink(stacked, off_chip, policy, seed, NopSink)
+    }
+}
+
+impl<S: TraceSink> TlmOrg<S> {
+    /// Creates a TLM system emitting trace events into `sink`.
+    pub fn with_sink(
+        stacked: ByteSize,
+        off_chip: ByteSize,
+        policy: TlmPolicy,
+        seed: u64,
+        sink: S,
+    ) -> Self {
         let placement = match policy {
             // Oracle decides per page at fault time; others place randomly.
             TlmPolicy::Oracle(_) => Placement::OffChipFirst,
@@ -82,6 +98,7 @@ impl TlmOrg {
             pending_stacked_bytes: 0,
             pending_off_bytes: 0,
             migration_cursor: 0,
+            sink,
         }
     }
 
@@ -168,7 +185,7 @@ impl TlmOrg {
     }
 }
 
-impl MemoryOrganization for TlmOrg {
+impl<S: TraceSink> MemoryOrganization for TlmOrg<S> {
     fn name(&self) -> &'static str {
         self.policy.label()
     }
@@ -216,12 +233,16 @@ impl MemoryOrganization for TlmOrg {
         match &mut policy {
             TlmPolicy::Static | TlmPolicy::Oracle(_) => {}
             TlmPolicy::Dynamic(migrator) => {
-                if let Some(traffic) = migrator.on_access(&mut self.vmm, page, t.frame) {
+                if let Some(traffic) =
+                    migrator.on_access_traced(&mut self.vmm, page, t.frame, now, &mut self.sink)
+                {
                     self.charge_migration_now(now, &traffic, page);
                 }
             }
             TlmPolicy::Freq(migrator) => {
-                if let Some(report) = migrator.on_access(&mut self.vmm, page) {
+                if let Some(report) =
+                    migrator.on_access_traced(&mut self.vmm, page, now, &mut self.sink)
+                {
                     self.charge_migration(now, &report.traffic, page);
                 }
             }
@@ -233,6 +254,14 @@ impl MemoryOrganization for TlmOrg {
                 ServiceLocation::Stacked => self.reads_stacked += 1,
                 ServiceLocation::OffChip => self.reads_off_chip += 1,
                 ServiceLocation::Storage => {}
+            }
+            if S::ENABLED {
+                self.sink.emit(
+                    now,
+                    TraceEvent::Service {
+                        stacked: serviced_by == ServiceLocation::Stacked,
+                    },
+                );
             }
         }
         OrgResult {

@@ -1,0 +1,371 @@
+//! Epoch aggregation of [`TraceEvent`]s and the armed recording sink.
+//!
+//! The tracing subsystem has two halves: the typed events and the
+//! zero-overhead [`TraceSink`] trait live in `cameo-types` (so every
+//! simulation crate can emit without depending on this one), while the
+//! *armed* machinery lives here — [`SharedSink`] records events behind an
+//! `Arc<Mutex<_>>` so a cloned handle can stay with the caller while the
+//! organization it traces is boxed into `dyn MemoryOrganization`, and
+//! [`EpochSeries`] folds the stream into per-epoch counters (swap rate,
+//! LLP accuracy, stacked service share over time).
+//!
+//! # Examples
+//!
+//! ```
+//! use cameo_sim::trace::{SharedSink, TraceOptions};
+//! use cameo_types::{Cycle, TraceEvent, TraceSink};
+//!
+//! let mut sink = SharedSink::new(TraceOptions::default());
+//! let handle = sink.clone();
+//! sink.emit(Cycle::new(5), TraceEvent::Swap { group: 3 });
+//! let data = handle.take();
+//! assert_eq!(data.totals().swaps, 1);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use cameo_types::{Cycle, TraceEvent, TraceSink};
+
+/// How an armed trace run aggregates and retains events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceOptions {
+    /// Simulated cycles per aggregation epoch.
+    pub epoch_cycles: u64,
+    /// Whether to retain the raw `(cycle, event)` stream (bounded by
+    /// `max_events`) in addition to the epoch counters.
+    pub capture_events: bool,
+    /// Cap on retained raw events; later events only feed the epoch
+    /// counters and bump [`TraceData::dropped_events`].
+    pub max_events: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            epoch_cycles: 100_000,
+            capture_events: true,
+            max_events: 10_000,
+        }
+    }
+}
+
+/// Event counters folded over one epoch (or, via [`TraceData::totals`],
+/// over a whole run).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EpochCounters {
+    /// Congruence-group swaps.
+    pub swaps: u64,
+    /// LLT probes (LEAD reads, embedded lookups).
+    pub llt_probes: u64,
+    /// Location/hit predictions made.
+    pub predicts: u64,
+    /// Predictions that matched the verified outcome.
+    pub predicts_correct: u64,
+    /// Demand reads serviced by stacked DRAM.
+    pub stacked_serviced: u64,
+    /// Demand reads serviced by off-chip DRAM.
+    pub off_chip_serviced: u64,
+    /// Row-buffer hits across both devices.
+    pub row_hits: u64,
+    /// Closed-row misses across both devices.
+    pub row_closed: u64,
+    /// Row conflicts across both devices.
+    pub row_conflicts: u64,
+    /// Pages moved by OS-level migration batches.
+    pub migrated_pages: u64,
+    /// Fault-recovery actions taken.
+    pub recovery_actions: u64,
+}
+
+impl EpochCounters {
+    /// Folds one event into the counters.
+    pub fn record(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Swap { .. } => self.swaps += 1,
+            TraceEvent::LltProbe { .. } => self.llt_probes += 1,
+            TraceEvent::LlpPredict { correct } => {
+                self.predicts += 1;
+                if *correct {
+                    self.predicts_correct += 1;
+                }
+            }
+            TraceEvent::RecoveryAction { .. } => self.recovery_actions += 1,
+            TraceEvent::PageMigration { pages } => self.migrated_pages += u64::from(*pages),
+            TraceEvent::RowBufferOutcome {
+                hits,
+                closed,
+                conflicts,
+                ..
+            } => {
+                self.row_hits += u64::from(*hits);
+                self.row_closed += u64::from(*closed);
+                self.row_conflicts += u64::from(*conflicts);
+            }
+            TraceEvent::Service { stacked } => {
+                if *stacked {
+                    self.stacked_serviced += 1;
+                } else {
+                    self.off_chip_serviced += 1;
+                }
+            }
+        }
+    }
+
+    /// Accumulates another epoch's counters.
+    pub fn merge(&mut self, other: &EpochCounters) {
+        self.swaps += other.swaps;
+        self.llt_probes += other.llt_probes;
+        self.predicts += other.predicts;
+        self.predicts_correct += other.predicts_correct;
+        self.stacked_serviced += other.stacked_serviced;
+        self.off_chip_serviced += other.off_chip_serviced;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.migrated_pages += other.migrated_pages;
+        self.recovery_actions += other.recovery_actions;
+    }
+
+    /// Demand reads serviced this epoch.
+    pub fn serviced(&self) -> u64 {
+        self.stacked_serviced + self.off_chip_serviced
+    }
+
+    /// Fraction of predictions that were correct, if any were made.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        (self.predicts > 0).then(|| self.predicts_correct as f64 / self.predicts as f64)
+    }
+
+    /// Fraction of serviced reads that stacked DRAM answered.
+    pub fn stacked_service_rate(&self) -> Option<f64> {
+        (self.serviced() > 0).then(|| self.stacked_serviced as f64 / self.serviced() as f64)
+    }
+
+    /// Swaps per serviced read — the migration-rate gauge over time.
+    pub fn swap_rate(&self) -> Option<f64> {
+        (self.serviced() > 0).then(|| self.swaps as f64 / self.serviced() as f64)
+    }
+}
+
+/// Per-epoch counters, indexed by `cycle / epoch_cycles` with gaps filled
+/// by zeroed epochs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EpochSeries {
+    epoch_cycles: u64,
+    epochs: Vec<EpochCounters>,
+}
+
+impl EpochSeries {
+    /// Creates an empty series with the given epoch length (clamped to at
+    /// least 1 cycle).
+    pub fn new(epoch_cycles: u64) -> Self {
+        Self {
+            epoch_cycles: epoch_cycles.max(1),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The epoch length in simulated cycles.
+    pub fn epoch_cycles(&self) -> u64 {
+        self.epoch_cycles
+    }
+
+    /// The per-epoch counters, earliest first.
+    pub fn epochs(&self) -> &[EpochCounters] {
+        &self.epochs
+    }
+
+    /// Folds one event into the epoch covering `now`.
+    pub fn record(&mut self, now: Cycle, event: &TraceEvent) {
+        let idx = (now.raw() / self.epoch_cycles) as usize;
+        if idx >= self.epochs.len() {
+            self.epochs.resize(idx + 1, EpochCounters::default());
+        }
+        self.epochs[idx].record(event);
+    }
+}
+
+/// Everything an armed trace run recorded: the epoch series, the bounded
+/// raw event stream, and how many events overflowed the retention cap.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceData {
+    /// Per-epoch aggregated counters.
+    pub epochs: EpochSeries,
+    /// Raw `(cycle, event)` pairs, in emission order, capped at
+    /// [`TraceOptions::max_events`].
+    pub events: Vec<(Cycle, TraceEvent)>,
+    /// Events that exceeded the cap (still counted in `epochs`).
+    pub dropped_events: u64,
+    opts: TraceOptions,
+}
+
+impl TraceData {
+    /// Creates an empty recording with the given options.
+    pub fn new(opts: TraceOptions) -> Self {
+        Self {
+            epochs: EpochSeries::new(opts.epoch_cycles),
+            events: Vec::new(),
+            dropped_events: 0,
+            opts,
+        }
+    }
+
+    /// The options this recording was made with.
+    pub fn options(&self) -> &TraceOptions {
+        &self.opts
+    }
+
+    /// Folds one event into the recording.
+    pub fn record(&mut self, now: Cycle, event: TraceEvent) {
+        self.epochs.record(now, &event);
+        if self.opts.capture_events {
+            if self.events.len() < self.opts.max_events {
+                self.events.push((now, event));
+            } else {
+                self.dropped_events += 1;
+            }
+        }
+    }
+
+    /// Whole-run counters: every epoch merged.
+    pub fn totals(&self) -> EpochCounters {
+        let mut total = EpochCounters::default();
+        for epoch in self.epochs.epochs() {
+            total.merge(epoch);
+        }
+        total
+    }
+
+    /// Total events folded into the recording (retained or not).
+    pub fn event_count(&self) -> u64 {
+        self.events.len() as u64 + self.dropped_events
+    }
+}
+
+/// An armed [`TraceSink`] whose recording is shared between the emitting
+/// organization (boxed into `dyn MemoryOrganization`) and the harness that
+/// reads the result back out.
+///
+/// Cloning shares the underlying [`TraceData`]; [`SharedSink::take`]
+/// extracts it, leaving an empty recording behind.
+#[derive(Clone, Debug)]
+pub struct SharedSink {
+    data: Arc<Mutex<TraceData>>,
+}
+
+impl SharedSink {
+    /// Creates an armed sink with an empty recording.
+    pub fn new(opts: TraceOptions) -> Self {
+        Self {
+            data: Arc::new(Mutex::new(TraceData::new(opts))),
+        }
+    }
+
+    /// Extracts the recording, resetting this sink (and every clone) to an
+    /// empty one with the same options.
+    pub fn take(&self) -> TraceData {
+        let mut guard = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let opts = *guard.options();
+        std::mem::replace(&mut guard, TraceData::new(opts))
+    }
+
+    /// Runs `f` against the live recording without extracting it.
+    pub fn with<R>(&self, f: impl FnOnce(&TraceData) -> R) -> R {
+        let guard = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&guard)
+    }
+}
+
+impl TraceSink for SharedSink {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, now: Cycle, event: TraceEvent) {
+        let mut guard = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.record(now, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_index_by_cycle_and_fill_gaps() {
+        let mut series = EpochSeries::new(100);
+        series.record(Cycle::new(5), &TraceEvent::Swap { group: 1 });
+        series.record(Cycle::new(350), &TraceEvent::Swap { group: 2 });
+        assert_eq!(series.epochs().len(), 4);
+        assert_eq!(series.epochs()[0].swaps, 1);
+        assert_eq!(series.epochs()[1].swaps, 0);
+        assert_eq!(series.epochs()[3].swaps, 1);
+    }
+
+    #[test]
+    fn counters_fold_every_variant() {
+        let mut c = EpochCounters::default();
+        c.record(&TraceEvent::Swap { group: 0 });
+        c.record(&TraceEvent::LltProbe { group: 0 });
+        c.record(&TraceEvent::LlpPredict { correct: true });
+        c.record(&TraceEvent::LlpPredict { correct: false });
+        c.record(&TraceEvent::Service { stacked: true });
+        c.record(&TraceEvent::Service { stacked: false });
+        c.record(&TraceEvent::PageMigration { pages: 3 });
+        c.record(&TraceEvent::RowBufferOutcome {
+            stacked: true,
+            hits: 2,
+            closed: 1,
+            conflicts: 1,
+        });
+        c.record(&TraceEvent::RecoveryAction {
+            kind: cameo_types::RecoveryKind::Scrub,
+        });
+        assert_eq!(c.swaps, 1);
+        assert_eq!(c.llt_probes, 1);
+        assert_eq!(c.predicts, 2);
+        assert_eq!(c.predicts_correct, 1);
+        assert_eq!(c.prediction_accuracy(), Some(0.5));
+        assert_eq!(c.stacked_service_rate(), Some(0.5));
+        assert_eq!(c.swap_rate(), Some(0.5));
+        assert_eq!(c.migrated_pages, 3);
+        assert_eq!(c.row_hits, 2);
+        assert_eq!(c.row_closed, 1);
+        assert_eq!(c.row_conflicts, 1);
+        assert_eq!(c.recovery_actions, 1);
+    }
+
+    #[test]
+    fn event_cap_spills_into_dropped_but_epochs_keep_counting() {
+        let mut data = TraceData::new(TraceOptions {
+            epoch_cycles: 10,
+            capture_events: true,
+            max_events: 2,
+        });
+        for i in 0..5u64 {
+            data.record(Cycle::new(i), TraceEvent::Swap { group: i });
+        }
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.dropped_events, 3);
+        assert_eq!(data.event_count(), 5);
+        assert_eq!(data.totals().swaps, 5);
+    }
+
+    #[test]
+    fn shared_sink_clones_share_and_take_resets() {
+        let mut sink = SharedSink::new(TraceOptions::default());
+        let handle = sink.clone();
+        sink.emit(Cycle::new(1), TraceEvent::Service { stacked: true });
+        assert_eq!(handle.with(|d| d.totals().stacked_serviced), 1);
+        let taken = handle.take();
+        assert_eq!(taken.totals().stacked_serviced, 1);
+        assert_eq!(sink.take().totals().stacked_serviced, 0);
+    }
+}

@@ -28,6 +28,7 @@
 mod addr;
 mod capacity;
 mod cycle;
+mod events;
 mod hash;
 mod request;
 
@@ -36,5 +37,6 @@ pub use addr::{
 };
 pub use capacity::ByteSize;
 pub use cycle::Cycle;
+pub use events::{NopSink, RecoveryKind, TraceEvent, TraceSink, VecSink};
 pub use hash::{DetBuildHasher, DetHasher, DetHashMap, DetHashSet};
 pub use request::{Access, AccessKind, CoreId, MemKind, ServiceLocation};

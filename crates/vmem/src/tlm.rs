@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use cameo_types::{DetHashMap, PageAddr, PAGE_BYTES};
+use cameo_types::{Cycle, DetHashMap, PageAddr, TraceEvent, TraceSink, PAGE_BYTES};
 
 use crate::frames::{FrameId, Region};
 use crate::vmm::Vmm;
@@ -135,6 +135,32 @@ impl DynamicMigrator {
         vmm.assert_consistent();
         Some(MigrationTraffic::swap())
     }
+
+    /// Like [`DynamicMigrator::on_access`], but with tracing armed every
+    /// page move emits a [`TraceEvent::PageMigration`] into `sink`.
+    pub fn on_access_traced<S: TraceSink>(
+        &mut self,
+        vmm: &mut Vmm,
+        page: PageAddr,
+        frame: FrameId,
+        now: Cycle,
+        sink: &mut S,
+    ) -> Option<MigrationTraffic> {
+        let traffic = self.on_access(vmm, page, frame);
+        if S::ENABLED {
+            if let Some(t) = &traffic {
+                if t.pages_moved > 0 {
+                    sink.emit(
+                        now,
+                        TraceEvent::PageMigration {
+                            pages: t.pages_moved,
+                        },
+                    );
+                }
+            }
+        }
+        traffic
+    }
 }
 
 /// Report of one TLM-Freq epoch rebalance.
@@ -201,6 +227,32 @@ impl FreqMigrator {
             *c > 0
         });
         Some(report)
+    }
+
+    /// Like [`FreqMigrator::on_access`], but with tracing armed an epoch
+    /// rebalance that moved pages emits a [`TraceEvent::PageMigration`]
+    /// into `sink`.
+    pub fn on_access_traced<S: TraceSink>(
+        &mut self,
+        vmm: &mut Vmm,
+        page: PageAddr,
+        now: Cycle,
+        sink: &mut S,
+    ) -> Option<RebalanceReport> {
+        let report = self.on_access(vmm, page);
+        if S::ENABLED {
+            if let Some(r) = &report {
+                if r.traffic.pages_moved > 0 {
+                    sink.emit(
+                        now,
+                        TraceEvent::PageMigration {
+                            pages: r.traffic.pages_moved,
+                        },
+                    );
+                }
+            }
+        }
+        report
     }
 
     /// Promotes the hottest pages into stacked memory immediately.
@@ -416,6 +468,30 @@ mod tests {
             profile.region_for(PageAddr::new(0)),
         );
         assert_eq!(v.frames().region_of(out.frame), Region::Stacked);
+    }
+
+    #[test]
+    fn traced_migrations_emit_page_counts() {
+        use cameo_types::VecSink;
+        let mut v = vmm(1, 2, Placement::OffChipFirst);
+        let mut d = DynamicMigrator::new();
+        let mut sink = VecSink::default();
+        // Promotion into a free stacked frame: one page moved.
+        let a = v.translate(PageAddr::new(0), false);
+        d.on_access_traced(&mut v, PageAddr::new(0), a.frame, Cycle::new(3), &mut sink);
+        // Swap with the resident victim: two pages moved.
+        let b = v.translate(PageAddr::new(1), false);
+        d.on_access_traced(&mut v, PageAddr::new(1), b.frame, Cycle::new(7), &mut sink);
+        // Stacked-resident access: no event.
+        let f = v.frame_of(PageAddr::new(1)).unwrap();
+        d.on_access_traced(&mut v, PageAddr::new(1), f, Cycle::new(9), &mut sink);
+        assert_eq!(
+            sink.events,
+            vec![
+                (Cycle::new(3), TraceEvent::PageMigration { pages: 1 }),
+                (Cycle::new(7), TraceEvent::PageMigration { pages: 2 }),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Seeded `trace-print` violations for the linter self-test.
+//!
+//! Never compiled; see `../../core/src/hot.rs` for the marker convention.
+//! The companion `trace_export.rs` in this fixture tree proves the
+//! exporter-module path exemption: the same lines there produce no
+//! diagnostics.
+
+/// Printing a typed event directly is flagged for every std print macro.
+pub fn dump_events(group: u64) {
+    println!("swap {:?}", TraceEvent::Swap { group }); // seeded: trace-print
+    eprintln!("{:?}", TraceEvent::Service { stacked: true }); // seeded: trace-print
+}
+
+/// Binding the event first does not launder the same-line emission.
+pub fn dump_bound(event: TraceEvent) {
+    print!("event={event:?} ({})", std::any::type_name::<TraceEvent>()); // seeded: trace-print
+}
+
+/// Emitting into a sink is the sanctioned shape and stays legal.
+pub fn emit(sink: &mut impl TraceSink, now: Cycle, group: u64) {
+    sink.emit(now, TraceEvent::Swap { group });
+}
+
+/// The escape hatch works for justified one-off prints.
+pub fn allowed(event: TraceEvent) {
+    // lint: allow(trace-print) — fixture: justified debug print
+    println!("{event:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may print events freely (assertion messages, dumps).
+    #[test]
+    fn prints_freely() {
+        println!("{:?}", TraceEvent::Swap { group: 1 });
+    }
+}

@@ -1,0 +1,11 @@
+//! Unseeded fixture proving the `trace-print` exporter exemption: this
+//! file's path ends in `crates/bench/src/trace_export.rs`, the one
+//! location allowed to serialize trace events, so the prints below must
+//! produce no diagnostics (note: no `seeded:` markers anywhere in this
+//! file).
+
+/// The exporter itself may print events without findings.
+pub fn exporter_prints(group: u64) {
+    println!("{:?}", TraceEvent::Swap { group });
+    eprintln!("{:?}", TraceEvent::Service { stacked: false });
+}

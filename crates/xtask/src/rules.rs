@@ -20,6 +20,11 @@
 //!   worker pool (`crates/sim/src/pool.rs`): detached threads escape the
 //!   harness's crash isolation, cancellation and checkpoint discipline.
 //!   Parallel work goes through the pool's scoped, named workers.
+//! * `trace-print` — `TraceEvent`s must not be serialized with print
+//!   macros outside the exporter module
+//!   (`crates/bench/src/trace_export.rs`): ad-hoc printing forks the
+//!   event schema away from the JSONL / Chrome-trace formats the tooling
+//!   parses.
 //!
 //! Any finding can be suppressed in place with `// lint: allow(<rule>)`
 //! on the same line or alone on the line above — the escape hatch doubles
@@ -38,9 +43,15 @@ pub const ADDR_CAST: &str = "addr-cast";
 pub const MISSING_DOCS: &str = "missing-docs";
 /// Rule name: bare `thread::spawn` outside the sweep worker pool.
 pub const THREAD_SPAWN: &str = "thread-spawn";
+/// Rule name: print-macro serialization of trace events outside the
+/// exporter module.
+pub const TRACE_PRINT: &str = "trace-print";
 
 /// The one file allowed to create threads: the sweep worker pool.
 pub const THREAD_SPAWN_EXEMPT_FILE: &str = "crates/sim/src/pool.rs";
+
+/// The one file allowed to serialize trace events: the bench exporter.
+pub const TRACE_PRINT_EXEMPT_FILE: &str = "crates/bench/src/trace_export.rs";
 
 /// Shortest `.expect()` message accepted as "states an invariant".
 pub const MIN_EXPECT_MESSAGE: usize = 20;
@@ -84,6 +95,7 @@ impl fmt::Display for Diagnostic {
 pub fn check_file(path: &std::path::Path, class: FileClass, src: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let is_pool = path.ends_with(THREAD_SPAWN_EXEMPT_FILE);
+    let is_exporter = path.ends_with(TRACE_PRINT_EXEMPT_FILE);
     for (idx, line) in src.lines.iter().enumerate() {
         if line.in_test {
             continue;
@@ -116,8 +128,41 @@ pub fn check_file(path: &std::path::Path, class: FileClass, src: &SourceFile) ->
                 report(THREAD_SPAWN, msg);
             }
         }
+        if !is_exporter {
+            if let Some(msg) = trace_print_finding(&line.code) {
+                report(TRACE_PRINT, msg);
+            }
+        }
     }
     out
+}
+
+/// `trace-print`: a print macro and a `TraceEvent` on the same code line
+/// outside the exporter module. Heuristic by design — it catches the
+/// direct-emission shape (`println!("...", TraceEvent::Swap { .. })`)
+/// without chasing dataflow; indirection through a variable is the
+/// exporter's job anyway.
+fn trace_print_finding(code: &str) -> Option<String> {
+    if !code.contains("TraceEvent") {
+        return None;
+    }
+    for needle in ["println!", "print!", "eprintln!", "eprint!"] {
+        if let Some(pos) = code.find(needle) {
+            // Word boundary before: `my_println!` is not the std macro.
+            let prev_ident = code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !prev_ident {
+                return Some(format!(
+                    "`{needle}` on a line handling `TraceEvent`s outside \
+                     `{TRACE_PRINT_EXEMPT_FILE}`; ad-hoc printing forks the event \
+                     schema — route events through the exporter module"
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// `thread-spawn`: a bare `thread::spawn` call outside the worker pool.
@@ -499,6 +544,52 @@ mod tests {
         assert!(pool.is_empty());
         let elsewhere = check_file(Path::new("crates/sim/src/harness.rs"), COLD, &src);
         assert_eq!(elsewhere.len(), 1);
+    }
+
+    #[test]
+    fn trace_print_flags_event_printing() {
+        for src in [
+            "fn f() { println!(\"{:?}\", TraceEvent::Swap { group }); }",
+            "fn f() { eprintln!(\"ev {:?}\", TraceEvent::Service { stacked: true }); }",
+            "fn f(e: TraceEvent) { print!(\"{e:?}\"); }",
+        ] {
+            let d = lint(src, COLD);
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].rule, TRACE_PRINT);
+        }
+    }
+
+    #[test]
+    fn trace_print_needs_both_halves() {
+        // A print macro without a TraceEvent, or a TraceEvent without a
+        // print macro, is not direct emission.
+        assert!(lint("fn f() { println!(\"hello\"); }", COLD).is_empty());
+        assert!(lint("fn f() { sink.emit(now, TraceEvent::Swap { group }); }", COLD).is_empty());
+        // Look-alike macros are not the std print family.
+        assert!(lint("fn f(e: TraceEvent) { my_println!(\"{e:?}\"); }", COLD).is_empty());
+    }
+
+    #[test]
+    fn trace_print_exporter_file_is_exempt() {
+        let src = SourceFile::parse(
+            "fn f() { println!(\"{:?}\", TraceEvent::Swap { group }); }",
+        );
+        let exporter = check_file(Path::new(TRACE_PRINT_EXEMPT_FILE), COLD, &src);
+        assert!(exporter.is_empty());
+        let elsewhere = check_file(Path::new("crates/bench/src/lib.rs"), COLD, &src);
+        assert_eq!(elsewhere.len(), 1);
+    }
+
+    #[test]
+    fn trace_print_allow_and_test_exemptions() {
+        assert!(lint(
+            "fn f(e: TraceEvent) { println!(\"{e:?}\") } // lint: allow(trace-print)",
+            COLD
+        )
+        .is_empty());
+        let src =
+            "#[cfg(test)]\nmod tests {\n fn t(e: TraceEvent) { println!(\"{e:?}\"); }\n}";
+        assert!(lint(src, COLD).is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use cameo_repro::cameo::{LltDesign, PredictorKind};
 use cameo_repro::sim::org::CameoOrg;
 use cameo_repro::sim::runner::Runner;
 use cameo_repro::sim::{RunStats, SystemConfig};
+use cameo_repro::types::TraceSink;
 use cameo_repro::workloads::require;
 
 fn quick() -> SystemConfig {
@@ -33,7 +34,7 @@ fn cameo_org(cfg: &SystemConfig) -> CameoOrg {
     )
 }
 
-fn run(cfg: &SystemConfig, mut org: CameoOrg) -> RunStats {
+fn run<S: TraceSink>(cfg: &SystemConfig, mut org: CameoOrg<S>) -> RunStats {
     let bench = require("mcf").expect("mcf is in the Table II suite");
     Runner::new(bench, cfg)
         .expect("quick() is a valid configuration")
@@ -57,6 +58,39 @@ fn different_seed_actually_changes_the_run() {
     let first = run(&cfg, cameo_org(&cfg));
     let second = run(&other, cameo_org(&other));
     assert_ne!(first, second);
+}
+
+/// An armed, recording [`TraceSink`] observes every swap, probe and
+/// prediction without perturbing any of them: the run must be bit-identical
+/// to one built with the no-op sink. This mirrors the rate-zero fault test
+/// below — both pin an observability layer to the exact numbers of the
+/// plain build — and is the workspace-level face of the tracing-is-free
+/// contract (`cameo_sim::harness` asserts the same for whole sweeps).
+#[test]
+fn armed_trace_sink_is_bit_identical_to_noop() {
+    use cameo_repro::sim::trace::{SharedSink, TraceOptions};
+
+    let cfg = quick();
+    let plain = run(&cfg, cameo_org(&cfg));
+    let sink = SharedSink::new(TraceOptions::default());
+    let armed = run(
+        &cfg,
+        CameoOrg::with_sink(
+            cfg.stacked(),
+            cfg.off_chip(),
+            LltDesign::CoLocated,
+            PredictorKind::Llp,
+            cfg.cores,
+            cfg.llp_entries,
+            cfg.seed ^ 0xBEEF,
+            sink.clone(),
+        ),
+    );
+    assert_eq!(plain, armed);
+    // Guard against vacuous equality: the armed sink really was recording.
+    let recording = sink.take();
+    assert!(recording.totals().serviced() > 0, "sink recorded nothing");
+    assert!(recording.event_count() > 0);
 }
 
 /// A rate-zero armed fault layer draws no randomness and defers nothing:

@@ -172,3 +172,207 @@ fn whole_suite_loads_and_classifies() {
         .count();
     assert_eq!(capacity, 6);
 }
+
+/// Golden-conformance suite: micro versions of the fig09 / fig12 / fig13
+/// sweeps replayed against checked-in reference reports (`tests/golden/`).
+///
+/// Each golden file holds, per sweep point, the byte-exact checkpoint
+/// record (every simulated counter, rendered through the same codec the
+/// resume path trusts) *and* a totals line from the event-trace recording,
+/// so any drift in simulated results **or** in emitted event counts fails
+/// the diff loudly. To accept an intentional change:
+///
+/// ```text
+/// UPDATE_GOLDEN=1 cargo test --test end_to_end golden_
+/// git diff tests/golden/   # review every changed counter, then commit
+/// ```
+///
+/// The update path and review policy are documented in DESIGN.md §11.
+mod golden {
+    use std::path::PathBuf;
+
+    use cameo_repro::cameo::{LltDesign, PredictorKind};
+    use cameo_repro::sim::checkpoint::{render_record, Json};
+    use cameo_repro::sim::experiments::OrgKind;
+    use cameo_repro::sim::harness::{run_sweep_traced, SweepOptions, SweepPoint, SweepReport};
+    use cameo_repro::sim::trace::{TraceData, TraceOptions};
+    use cameo_repro::sim::SystemConfig;
+
+    /// The micro configuration shared by every golden sweep: small enough
+    /// to re-run on each `cargo test`, large enough that every design
+    /// swaps, predicts and migrates.
+    fn micro() -> SweepOptions {
+        SweepOptions {
+            config: SystemConfig {
+                scale: 512,
+                cores: 2,
+                instructions_per_core: 60_000,
+                seed: 42,
+                ..SystemConfig::default()
+            },
+            // One attempt, serial: a golden must fail, not retry-and-drift.
+            max_attempts: 1,
+            jobs: 1,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Event-recording totals rendered as one JSON line; folding the
+    /// counters into the golden means a new/removed emission site changes
+    /// the file even when the simulated stats are untouched.
+    fn totals_line(key: &str, trace: &TraceData) -> String {
+        let t = trace.totals();
+        Json::Obj(vec![
+            ("key".to_owned(), Json::Str(key.to_owned())),
+            ("events".to_owned(), Json::U64(trace.event_count())),
+            (
+                "epochs".to_owned(),
+                Json::U64(trace.epochs.epochs().len() as u64),
+            ),
+            ("swaps".to_owned(), Json::U64(t.swaps)),
+            ("llt_probes".to_owned(), Json::U64(t.llt_probes)),
+            ("predicts".to_owned(), Json::U64(t.predicts)),
+            ("predicts_correct".to_owned(), Json::U64(t.predicts_correct)),
+            ("stacked_serviced".to_owned(), Json::U64(t.stacked_serviced)),
+            (
+                "off_chip_serviced".to_owned(),
+                Json::U64(t.off_chip_serviced),
+            ),
+            ("row_hits".to_owned(), Json::U64(t.row_hits)),
+            ("row_closed".to_owned(), Json::U64(t.row_closed)),
+            ("row_conflicts".to_owned(), Json::U64(t.row_conflicts)),
+            ("migrated_pages".to_owned(), Json::U64(t.migrated_pages)),
+            ("recovery_actions".to_owned(), Json::U64(t.recovery_actions)),
+        ])
+        .render()
+    }
+
+    /// Renders a finished sweep to the golden text: alternating checkpoint
+    /// record and trace-totals lines, in canonical point order.
+    fn render_report(report: &SweepReport) -> String {
+        let mut out = String::new();
+        for outcome in &report.outcomes {
+            out.push_str(&render_record(&outcome.point.key, &outcome.record));
+            out.push('\n');
+            let trace = outcome
+                .trace
+                .as_ref()
+                .expect("fresh serial traced sweeps record every point");
+            out.push_str(&totals_line(&outcome.point.key, trace));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn golden_path(name: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name)
+    }
+
+    /// Runs the micro sweep and byte-compares it against the named golden
+    /// (or rewrites the golden under `UPDATE_GOLDEN=1`).
+    fn check_golden(name: &str, kinds: &[OrgKind]) {
+        let opts = micro();
+        let points: Vec<SweepPoint> = kinds
+            .iter()
+            .map(|&kind| SweepPoint::new("mcf", kind))
+            .collect();
+        let report = run_sweep_traced(&points, &opts, None, TraceOptions::default())
+            .expect("mcf resolves and the micro config is valid");
+        let rendered = render_report(&report);
+        let path = golden_path(name);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, &rendered)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            return;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "reading golden {}: {e}\n\
+                 regenerate with: UPDATE_GOLDEN=1 cargo test --test end_to_end golden_",
+                path.display()
+            )
+        });
+        if rendered != expected {
+            for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+                assert_eq!(
+                    got,
+                    want,
+                    "golden {name} drifted at line {}: simulated results or \
+                     event counts changed; if intentional, regenerate with \
+                     UPDATE_GOLDEN=1 and review the diff (DESIGN.md §11)",
+                    i + 1
+                );
+            }
+            panic!(
+                "golden {name}: line count changed ({} now vs {} expected)",
+                rendered.lines().count(),
+                expected.lines().count()
+            );
+        }
+    }
+
+    /// Figure 9 micro-sweep (LLT designs, serial access) is bit-stable.
+    #[test]
+    fn golden_fig09_conformance() {
+        check_golden(
+            "fig09.jsonl",
+            &[
+                OrgKind::Cameo {
+                    llt: LltDesign::Embedded,
+                    predictor: PredictorKind::SerialAccess,
+                },
+                OrgKind::Cameo {
+                    llt: LltDesign::Sram,
+                    predictor: PredictorKind::SerialAccess,
+                },
+                OrgKind::Cameo {
+                    llt: LltDesign::CoLocated,
+                    predictor: PredictorKind::SerialAccess,
+                },
+                OrgKind::Cameo {
+                    llt: LltDesign::Ideal,
+                    predictor: PredictorKind::SerialAccess,
+                },
+            ],
+        );
+    }
+
+    /// Figure 12 micro-sweep (SAM / LLP / Perfect prediction) is bit-stable.
+    #[test]
+    fn golden_fig12_conformance() {
+        check_golden(
+            "fig12.jsonl",
+            &[
+                OrgKind::Cameo {
+                    llt: LltDesign::CoLocated,
+                    predictor: PredictorKind::SerialAccess,
+                },
+                OrgKind::Cameo {
+                    llt: LltDesign::CoLocated,
+                    predictor: PredictorKind::Llp,
+                },
+                OrgKind::Cameo {
+                    llt: LltDesign::CoLocated,
+                    predictor: PredictorKind::Perfect,
+                },
+            ],
+        );
+    }
+
+    /// Figure 13 micro-sweep (the headline designs) is bit-stable.
+    #[test]
+    fn golden_fig13_conformance() {
+        check_golden(
+            "fig13.jsonl",
+            &[
+                OrgKind::AlloyCache,
+                OrgKind::TlmStatic,
+                OrgKind::TlmDynamic,
+                OrgKind::cameo_default(),
+                OrgKind::DoubleUse,
+            ],
+        );
+    }
+}
