@@ -42,7 +42,6 @@ fn main() {
 
 #[cfg(feature = "faults")]
 mod faulted {
-    use std::collections::HashMap;
     use std::path::PathBuf;
     use std::sync::{Arc, Mutex};
 
@@ -55,7 +54,7 @@ mod faulted {
     use cameo_sim::org::{CameoOrg, MemoryOrganization, OrgResult};
     use cameo_sim::report::Table;
     use cameo_sim::SystemConfig;
-    use cameo_types::{Access, ByteSize, Cycle, PageAddr};
+    use cameo_types::{Access, ByteSize, Cycle, DetHashMap, PageAddr};
     use cameo_workloads::BenchSpec;
 
     /// Flags this binary adds on top of the shared `Cli` set.
@@ -133,11 +132,11 @@ mod faulted {
 
     // Shared across sweep workers: the builder closure must be `Sync`, and
     // points on different threads deposit their reports concurrently.
-    type Sink = Arc<Mutex<HashMap<String, PointReport>>>;
+    type Sink = Arc<Mutex<DetHashMap<String, PointReport>>>;
 
     /// Locks the sink, tolerating poison: a panicking point is unwound by
     /// the harness and its partial report is still worth keeping.
-    fn lock_sink(sink: &Sink) -> std::sync::MutexGuard<'_, HashMap<String, PointReport>> {
+    fn lock_sink(sink: &Sink) -> std::sync::MutexGuard<'_, DetHashMap<String, PointReport>> {
         match sink.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -221,7 +220,7 @@ mod faulted {
         ];
 
         let mut points = Vec::new();
-        let mut grid: HashMap<String, (u32, RecoveryConfig)> = HashMap::new();
+        let mut grid: DetHashMap<String, (u32, RecoveryConfig)> = DetHashMap::default();
         for bench in &benches {
             for &rate in &flags.rates {
                 for &policy in &policies {

@@ -10,8 +10,6 @@
 //! run through the crash-isolated harness, so the grid parallelizes across
 //! `--jobs` workers with results identical to a serial run.
 
-use std::collections::HashMap;
-
 use cameo::{LltDesign, PredictorKind};
 use cameo_bench::{print_header, Cli};
 use cameo_sim::experiments::OrgKind;
@@ -19,7 +17,7 @@ use cameo_sim::harness::{run_sweep_with, SweepOptions, SweepPoint};
 use cameo_sim::org::{AlloyCacheOrg, BaselineOrg, CameoOrg, MemoryOrganization};
 use cameo_sim::report::Table;
 use cameo_sim::{RunStats, SystemConfig};
-use cameo_types::ByteSize;
+use cameo_types::{ByteSize, DetHashMap};
 
 /// The three columns of each ratio: the split's own baseline (off-chip
 /// share alone), Alloy-style cache, and CAMEO.
@@ -43,7 +41,7 @@ fn main() {
     let ratios = [2u64, 4, 8];
 
     let mut points = Vec::new();
-    let mut grid: HashMap<String, (u64, Variant)> = HashMap::new();
+    let mut grid: DetHashMap<String, (u64, Variant)> = DetHashMap::default();
     for bench in &cli.benches {
         for ratio in ratios {
             for (tag, variant) in VARIANTS {

@@ -1,12 +1,11 @@
 //! Table II: workload characteristics — verifies the synthetic generators
 //! hit each benchmark's configured MPKI / footprint / spatial locality.
 
-use std::collections::{HashMap, HashSet};
-
 use cameo_bench::{print_header, Cli};
 use cameo_sim::report::Table;
 use cameo_sim::runner::trace_configs;
 use cameo_sim::SystemConfig;
+use cameo_types::{DetHashMap, DetHashSet};
 use cameo_workloads::TraceGenerator;
 
 fn main() {
@@ -27,7 +26,7 @@ fn main() {
         // One rate-mode copy is representative (copies are iid).
         let tc = trace_configs(bench, &cli.config)[0];
         let mut generator = TraceGenerator::new(*bench, tc);
-        let mut lines_by_page: HashMap<u64, HashSet<usize>> = HashMap::new();
+        let mut lines_by_page: DetHashMap<u64, DetHashSet<usize>> = DetHashMap::default();
         for _ in 0..events {
             let e = generator.next_event();
             lines_by_page
@@ -38,7 +37,7 @@ fn main() {
         let revisited: Vec<usize> = lines_by_page
             .values()
             .filter(|s| s.len() > 1)
-            .map(HashSet::len)
+            .map(DetHashSet::len)
             .collect();
         let density = if revisited.is_empty() {
             f64::NAN

@@ -19,10 +19,8 @@
 //! [`FaultyDevice`] per call, so the controller can route stacked and
 //! off-chip reads through one policy without fighting the borrow checker.
 
-use std::collections::HashMap;
-
 use cameo_memsim::faults::{DeviceFault, FaultyDevice};
-use cameo_types::{Cycle, RecoveryKind, TraceEvent, TraceSink};
+use cameo_types::{Cycle, DetHashMap, RecoveryKind, TraceEvent, TraceSink};
 
 use crate::latency_model::{DROP_TIMEOUT_CYCLES, ECC_CORRECT_CYCLES, RETRY_BACKOFF_CYCLES};
 use crate::llt::LltEntry;
@@ -141,7 +139,7 @@ impl RecoveryStats {
 pub struct RecoveryState {
     cfg: RecoveryConfig,
     stats: RecoveryStats,
-    truth: HashMap<u64, LltEntry>,
+    truth: DetHashMap<u64, LltEntry>,
     degraded: bool,
 }
 
@@ -151,7 +149,7 @@ impl RecoveryState {
         Self {
             cfg,
             stats: RecoveryStats::default(),
-            truth: HashMap::new(),
+            truth: DetHashMap::default(),
             degraded: false,
         }
     }

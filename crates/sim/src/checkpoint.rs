@@ -18,7 +18,6 @@
 //! at most one truncated final line, which [`load`] skips, so re-invoking
 //! the sweep recomputes only the unfinished points.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -26,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use cameo::PredictionCaseCounts;
+use cameo_types::DetHashMap;
 
 use crate::error::SimError;
 use crate::stats::{BandwidthReport, RunStats};
@@ -529,10 +529,10 @@ pub fn parse_record(line: &str) -> Result<(String, PointRecord), String> {
 ///
 /// Returns [`SimError::Checkpoint`] on I/O failure or non-trailing
 /// corruption.
-pub fn load(path: &Path) -> Result<HashMap<String, PointRecord>, SimError> {
+pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(DetHashMap::default()),
         Err(e) => {
             return Err(SimError::Checkpoint(format!(
                 "reading {}: {e}",
@@ -540,7 +540,7 @@ pub fn load(path: &Path) -> Result<HashMap<String, PointRecord>, SimError> {
             )))
         }
     };
-    let mut records = HashMap::new();
+    let mut records = DetHashMap::default();
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     for (i, line) in lines.iter().enumerate() {
         match parse_record(line) {

@@ -1,10 +1,8 @@
 //! One-call experiment entry points used by the bench binaries and the
 //! examples.
 
-use std::collections::HashMap;
-
 use cameo::{LltDesign, PredictorKind};
-use cameo_types::PageAddr;
+use cameo_types::{DetHashMap, PageAddr};
 use cameo_vmem::tlm::{DynamicMigrator, FreqMigrator, OracleProfile};
 use cameo_workloads::{BenchSpec, TraceGenerator};
 
@@ -99,7 +97,7 @@ impl OrgKind {
 /// Counts per-page accesses of the exact trace the timed run will replay —
 /// the profiling pass TLM-Oracle assumes (paper Section VI-D).
 pub fn page_profile(bench: &BenchSpec, config: &SystemConfig) -> Vec<(PageAddr, u64)> {
-    let mut counts: HashMap<PageAddr, u64> = HashMap::new();
+    let mut counts: DetHashMap<PageAddr, u64> = DetHashMap::default();
     let events_per_core = config.expected_events_per_core(bench.mpki);
     for tc in trace_configs(bench, config) {
         let mut generator = TraceGenerator::new(*bench, tc);

@@ -139,4 +139,127 @@ mod tests {
         // At most one in-flight task per worker after the first cancel.
         assert!(ran.load(Ordering::Relaxed) <= 4);
     }
+
+    /// Exhaustive-interleaving check of the claim protocol.
+    ///
+    /// The `claim` closure above is two separate atomic steps — the
+    /// cancel check and the `fetch_add` — and a worker can be suspended
+    /// between them. This model enumerates *every* two-worker schedule
+    /// of those steps (DFS over the interleaving tree, memoized on the
+    /// exact shared state) and asserts the properties the sweep relies
+    /// on: no index is ever run twice, without cancellation every index
+    /// runs, and the cursor overshoots `count` by at most one failed
+    /// claim per worker. Each worker is a three-step loop mirroring
+    /// `for_each_indexed`:
+    ///
+    /// 1. `CHECK`: read the cancel flag; stop if set.
+    /// 2. `CLAIM`: `n = next.fetch_add(1)`; stop if `n >= count`.
+    /// 3. `RUN`: execute task `n` (optionally cancelling), loop to 1.
+    mod interleavings {
+        use std::collections::BTreeSet;
+
+        const WORKERS: usize = 2;
+        const CHECK: u8 = 0;
+        const CLAIM: u8 = 1;
+        const RUN: u8 = 2;
+        const DONE: u8 = 3;
+
+        /// The shared state of the modeled pool plus each worker's
+        /// program counter. `executed` is a bitmask of run indices;
+        /// `fetches` counts `fetch_add` calls (the overshoot metric).
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct State {
+            pc: [u8; WORKERS],
+            claimed: [usize; WORKERS],
+            next: usize,
+            cancelled: bool,
+            executed: u32,
+            fetches: usize,
+        }
+
+        fn explore(count: usize, cancel_at: Option<usize>) {
+            let start = State {
+                pc: [CHECK; WORKERS],
+                claimed: [usize::MAX; WORKERS],
+                next: 0,
+                cancelled: false,
+                executed: 0,
+                fetches: 0,
+            };
+            let mut seen: BTreeSet<State> = BTreeSet::new();
+            let mut stack = vec![start];
+            let mut terminals = 0usize;
+            while let Some(state) = stack.pop() {
+                if !seen.insert(state) {
+                    continue;
+                }
+                if state.pc.iter().all(|&pc| pc == DONE) {
+                    terminals += 1;
+                    assert!(
+                        state.fetches <= count + WORKERS,
+                        "cursor overshot: {} fetch_adds for count={count}",
+                        state.fetches
+                    );
+                    if !state.cancelled {
+                        assert_eq!(
+                            state.executed,
+                            (1u32 << count) - 1,
+                            "an index was skipped without cancellation"
+                        );
+                    }
+                    continue;
+                }
+                for w in 0..WORKERS {
+                    let mut s = state;
+                    match s.pc[w] {
+                        CHECK => s.pc[w] = if s.cancelled { DONE } else { CLAIM },
+                        CLAIM => {
+                            let n = s.next;
+                            s.next += 1;
+                            s.fetches += 1;
+                            if n < count {
+                                s.claimed[w] = n;
+                                s.pc[w] = RUN;
+                            } else {
+                                s.pc[w] = DONE;
+                            }
+                        }
+                        RUN => {
+                            let n = s.claimed[w];
+                            assert_eq!(
+                                s.executed & (1 << n),
+                                0,
+                                "index {n} claimed twice in some schedule"
+                            );
+                            s.executed |= 1 << n;
+                            if cancel_at == Some(n) {
+                                s.cancelled = true;
+                            }
+                            s.claimed[w] = usize::MAX;
+                            s.pc[w] = CHECK;
+                        }
+                        _ => continue,
+                    }
+                    stack.push(s);
+                }
+            }
+            assert!(terminals > 0, "no terminal schedule reached");
+        }
+
+        #[test]
+        fn all_schedules_claim_each_index_once_and_completely() {
+            for count in 1..=4 {
+                explore(count, None);
+            }
+        }
+
+        #[test]
+        fn all_schedules_with_cancellation_stay_unique_and_bounded() {
+            for count in 1..=4 {
+                for cancel_at in 0..count {
+                    explore(count, Some(cancel_at));
+                }
+            }
+        }
+    }
 }

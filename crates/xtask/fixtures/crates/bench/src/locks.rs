@@ -1,0 +1,51 @@
+//! Seeded `lock-unwrap` / `lock-unwind` violations for the concurrency
+//! pass. Never compiled; see `../../core/src/hot.rs` for the marker
+//! convention.
+
+use std::panic::catch_unwind;
+use std::sync::Mutex;
+
+/// Bare unwraps cascade mutex poisoning across sweep workers.
+pub fn cascade(m: &Mutex<u64>) -> u64 {
+    let a = *m.lock().unwrap(); // seeded: lock-unwrap
+    let b = *m.lock().unwrap(); // seeded: lock-unwrap
+    a + b
+}
+
+/// Poison-tolerant recovery is the sanctioned shape.
+pub fn recovers(m: &Mutex<u64>) -> u64 {
+    match m.lock() {
+        Ok(guard) => *guard,
+        Err(poisoned) => *poisoned.into_inner(),
+    }
+}
+
+/// A guard held across the unwind boundary is poisoned by any panic
+/// inside it, defeating the harness's crash isolation.
+pub fn straddles(m: &Mutex<u64>) {
+    let guard = m.lock().expect("fixture: guard deliberately held across the unwind");
+    let r = catch_unwind(|| risky()); // seeded: lock-unwind
+    drop((guard, r));
+}
+
+/// Same shape with the lock on the catch line itself.
+pub fn straddles_inline(m: &Mutex<u64>) {
+    let r = { let _g = m.lock(); catch_unwind(|| risky()) }; // seeded: lock-unwind
+    drop(r);
+}
+
+/// Locking inside the isolated closure keeps the guard off the boundary.
+pub fn isolated(m: &Mutex<u64>) {
+    let r = catch_unwind(|| *m.lock().expect("fixture: closure-scoped guard, dropped before unwind"));
+    drop(r);
+}
+
+/// The escape hatches record why the shape is safe here.
+pub fn allowed(m: &Mutex<u64>) -> u64 {
+    // lint: allow(lock-unwrap) — fixture: single-threaded setup phase (suppressed: lock-unwrap)
+    let v = *m.lock().unwrap();
+    // lint: allow(lock-unwind) — fixture: guard dropped on the line above (suppressed: lock-unwind)
+    let r = catch_unwind(move || v + 1);
+    drop(r);
+    v
+}

@@ -1,0 +1,12 @@
+//! Unseeded fixture proving the `wall-clock` perf-metrics exemption:
+//! this file's path ends in `crates/bench/src/perf.rs`, the allowlisted
+//! perf-metrics module, so the host-clock reads below must produce no
+//! diagnostics (suppressed: wall-clock).
+
+/// The perf plumbing is the one place allowed to read the host clock.
+pub fn timed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    let since_epoch = std::time::SystemTime::now();
+    drop(since_epoch);
+    start.elapsed()
+}

@@ -1,0 +1,25 @@
+//! Seeded `feature-gate` violations: every `feature = "…"` gate must
+//! name a feature this crate's `Cargo.toml` declares (`faults`,
+//! `deep-audit`). Never compiled; see `../../core/src/hot.rs` for the
+//! marker convention.
+
+/// A typo'd gate silently compiles the body out of every build.
+#[cfg(feature = "fault")] // seeded: feature-gate
+pub fn typod() {}
+
+/// Underscore/hyphen confusion is the classic miss.
+#[cfg(feature = "deep_audit")] // seeded: feature-gate
+pub fn underscored() {}
+
+/// Declared features gate cleanly, in attributes and in `cfg!`.
+#[cfg(feature = "faults")]
+pub fn declared() {
+    if cfg!(feature = "deep-audit") {
+        audit();
+    }
+}
+
+/// The escape hatch covers gates declared outside this manifest.
+// lint: allow(feature-gate) — fixture: gate injected by a downstream build (suppressed: feature-gate)
+#[cfg(feature = "prototype")]
+pub fn allowed() {}

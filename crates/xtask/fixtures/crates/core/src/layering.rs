@@ -1,0 +1,13 @@
+//! Seeded `layer-dag` violations: `cameo` (core) may reach down to
+//! `cameo-types` and `cameo-memsim` only. Never compiled; see `hot.rs`
+//! for the marker convention.
+
+use cameo_cachesim::SramTags; // seeded: layer-dag
+use cameo_sim::pool::Cancel; // seeded: layer-dag
+use cameo_memsim::DeviceTimings;
+use cameo_types::PageAddr;
+
+/// The downward edges above produce no findings.
+pub fn downward(timings: DeviceTimings, page: PageAddr) {
+    drop((timings, page));
+}

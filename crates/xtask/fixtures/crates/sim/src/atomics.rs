@@ -1,0 +1,33 @@
+//! Seeded `atomic-protocol` violations: every non-test `Ordering::…` must
+//! match an entry of the declared protocol table (concurrency pass).
+//! Never compiled; the registered counterpart lives in this fixture
+//! tree's `pool.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Unregistered sites must be added to `ATOMIC_PROTOCOL_TABLE` with a
+/// justification before they lint clean.
+pub fn unregistered(state: &AtomicUsize, ready: &AtomicBool) -> usize {
+    state.store(1, Ordering::SeqCst); // seeded: atomic-protocol
+    let seen = ready.load(Ordering::Relaxed); // seeded: atomic-protocol
+    state.fetch_add(usize::from(seen), Ordering::AcqRel) // seeded: atomic-protocol
+}
+
+/// The escape hatch records why a bare ordering value is materialized.
+pub fn allowed() -> Ordering {
+    // lint: allow(atomic-protocol) — fixture: ordering forwarded to a helper (suppressed: atomic-protocol)
+    Ordering::SeqCst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test-only code may use any ordering (hammer tests, fences).
+    #[test]
+    fn hammers() {
+        let n = AtomicUsize::new(0);
+        n.store(1, Ordering::SeqCst);
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+}

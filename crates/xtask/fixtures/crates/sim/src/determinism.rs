@@ -1,0 +1,68 @@
+//! Seeded determinism-pass violations for the linter self-test: default
+//! hashers, wall-clock reads, and unordered-map iteration in a
+//! report-producing crate. Never compiled; see `../../core/src/hot.rs`
+//! for the marker convention.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+use cameo_types::DetHashMap;
+
+/// Default-hasher construction is nondeterministic across processes, and
+/// iterating such a map in a report crate leaks bucket order.
+pub fn constructions() {
+    let mut counts: HashMap<u64, u64> = HashMap::new(); // seeded: det-hash
+    let mut seen = HashSet::with_capacity(64); // seeded: det-hash
+    let state = RandomState::new(); // seeded: det-hash
+    counts.insert(1, 2);
+    seen.insert(3_u64);
+    drop(state);
+    for (page, count) in &counts { // seeded: unordered-iter
+        record(*page, *count);
+    }
+    let total: u64 = counts.values().sum(); // seeded: unordered-iter
+    drop(total);
+}
+
+/// Wall-clock reads outside the perf allowlist are non-reproducible.
+pub fn clocks() {
+    let start = Instant::now(); // seeded: wall-clock
+    let stamp = SystemTime::now(); // seeded: wall-clock
+    drop((start, stamp));
+}
+
+/// Deterministic collections and lookup-only std maps stay legal.
+pub fn deterministic() {
+    let mut table: DetHashMap<u64, u64> = DetHashMap::default();
+    table.insert(1, 2);
+    for (k, v) in &table {
+        record(*k, *v);
+    }
+}
+
+/// The escape hatches record justifications in place.
+pub fn allowed() {
+    // lint: allow(det-hash) — fixture: scratch map, never iterated (suppressed: det-hash)
+    let mut scratch: HashMap<u64, u64> = HashMap::new();
+    scratch.insert(7, 7);
+    // lint: allow(unordered-iter) — fixture: order-insensitive sum (suppressed: unordered-iter)
+    let total: u64 = scratch.values().sum();
+    // lint: allow(wall-clock) — fixture: progress-log timestamp (suppressed: wall-clock)
+    let logged = Instant::now();
+    drop((total, logged));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may use std maps and host clocks freely.
+    #[test]
+    fn scratch() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+        let t = std::time::Instant::now();
+        for (k, v) in &m {
+            assert_eq!(k + 1, *v);
+        }
+        drop(t.elapsed());
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded `layer-dag` violations: `cameo-types` is the root of the crate
+//! DAG and may not depend on any other workspace crate. Never compiled;
+//! see `../../core/src/hot.rs` for the marker convention.
+
+use cameo_sim::harness::SweepOptions; // seeded: layer-dag
+use cameo_memsim::DeviceTimings; // seeded: layer-dag
+// lint: allow(layer-dag) — fixture: justified bridge import (suppressed: layer-dag)
+use cameo_vmem::tlm::OracleProfile;
+use std::fmt;
+
+/// Std imports and same-crate paths above produce no findings.
+pub fn uses(args: fmt::Arguments<'_>) {
+    drop(args);
+}

@@ -1,15 +1,29 @@
-//! Workspace walking and rule dispatch for `cargo xtask lint`.
+//! Workspace walking, parallel scanning, and pass dispatch for
+//! `cargo xtask lint`.
 //!
 //! The engine lints `src/` trees only: `crates/<name>/src/**/*.rs` plus the
 //! root package's `src/**/*.rs`. Integration tests, benches, examples, and
 //! the vendored dependency stand-ins under `vendor/` are out of scope —
 //! the rules encode invariants of the simulator's own API surface and hot
-//! paths, not of test scaffolding.
+//! paths, not of test scaffolding. Manifests (`crates/*/Cargo.toml` and
+//! the root package manifest) are additionally parsed for the layering
+//! pass.
+//!
+//! The scan is the only I/O-bound stage, so it fans out over scoped
+//! worker threads: workers claim file indexes from an atomic cursor and
+//! write [`FileFacts`] into per-index slots. Output is deterministic at
+//! any thread count because ordering comes from the slot index, never
+//! from completion order — a single sorted file list is built up front,
+//! and diagnostics are sorted by (path, line, rule) at the end.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use crate::model::{self, FileFacts, WorkspaceModel};
+use crate::passes::{concurrency, determinism, layering};
 use crate::rules::{check_file, Diagnostic, FileClass};
 use crate::scanner::SourceFile;
 
@@ -20,6 +34,30 @@ pub const HOT_PATH_CRATES: [&str; 4] = ["core", "sim", "memsim", "cachesim"];
 /// address layer everything else must go through.
 pub const ADDR_EXEMPT_CRATE: &str = "types";
 
+/// Engine knobs. `jobs` is the scan worker count; diagnostics are
+/// identical at any value.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Number of scan workers (clamped to at least 1).
+    pub jobs: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            jobs: default_jobs(),
+        }
+    }
+}
+
+/// Default scan parallelism: available cores, capped at 8 (the scan is
+/// cheap enough that more workers only add contention).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(8)
+}
+
 /// The [`FileClass`] for files of crate `name` (`""` = root package).
 fn class_for(name: &str) -> FileClass {
     FileClass {
@@ -28,10 +66,36 @@ fn class_for(name: &str) -> FileClass {
     }
 }
 
-/// Lints every in-scope source file under `root`, returning diagnostics
-/// in deterministic (path, line) order.
+/// Lints every in-scope source file under `root` with default options,
+/// returning diagnostics in deterministic (path, line, rule) order.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut files: Vec<(PathBuf, FileClass)> = Vec::new();
+    lint_workspace_with(root, &LintOptions::default())
+}
+
+/// [`lint_workspace`] with explicit [`LintOptions`].
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> io::Result<Vec<Diagnostic>> {
+    let files = workspace_files(root)?;
+    let facts = scan_files(root, &files, opts.jobs.max(1))?;
+    let model = WorkspaceModel {
+        files: facts,
+        manifests: model::load_manifests(root),
+    };
+
+    let mut diagnostics = Vec::new();
+    for file in &model.files {
+        diagnostics.extend(check_file(&file.path, file.class, &file.src));
+    }
+    diagnostics.extend(determinism::run(&model));
+    diagnostics.extend(concurrency::run(&model));
+    diagnostics.extend(layering::run(&model));
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diagnostics)
+}
+
+/// The sorted in-scope file list: absolute path, owning crate directory,
+/// and line-rule class.
+fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String, FileClass)>> {
+    let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for entry in read_sorted(&crates_dir)? {
@@ -41,36 +105,97 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                     .file_name()
                     .map(|n| n.to_string_lossy().into_owned())
                     .unwrap_or_default();
-                collect_rs(&src, class_for(&name), &mut files)?;
+                collect_rs(&src, &name, &mut files)?;
             }
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        collect_rs(&root_src, class_for(""), &mut files)?;
+        collect_rs(&root_src, "", &mut files)?;
     }
     files.sort_by(|a, b| a.0.cmp(&b.0));
-
-    let mut diagnostics = Vec::new();
-    for (path, class) in files {
-        let text = fs::read_to_string(&path)?;
-        let display = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        diagnostics.extend(check_file(&display, class, &SourceFile::parse(&text)));
-    }
-    Ok(diagnostics)
+    Ok(files)
 }
 
-/// Recursively collects `.rs` files under `dir`, tagged with `class`.
+/// Reads, scans, and extracts facts for every file, fanning out over
+/// `jobs` scoped workers. Slot-indexed results keep the output order
+/// equal to the input order regardless of scheduling.
+fn scan_files(
+    root: &Path,
+    files: &[(PathBuf, String, FileClass)],
+    jobs: usize,
+) -> io::Result<Vec<FileFacts>> {
+    let slots: Vec<Mutex<Option<io::Result<FileFacts>>>> =
+        files.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(files.len()).max(1);
+    // Work-claim protocol (registered in the atomic protocol table):
+    // `fetch_add` hands each worker a unique index; no memory ordering
+    // beyond the claim itself is needed because results flow through the
+    // per-slot mutexes and the scope join.
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            std::thread::Builder::new()
+                .name(format!("xtask-scan-{w}"))
+                .spawn_scoped(scope, move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= files.len() {
+                        break;
+                    }
+                    let (path, crate_dir, class) = &files[i];
+                    let result = scan_one(root, path, crate_dir, *class);
+                    let mut slot = match slots[i].lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    *slot = Some(result);
+                })
+                .expect("spawning a scan worker thread succeeds");
+        }
+    });
+    let mut facts = Vec::with_capacity(files.len());
+    for slot in slots {
+        let cell = match slot.into_inner() {
+            Ok(cell) => cell,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        facts.push(cell.expect("the claim cursor visits every slot in 0..len")?);
+    }
+    Ok(facts)
+}
+
+/// Scans a single file into [`FileFacts`] with a workspace-relative
+/// display path.
+fn scan_one(
+    root: &Path,
+    path: &Path,
+    crate_dir: &str,
+    class: FileClass,
+) -> io::Result<FileFacts> {
+    let text = fs::read_to_string(path)?;
+    let display = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    Ok(FileFacts::extract(
+        display,
+        crate_dir.to_string(),
+        class,
+        SourceFile::parse(&text),
+    ))
+}
+
+/// Recursively collects `.rs` files under `dir`, tagged with the owning
+/// crate directory name.
 fn collect_rs(
     dir: &Path,
-    class: FileClass,
-    out: &mut Vec<(PathBuf, FileClass)>,
+    crate_dir: &str,
+    out: &mut Vec<(PathBuf, String, FileClass)>,
 ) -> io::Result<()> {
     for path in read_sorted(dir)? {
         if path.is_dir() {
-            collect_rs(&path, class, out)?;
+            collect_rs(&path, crate_dir, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push((path, class));
+            out.push((path, crate_dir.to_string(), class_for(crate_dir)));
         }
     }
     Ok(())
@@ -90,16 +215,67 @@ fn read_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
+    use crate::baseline::{self, Baseline};
+    use std::collections::{BTreeMap, BTreeSet};
 
     fn xtask_dir() -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
     }
 
-    /// The fixture tree seeds one violation per `// seeded: <rule>` marker.
-    /// The linter must find exactly the marked lines: every diagnostic on a
-    /// marked line, every marked line diagnosed. This is the self-test the
-    /// fixtures exist for.
+    fn workspace_root() -> PathBuf {
+        xtask_dir()
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/xtask sits two levels below the workspace root")
+            .to_path_buf()
+    }
+
+    /// Every marker file in the fixture tree: `.rs` sources plus the
+    /// crate manifests (layer-dag seeds live in `Cargo.toml`).
+    fn fixture_marker_files(root: &Path) -> Vec<PathBuf> {
+        let mut files = Vec::new();
+        let crates = root.join("crates");
+        for entry in read_sorted(&crates).expect("fixtures/crates exists") {
+            let manifest = entry.join("Cargo.toml");
+            if manifest.is_file() {
+                files.push(manifest);
+            }
+            let src = entry.join("src");
+            if src.is_dir() {
+                let mut rs = Vec::new();
+                collect_rs(&src, "", &mut rs).expect("fixture src readable");
+                files.extend(rs.into_iter().map(|(p, _, _)| p));
+            }
+        }
+        files
+    }
+
+    /// Parses `seeded: a, b` / `suppressed: rule` markers out of one
+    /// fixture file. Rules are comma-separated so one line can seed two
+    /// co-firing rules.
+    fn markers(text: &str, tag: &str) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if let Some(pos) = line.find(tag) {
+                for rule in line[pos + tag.len()..].split(',') {
+                    let rule = rule.trim_matches(|c: char| !(c.is_alphanumeric() || c == '-'));
+                    if !rule.is_empty() {
+                        out.push((i + 1, rule.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The fixture tree seeds one violation per `seeded: <rule>` marker
+    /// (comma-separated when rules co-fire on a line). The linter must
+    /// find exactly the marked (line, rule) pairs: every diagnostic on a
+    /// marked line, every marked line diagnosed. `suppressed: <rule>`
+    /// markers document deliberate negatives (allow directives, exempt
+    /// files, registered atomics) and must stay silent — which the
+    /// exact-match assertion already enforces; here they also pin the
+    /// corpus shape: every rule has positives AND a suppression.
     #[test]
     fn fixtures_are_caught_exactly() {
         let root = xtask_dir().join("fixtures");
@@ -107,16 +283,20 @@ mod tests {
         assert!(!diags.is_empty(), "fixtures must produce violations");
 
         let mut expected = BTreeSet::new();
-        for (path, _) in fixture_files(&root) {
+        let mut seeded_by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        let mut suppressed_by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        for path in fixture_marker_files(&root) {
             let text = std::fs::read_to_string(&path).expect("fixture file is readable");
             let rel = path.strip_prefix(&root).unwrap_or(&path).to_path_buf();
-            for (i, line) in text.lines().enumerate() {
-                if let Some(pos) = line.find("seeded: ") {
-                    let rule = line[pos + "seeded: ".len()..].trim();
-                    expected.insert((rel.clone(), i + 1, rule.to_string()));
-                }
+            for (line, rule) in markers(&text, "seeded: ") {
+                *seeded_by_rule.entry(rule.clone()).or_default() += 1;
+                expected.insert((rel.clone(), line, rule));
+            }
+            for (_, rule) in markers(&text, "suppressed: ") {
+                *suppressed_by_rule.entry(rule).or_default() += 1;
             }
         }
+
         let found: BTreeSet<_> = diags
             .iter()
             .map(|d| (d.path.clone(), d.line, d.rule.to_string()))
@@ -127,40 +307,104 @@ mod tests {
             missed.is_empty() && spurious.is_empty(),
             "lint/fixture mismatch\n  missed: {missed:?}\n  spurious: {spurious:?}"
         );
-    }
 
-    fn fixture_files(root: &Path) -> Vec<(PathBuf, FileClass)> {
-        let mut files = Vec::new();
-        let crates = root.join("crates");
-        for entry in read_sorted(&crates).expect("fixtures/crates exists") {
-            let src = entry.join("src");
-            if src.is_dir() {
-                let name = entry.file_name().map(|n| n.to_string_lossy().into_owned());
-                collect_rs(&src, class_for(name.as_deref().unwrap_or("")), &mut files)
-                    .expect("fixture src readable");
-            }
+        // Corpus shape: the semantic rules each need ≥2 positives and ≥1
+        // documented suppression; the whole corpus stays ≥45 seeds.
+        let total: usize = seeded_by_rule.values().sum();
+        assert!(total >= 45, "fixture corpus shrank to {total} seeds (< 45)");
+        for rule in [
+            "det-hash",
+            "wall-clock",
+            "unordered-iter",
+            "atomic-protocol",
+            "lock-unwrap",
+            "lock-unwind",
+            "layer-dag",
+            "feature-gate",
+        ] {
+            assert!(
+                seeded_by_rule.get(rule).copied().unwrap_or(0) >= 2,
+                "rule {rule} needs at least 2 seeded positives"
+            );
+            assert!(
+                suppressed_by_rule.get(rule).copied().unwrap_or(0) >= 1,
+                "rule {rule} needs at least 1 documented suppression"
+            );
         }
-        files
     }
 
-    /// The real workspace must lint clean — this makes `cargo test`
-    /// enforce the lint even where CI scripts are not used.
+    /// The real workspace must lint *exactly to the baseline* — no fresh
+    /// findings, no stale accepted entries. This makes `cargo test`
+    /// enforce the deny-by-default gate even where CI scripts are not
+    /// used.
     #[test]
-    fn workspace_lints_clean() {
-        let root = xtask_dir()
-            .parent()
-            .and_then(Path::parent)
-            .expect("crates/xtask sits two levels below the workspace root")
-            .to_path_buf();
+    fn workspace_findings_match_baseline() {
+        let root = workspace_root();
         let diags = lint_workspace(&root).expect("workspace sources are readable");
+        let baseline = Baseline::load(&root.join(baseline::BASELINE_FILE))
+            .expect("lint-baseline.json parses");
+        let check = baseline.check(&diags);
         assert!(
-            diags.is_empty(),
-            "workspace has lint violations:\n{}",
-            diags
+            check.fresh.is_empty(),
+            "workspace has findings not in lint-baseline.json:\n{}",
+            check
+                .fresh
                 .iter()
                 .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+        assert!(
+            check.stale.is_empty(),
+            "lint-baseline.json has stale entries (regenerate with \
+             `cargo xtask lint --update-baseline`):\n{:?}",
+            check.stale
+        );
+    }
+
+    /// The scan fans out over worker threads, but diagnostics must be
+    /// byte-identical at any thread count.
+    #[test]
+    fn parallel_scan_is_deterministic() {
+        let root = xtask_dir().join("fixtures");
+        let render = |jobs: usize| {
+            lint_workspace_with(&root, &LintOptions { jobs })
+                .expect("fixture tree is readable")
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let serial = render(1);
+        for jobs in [2, 4, 13] {
+            assert_eq!(render(jobs), serial, "jobs={jobs} diverged from jobs=1");
+        }
+    }
+
+    /// The checked-in baseline is in canonical form: parse → render is
+    /// byte-identical to the file on disk.
+    #[test]
+    fn checked_in_baseline_is_canonical() {
+        let path = workspace_root().join(baseline::BASELINE_FILE);
+        let text = std::fs::read_to_string(&path).expect("lint-baseline.json exists");
+        let parsed = Baseline::parse(&text).expect("lint-baseline.json parses");
+        assert_eq!(
+            parsed.render(),
+            text,
+            "lint-baseline.json is not canonical; regenerate with \
+             `cargo xtask lint --update-baseline`"
+        );
+    }
+
+    /// The `--json` document produced for the fixture findings validates
+    /// against the `cameo-lint/1` schema.
+    #[test]
+    fn fixture_findings_validate_as_cameo_lint_json() {
+        let root = xtask_dir().join("fixtures");
+        let diags = lint_workspace(&root).expect("fixture tree is readable");
+        let check = Baseline::default().check(&diags);
+        let text = baseline::render_findings(&check);
+        let n = baseline::validate_findings(&text).expect("document validates");
+        assert_eq!(n, diags.len());
     }
 }

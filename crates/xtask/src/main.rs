@@ -6,6 +6,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::baseline::{self, Baseline};
+use xtask::engine::{lint_workspace_with, LintOptions};
+
 /// Exit code for usage / IO errors (violations exit with 1).
 const USAGE_ERROR: u8 = 2;
 
@@ -31,54 +34,180 @@ Workspace automation tasks.
 Usage: cargo xtask <task>
 
 Tasks:
-  lint [--fixtures]   Lint workspace sources for repository invariants:
-                      no-panic (hot-path crates), addr-cast (typed-address
-                      discipline), missing-docs (public API coverage).
-                      --fixtures lints the seeded violation fixtures
-                      instead (must exit non-zero).
+  lint [options]      Run the semantic workspace analyzer: per-line rules
+                      (no-panic, addr-cast, missing-docs, thread-spawn,
+                      trace-print) plus the determinism, concurrency, and
+                      layering passes. Findings are gated against the
+                      checked-in lint-baseline.json: anything fresh fails,
+                      and so does a stale baseline entry.
   help                Show this message.
 
-Suppress a finding in place with `// lint: allow(<rule>)` on the same
-line or alone on the line above, and say why in the same comment.
+Lint options:
+  --fixtures          Lint the seeded violation fixtures instead of the
+                      workspace (no baseline; must exit non-zero).
+  --json              Emit the findings as a cameo-lint/1 JSON document on
+                      stdout instead of human-readable lines.
+  --jobs N            Scan worker threads (default: cores, capped at 8).
+                      Output is identical at any value.
+  --baseline PATH     Baseline file (default: <root>/lint-baseline.json).
+  --update-baseline   Rewrite the baseline to accept the current findings,
+                      preserving reasons of surviving entries.
+
+Suppress a finding in place with `// lint: allow(<rule>)` (or
+`# lint: allow(<rule>)` in Cargo.toml) on the same line or alone on the
+line above, and say why in the same comment; use the baseline for
+findings whose justification does not belong next to the code.
 ";
 
-/// Runs the linter over the workspace (or the fixture tree).
-fn lint(flags: &[String]) -> ExitCode {
-    let mut fixtures = false;
-    for flag in flags {
-        match flag.as_str() {
-            "--fixtures" => fixtures = true,
-            other => {
-                eprintln!("error: unknown flag `{other}` for `lint`");
-                return ExitCode::from(USAGE_ERROR);
+/// Parsed `lint` flags.
+struct LintFlags {
+    fixtures: bool,
+    json: bool,
+    jobs: Option<usize>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+impl LintFlags {
+    fn parse(flags: &[String]) -> Result<LintFlags, String> {
+        let mut parsed = LintFlags {
+            fixtures: false,
+            json: false,
+            jobs: None,
+            baseline: None,
+            update_baseline: false,
+        };
+        let mut it = flags.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--fixtures" => parsed.fixtures = true,
+                "--json" => parsed.json = true,
+                "--update-baseline" => parsed.update_baseline = true,
+                "--jobs" => {
+                    let value = it.next().ok_or("`--jobs` needs a value")?;
+                    let jobs: usize = value
+                        .parse()
+                        .map_err(|_| format!("`--jobs {value}` is not a number"))?;
+                    if jobs == 0 {
+                        return Err("`--jobs` must be at least 1".to_string());
+                    }
+                    parsed.jobs = Some(jobs);
+                }
+                "--baseline" => {
+                    let value = it.next().ok_or("`--baseline` needs a path")?;
+                    parsed.baseline = Some(PathBuf::from(value));
+                }
+                other => return Err(format!("unknown flag `{other}` for `lint`")),
             }
         }
+        if parsed.fixtures && parsed.update_baseline {
+            return Err("`--fixtures` has no baseline to update".to_string());
+        }
+        Ok(parsed)
     }
+}
+
+/// Runs the analyzer over the workspace (or the fixture tree) and gates
+/// the findings against the baseline.
+fn lint(flags: &[String]) -> ExitCode {
+    let flags = match LintFlags::parse(flags) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    };
     let Some(workspace_root) = workspace_root() else {
         eprintln!("error: cannot locate the workspace root (no Cargo.toml found)");
         return ExitCode::from(USAGE_ERROR);
     };
-    let root = if fixtures {
+    let root = if flags.fixtures {
         workspace_root.join("crates/xtask/fixtures")
     } else {
-        workspace_root
+        workspace_root.clone()
     };
-    match xtask::lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("xtask lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+
+    let opts = LintOptions {
+        jobs: flags.jobs.unwrap_or_else(xtask::engine::default_jobs),
+    };
+    let diags = match lint_workspace_with(&root, &opts) {
+        Ok(diags) => diags,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(USAGE_ERROR)
+            return ExitCode::from(USAGE_ERROR);
         }
+    };
+
+    // The fixture tree is linted without a baseline: every seed must fire.
+    let baseline_path = if flags.fixtures {
+        None
+    } else {
+        Some(
+            flags
+                .baseline
+                .unwrap_or_else(|| workspace_root.join(baseline::BASELINE_FILE)),
+        )
+    };
+    let baseline = match &baseline_path {
+        Some(path) => match Baseline::load(path) {
+            Ok(baseline) => baseline,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(USAGE_ERROR);
+            }
+        },
+        None => Baseline::default(),
+    };
+
+    if flags.update_baseline {
+        let path = baseline_path.expect("--fixtures with --update-baseline is rejected above");
+        let updated = baseline.regenerate(&diags);
+        if let Err(e) = std::fs::write(&path, updated.render()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(USAGE_ERROR);
+        }
+        println!(
+            "xtask lint: baseline {} now accepts {} finding(s)",
+            path.display(),
+            updated.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let check = baseline.check(&diags);
+    if flags.json {
+        print!("{}", baseline::render_findings(&check));
+    } else {
+        for d in &check.fresh {
+            println!("{d}");
+        }
+        for entry in &check.stale {
+            println!(
+                "{}:{}: error[stale-baseline]: accepted `{}` finding no longer \
+                 occurs; regenerate with `cargo xtask lint --update-baseline`",
+                entry.path, entry.line, entry.rule
+            );
+        }
+    }
+    let clean = check.fresh.is_empty() && check.stale.is_empty();
+    if !flags.json {
+        if clean {
+            println!(
+                "xtask lint: clean ({} accepted by baseline)",
+                check.accepted.len()
+            );
+        } else {
+            println!(
+                "xtask lint: {} fresh finding(s), {} stale baseline entr(ies)",
+                check.fresh.len(),
+                check.stale.len()
+            );
+        }
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

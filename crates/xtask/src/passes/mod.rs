@@ -1,0 +1,22 @@
+//! The semantic lint passes.
+//!
+//! Each pass reads the shared [`crate::model::WorkspaceModel`] and
+//! returns [`crate::rules::Diagnostic`]s; the engine concatenates and
+//! sorts them. Passes never read the filesystem — everything they need
+//! (scanned lines, function spans, `use` edges, manifests) is in the
+//! model, which keeps them unit-testable from string fixtures and lets
+//! the file scan itself run in parallel.
+//!
+//! * [`determinism`] — bit-identical sweeps: no default-hasher maps, no
+//!   wall-clock reads outside perf metrics, no unordered-map iteration
+//!   in the report-producing crates.
+//! * [`concurrency`] — every atomic ordering is registered in a declared
+//!   protocol table with a justification; no bare `.lock().unwrap()`;
+//!   no `MutexGuard` held across `catch_unwind`.
+//! * [`layering`] — the crate DAG (`types → core/memsim/cachesim/vmem →
+//!   sim → bench`) holds in both manifests and `use` edges, and every
+//!   `cfg(feature = …)` gate names a feature its `Cargo.toml` declares.
+
+pub mod concurrency;
+pub mod determinism;
+pub mod layering;

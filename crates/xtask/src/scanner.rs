@@ -190,6 +190,13 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     chars.get(j) == Some(&'"')
 }
 
+/// Extracts rule names from a `lint: allow(rule-a, rule-b)` directive in
+/// any comment text — `//` source comments and `#` manifest comments use
+/// the same syntax.
+pub fn comment_allow_directives(comment: &str) -> Vec<String> {
+    parse_allow_directive(comment)
+}
+
 /// Extracts rule names from `// lint: allow(rule-a, rule-b)` comments.
 fn parse_allow_directive(comment: &str) -> Vec<String> {
     let Some(pos) = comment.find("lint: allow(") else {
