@@ -1,0 +1,248 @@
+//! Client for the sweep daemon: submit jobs, watch progress, fetch
+//! reports, drain the daemon for a graceful shutdown.
+//!
+//! ```text
+//! sweepctl [--socket PATH] health
+//! sweepctl [--socket PATH] submit --bench astar --org Baseline --org CAMEO [--wait] [...]
+//! sweepctl [--socket PATH] status [JOB]
+//! sweepctl [--socket PATH] report JOB [--json]
+//! sweepctl [--socket PATH] drain
+//! ```
+//!
+//! Exit codes: `0` success (a `submit --wait` whose job finished `done`),
+//! `1` transport/usage error, `3` the job degraded (some points
+//! quarantined), `4` the job failed outright.
+
+use std::path::PathBuf;
+
+use cameo_sim::checkpoint::PointRecord;
+use cameo_sweepd::client::Client;
+use cameo_sweepd::protocol::{JobProgress, JobSpec, Request, Response};
+
+fn main() {
+    let mut socket = PathBuf::from("sweepd.sock");
+    let mut command: Option<String> = None;
+    let mut positional: Option<String> = None;
+    let mut spec = JobSpec::default();
+    let mut wait = false;
+    let mut json = false;
+
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = PathBuf::from(need(&mut it, "--socket")),
+            "--name" => spec.name = need(&mut it, "--name"),
+            "--bench" => spec.benches.push(need(&mut it, "--bench")),
+            "--org" => spec.orgs.push(need(&mut it, "--org")),
+            "--scale" => spec.scale = parse(&need(&mut it, "--scale"), "--scale"),
+            "--cores" => spec.cores = parse(&need(&mut it, "--cores"), "--cores"),
+            "--instructions" => {
+                spec.instructions = parse(&need(&mut it, "--instructions"), "--instructions");
+            }
+            "--seed" => spec.seed = parse(&need(&mut it, "--seed"), "--seed"),
+            "--rounds" => spec.max_rounds = parse(&need(&mut it, "--rounds"), "--rounds"),
+            "--backoff-ms" => {
+                spec.backoff_ms = parse(&need(&mut it, "--backoff-ms"), "--backoff-ms");
+            }
+            "--deadline-ms" => {
+                spec.deadline_ms = Some(parse(&need(&mut it, "--deadline-ms"), "--deadline-ms"));
+            }
+            "--watchdog-cycles" => {
+                spec.watchdog_cycles = Some(parse(
+                    &need(&mut it, "--watchdog-cycles"),
+                    "--watchdog-cycles",
+                ));
+            }
+            "--breaker" => spec.breaker_limit = parse(&need(&mut it, "--breaker"), "--breaker"),
+            "--wait" => wait = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweepctl [--socket PATH] <health|submit|status|report|drain> \
+                     [JOB] [--bench B]... [--org O]... [--scale N] [--cores N] \
+                     [--instructions N] [--seed N] [--rounds N] [--backoff-ms N] \
+                     [--deadline-ms N] [--watchdog-cycles N] [--breaker N] [--wait] [--json]"
+                );
+                return;
+            }
+            other if command.is_none() => command = Some(other.to_owned()),
+            other if positional.is_none() => positional = Some(other.to_owned()),
+            other => die(&format!("unexpected argument {other}")),
+        }
+    }
+
+    let client = Client::new(socket);
+    let command = command.unwrap_or_else(|| die("missing command (try --help)"));
+    match command.as_str() {
+        "health" => {
+            let response = ask(&client, &Request::Health);
+            if json {
+                println!("{}", response.render());
+            } else if let Response::Health {
+                state,
+                queued,
+                running,
+                finished,
+                git_rev,
+            } = response
+            {
+                println!(
+                    "daemon {state} (rev {git_rev}): {queued} queued, \
+                     {running} running, {finished} finished"
+                );
+            }
+        }
+        "submit" => {
+            let response = ask(&client, &Request::Submit(Box::new(spec)));
+            let Response::Accepted { job, cached } = response else {
+                die(&format!("submit rejected: {}", render_err(&response)));
+            };
+            println!("job {job} {}", if cached { "cached" } else { "accepted" });
+            if wait && !cached {
+                let state = wait_terminal(&client, &job);
+                println!("job {job} {state}");
+                match state.as_str() {
+                    "done" => {}
+                    "degraded" => std::process::exit(3),
+                    _ => std::process::exit(4),
+                }
+            }
+        }
+        "status" => {
+            let response = ask(
+                &client,
+                &Request::Status {
+                    job: positional.clone(),
+                },
+            );
+            if json {
+                println!("{}", response.render());
+            } else if let Response::Status(jobs) = &response {
+                for progress in jobs {
+                    print_progress(progress);
+                }
+            } else {
+                die(&render_err(&response));
+            }
+        }
+        "report" => {
+            let job = positional.unwrap_or_else(|| die("report needs a JOB id"));
+            let response = ask(&client, &Request::Report { job });
+            if json {
+                println!("{}", response.render());
+            } else if let Response::Report {
+                job,
+                state,
+                rounds,
+                quarantined,
+                points,
+            } = &response
+            {
+                println!("job {job}: {state} after {rounds} round(s)");
+                for (key, reason) in quarantined {
+                    println!("  quarantined {key}: {reason}");
+                }
+                for (key, record) in points {
+                    match record {
+                        PointRecord::Done { attempts, .. } => {
+                            println!("  done {key} (attempts {attempts})");
+                        }
+                        PointRecord::Failed { attempts, error } => {
+                            println!("  failed {key} (attempts {attempts}): {error}");
+                        }
+                    }
+                }
+            } else {
+                die(&render_err(&response));
+            }
+        }
+        "drain" => {
+            let response = ask(&client, &Request::Drain);
+            if matches!(response, Response::Draining) {
+                println!("daemon draining");
+            } else {
+                die(&render_err(&response));
+            }
+        }
+        other => die(&format!("unknown command {other} (try --help)")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {value:?}")))
+}
+
+fn ask(client: &Client, request: &Request) -> Response {
+    client
+        .request(request)
+        .unwrap_or_else(|e| die(&e.to_string()))
+}
+
+fn render_err(response: &Response) -> String {
+    match response {
+        Response::Error { message } => message.clone(),
+        Response::Draining => "daemon is draining".into(),
+        other => format!("unexpected response: {}", other.render()),
+    }
+}
+
+fn print_progress(progress: &JobProgress) {
+    let JobProgress {
+        job,
+        name,
+        state,
+        total,
+        done,
+        failed,
+        quarantined,
+        round,
+        epochs,
+        swaps,
+        predicts,
+        predicts_correct,
+        stacked_serviced,
+        off_chip_serviced,
+        ..
+    } = progress;
+    println!(
+        "job {job} [{name}] {state}: {done}/{total} done, {failed} failing, \
+         {quarantined} quarantined (round {round})"
+    );
+    if *epochs > 0 {
+        println!(
+            "  trace: {epochs} epochs, {swaps} swaps, {predicts_correct}/{predicts} \
+             predictions, {stacked_serviced} stacked / {off_chip_serviced} off-chip"
+        );
+    }
+}
+
+/// Polls `status` until the job reaches a terminal state (bounded at
+/// roughly an hour of polling; job deadlines should fire long before).
+fn wait_terminal(client: &Client, job: &str) -> String {
+    for _ in 0..7200 {
+        if let Response::Status(jobs) = ask(
+            client,
+            &Request::Status {
+                job: Some(job.to_owned()),
+            },
+        ) {
+            if let Some(progress) = jobs.first() {
+                if matches!(progress.state.as_str(), "done" | "degraded" | "failed") {
+                    return progress.state.clone();
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+    die("timed out waiting for the job to finish")
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("sweepctl: {message}");
+    std::process::exit(1);
+}

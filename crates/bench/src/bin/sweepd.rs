@@ -1,0 +1,65 @@
+//! The sweep daemon: a persistent service that accepts sweep jobs over a
+//! local Unix socket, supervises them (deadlines, retries with seeded
+//! backoff, circuit-breaking, graceful degradation), and never recomputes
+//! a result its content-addressed cache already holds.
+//!
+//! ```text
+//! cargo run -p cameo-bench --bin sweepd -- --socket sweepd.sock --data-dir sweepd-data
+//! ```
+//!
+//! The daemon runs until `sweepctl drain` tells it to stop; in-flight
+//! points finish, the journal is flushed, and queued jobs resume on the
+//! next start. `kill -9` at any instant is recoverable: restart on the
+//! same `--data-dir` and interrupted jobs resume from their checkpoints.
+
+use std::path::PathBuf;
+
+use cameo_sweepd::daemon::{run, DaemonOptions};
+use cameo_sweepd::supervise::SupervisorOptions;
+
+fn main() {
+    let mut opts = DaemonOptions {
+        socket: PathBuf::from("sweepd.sock"),
+        data_dir: PathBuf::from("sweepd-data"),
+        git_rev: "unknown".into(),
+        supervisor: SupervisorOptions::default(),
+    };
+    let mut jobs = 0usize; // 0 = auto
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => opts.socket = PathBuf::from(need(&mut it, "--socket")),
+            "--data-dir" => opts.data_dir = PathBuf::from(need(&mut it, "--data-dir")),
+            "--git-rev" => opts.git_rev = need(&mut it, "--git-rev"),
+            "--jobs" => jobs = need(&mut it, "--jobs").parse().expect("--jobs"),
+            "--batch" => {
+                opts.supervisor.batch_size = need(&mut it, "--batch").parse().expect("--batch");
+            }
+            "--point-delay-ms" => {
+                opts.supervisor.point_delay_ms = need(&mut it, "--point-delay-ms")
+                    .parse()
+                    .expect("--point-delay-ms");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweepd [--socket PATH] [--data-dir PATH] [--git-rev REV] \
+                     [--jobs N] [--batch N] [--point-delay-ms MS]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    opts.supervisor.jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        jobs
+    };
+    if let Err(e) = run(&opts) {
+        eprintln!("sweepd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Chaos tests for the sweep daemon: a real `sweepd` process is
+//! SIGKILLed at a seeded-random instant mid-sweep, restarted on the same
+//! data directory, and must converge on a report byte-identical to an
+//! uninterrupted run. A second test proves the content-addressed cache
+//! serves repeated submissions without simulating anything.
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cameo_sweepd::client::Client;
+use cameo_sweepd::protocol::{JobSpec, Request, Response};
+use cameo_types::SplitMix64;
+
+const GIT_REV: &str = "chaos-fixed-rev";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cameo-sweepd-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("mkdir");
+    p
+}
+
+fn spawn_daemon(socket: &Path, data_dir: &Path, point_delay_ms: u64) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_sweepd"))
+        .arg("--socket")
+        .arg(socket)
+        .arg("--data-dir")
+        .arg(data_dir)
+        .arg("--git-rev")
+        .arg(GIT_REV)
+        .arg("--jobs")
+        .arg("1")
+        .arg("--batch")
+        .arg("1")
+        .arg("--point-delay-ms")
+        .arg(point_delay_ms.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sweepd")
+}
+
+fn wait_socket(socket: &Path) {
+    for _ in 0..200 {
+        if UnixStream::connect(socket).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon never bound {}", socket.display());
+}
+
+fn micro_spec() -> JobSpec {
+    JobSpec {
+        name: "chaos".into(),
+        benches: vec!["astar".into(), "mcf".into()],
+        orgs: vec!["Baseline".into(), "CAMEO".into()],
+        scale: 4096,
+        cores: 1,
+        instructions: 20_000,
+        seed: 42,
+        ..JobSpec::default()
+    }
+}
+
+fn wait_terminal(client: &Client, job: &str) -> String {
+    for _ in 0..600 {
+        if let Ok(Response::Status(jobs)) = client.request(&Request::Status {
+            job: Some(job.to_owned()),
+        }) {
+            if let Some(progress) = jobs.first() {
+                if matches!(progress.state.as_str(), "done" | "degraded" | "failed") {
+                    return progress.state.clone();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("job {job} never reached a terminal state");
+}
+
+/// Fetches a finished job's report in its canonical wire rendering.
+fn report_line(client: &Client, job: &str) -> String {
+    let response = client
+        .request(&Request::Report {
+            job: job.to_owned(),
+        })
+        .expect("report query");
+    assert!(
+        matches!(response, Response::Report { .. }),
+        "expected a report, got {}",
+        response.render()
+    );
+    response.render()
+}
+
+fn drain(client: &Client, daemon: &mut Child) {
+    assert!(matches!(
+        client.request(&Request::Drain),
+        Ok(Response::Draining)
+    ));
+    daemon.wait().expect("daemon exit after drain");
+}
+
+#[test]
+fn sigkill_mid_sweep_resumes_to_a_byte_identical_report() {
+    // Uninterrupted reference run.
+    let ref_dir = temp_dir("reference");
+    let ref_socket = ref_dir.join("sweepd.sock");
+    let mut ref_daemon = spawn_daemon(&ref_socket, &ref_dir.join("data"), 0);
+    wait_socket(&ref_socket);
+    let ref_client = Client::new(&ref_socket);
+    let Ok(Response::Accepted { job, cached }) = ref_client
+        .request(&Request::Submit(Box::new(micro_spec())))
+    else {
+        panic!("reference submit failed");
+    };
+    assert!(!cached);
+    assert_eq!(wait_terminal(&ref_client, &job), "done");
+    let reference = report_line(&ref_client, &job);
+    drain(&ref_client, &mut ref_daemon);
+
+    // Chaos run: per-batch delay widens the kill window, then SIGKILL at
+    // a seeded-random instant while the sweep is demonstrably mid-job.
+    let dir = temp_dir("victim");
+    let socket = dir.join("sweepd.sock");
+    let data = dir.join("data");
+    let mut daemon = spawn_daemon(&socket, &data, 300);
+    wait_socket(&socket);
+    let client = Client::new(&socket);
+    let Ok(Response::Accepted { job: chaos_job, .. }) =
+        client.request(&Request::Submit(Box::new(micro_spec())))
+    else {
+        panic!("chaos submit failed");
+    };
+    assert_eq!(chaos_job, job, "same spec + rev must content-address alike");
+
+    let mut rng = SplitMix64::new(0xC4A0_5EED);
+    let kill_after_ms = 200 + rng.below(700);
+    std::thread::sleep(Duration::from_millis(kill_after_ms));
+    daemon.kill().expect("SIGKILL the daemon"); // SIGKILL on unix
+    daemon.wait().expect("reap the killed daemon");
+
+    // Restart on the same data dir: the journal replays the unfinished
+    // job, its checkpoint turns re-running into resuming, and the final
+    // report must match the uninterrupted run byte for byte.
+    let mut revived = spawn_daemon(&socket, &data, 0);
+    wait_socket(&socket);
+    let client = Client::new(&socket);
+    assert_eq!(wait_terminal(&client, &job), "done");
+    let resumed = report_line(&client, &job);
+    assert_eq!(
+        resumed, reference,
+        "kill -9 + resume must reproduce the uninterrupted report exactly"
+    );
+    drain(&client, &mut revived);
+
+    std::fs::remove_dir_all(&ref_dir).expect("cleanup");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn resubmitting_a_finished_job_simulates_nothing() {
+    let dir = temp_dir("cachehit");
+    let socket = dir.join("sweepd.sock");
+    let data = dir.join("data");
+    let mut daemon = spawn_daemon(&socket, &data, 0);
+    wait_socket(&socket);
+    let client = Client::new(&socket);
+
+    let Ok(Response::Accepted { job, cached }) =
+        client.request(&Request::Submit(Box::new(micro_spec())))
+    else {
+        panic!("submit failed");
+    };
+    assert!(!cached);
+    assert_eq!(wait_terminal(&client, &job), "done");
+    let first_report = report_line(&client, &job);
+
+    // Remove the job's checkpoint: if a resubmission simulated (or even
+    // resumed) anything, the harness would have to recreate this file.
+    let checkpoint = data.join("jobs").join(format!("{job}.ckpt.jsonl"));
+    assert!(checkpoint.exists(), "finished job left its checkpoint");
+    std::fs::remove_file(&checkpoint).expect("drop checkpoint");
+
+    let Ok(Response::Accepted {
+        job: again,
+        cached,
+    }) = client.request(&Request::Submit(Box::new(micro_spec())))
+    else {
+        panic!("resubmit failed");
+    };
+    assert_eq!(again, job);
+    assert!(cached, "finished work must be served from cache");
+    assert_eq!(
+        report_line(&client, &job),
+        first_report,
+        "cached report is byte-identical"
+    );
+    assert!(
+        !checkpoint.exists(),
+        "a cache hit must not touch the simulation stack (checkpoint recreated)"
+    );
+
+    // A submission under a different seed is different content: fresh work.
+    let mut other = micro_spec();
+    other.seed += 1;
+    let Ok(Response::Accepted {
+        job: other_job,
+        cached,
+    }) = client.request(&Request::Submit(Box::new(other)))
+    else {
+        panic!("different-spec submit failed");
+    };
+    assert_ne!(other_job, job);
+    assert!(!cached);
+    wait_terminal(&client, &other_job);
+
+    drain(&client, &mut daemon);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -104,35 +104,15 @@ impl FaultStats {
     }
 }
 
-/// A SplitMix64 pseudo-random stream: tiny, fast, and statistically strong
-/// enough for fault sampling; chosen over the vendored `rand` to keep this
-/// crate dependency-free beyond `cameo-types`.
-#[derive(Clone, Copy, Debug)]
-pub struct FaultRng {
-    state: u64,
-}
-
-impl FaultRng {
-    /// Seeds the stream.
-    pub fn new(seed: u64) -> Self {
-        Self { state: seed }
-    }
-
-    /// Next 64 random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform draw in `0..n` (`n > 0`); uses the high-bits multiply trick
-    /// to avoid modulo bias beyond one part in 2^64.
-    pub fn below(&mut self, n: u64) -> u64 {
-        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
-    }
-}
+/// The fault sampler's pseudo-random stream: the workspace-wide seeded
+/// [`SplitMix64`](cameo_types::SplitMix64) (tiny, fast, and statistically
+/// strong enough for fault sampling; chosen over the vendored `rand` to
+/// keep this crate dependency-free beyond `cameo-types`). The alias
+/// preserves this module's original API — fault streams produced from a
+/// given seed are bit-identical to those of the former private
+/// implementation, which was moved to `cameo-types` verbatim so the sweep
+/// harness can derive retry jitter from the same stream definition.
+pub type FaultRng = cameo_types::SplitMix64;
 
 /// A [`Dram`] with a deterministic fault layer in front of it.
 ///

@@ -15,8 +15,10 @@
 //! ```
 //!
 //! Append-only records make resume robust: a sweep killed mid-write leaves
-//! at most one truncated final line, which [`load`] skips, so re-invoking
-//! the sweep recomputes only the unfinished points.
+//! at most one truncated final line, which [`load`] skips and
+//! [`load_and_repair`] truncates away (so later appends cannot land on the
+//! unterminated tail), and re-invoking the sweep recomputes only the
+//! unfinished points.
 
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
@@ -527,28 +529,91 @@ pub fn parse_record(line: &str) -> Result<(String, PointRecord), String> {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Checkpoint`] on I/O failure or non-trailing
-/// corruption.
+/// Returns [`SimError::CheckpointIo`] on I/O failure and
+/// [`SimError::Checkpoint`] on non-trailing corruption.
 pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
+    Ok(load_lines(path)?.records)
+}
+
+/// Like [`load`], but *repairs* a trailing torn record instead of merely
+/// skipping it: the file is truncated back to the last whole line (and
+/// the repair logged to stderr), so a subsequent [`Writer::append`]
+/// cannot concatenate a fresh record onto the unterminated tail and turn
+/// a harmless kill artifact into mid-file corruption. Resume paths that
+/// reopen the file for appending must use this; read-only consumers can
+/// keep using [`load`].
+///
+/// # Errors
+///
+/// Returns [`SimError::CheckpointIo`] on read/truncate failure and
+/// [`SimError::Checkpoint`] on non-trailing corruption.
+pub fn load_and_repair(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
+    let loaded = load_lines(path)?;
+    if let Some(tail_offset) = loaded.torn_tail_offset {
+        eprintln!(
+            "[checkpoint] {}: truncating torn trailing record at byte {tail_offset} \
+             (interrupted append); the point will be recomputed",
+            path.display()
+        );
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_error(path, "truncate", &e))?;
+        file.set_len(tail_offset)
+            .map_err(|e| io_error(path, "truncate", &e))?;
+    }
+    Ok(loaded.records)
+}
+
+/// A parsed checkpoint plus the byte offset of a torn trailing record,
+/// when one was found.
+struct LoadedCheckpoint {
+    records: DetHashMap<String, PointRecord>,
+    torn_tail_offset: Option<u64>,
+}
+
+/// Maps an I/O failure on `path` to the typed [`SimError::CheckpointIo`].
+fn io_error(path: &Path, op: &'static str, e: &std::io::Error) -> SimError {
+    SimError::CheckpointIo {
+        path: path.display().to_string(),
+        op,
+        kind: e.kind(),
+        detail: e.to_string(),
+    }
+}
+
+/// The shared body of [`load`] and [`load_and_repair`]: parses every
+/// whole record and reports — without acting on — a torn trailing line.
+fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
+    let empty = || LoadedCheckpoint {
+        records: DetHashMap::default(),
+        torn_tail_offset: None,
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(DetHashMap::default()),
-        Err(e) => {
-            return Err(SimError::Checkpoint(format!(
-                "reading {}: {e}",
-                path.display()
-            )))
-        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty()),
+        Err(e) => return Err(io_error(path, "read", &e)),
     };
-    let mut records = DetHashMap::default();
-    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-    for (i, line) in lines.iter().enumerate() {
+    // Line starts are tracked by byte offset so a torn tail can be cut
+    // off exactly where the interrupted append began.
+    let mut lines: Vec<(u64, &str)> = Vec::new();
+    let mut offset = 0u64;
+    for raw in text.split_inclusive('\n') {
+        let line = raw.trim_end_matches(['\n', '\r']);
+        if !line.trim().is_empty() {
+            lines.push((offset, line));
+        }
+        offset += raw.len() as u64;
+    }
+    let mut loaded = empty();
+    for (i, (start, line)) in lines.iter().enumerate() {
         match parse_record(line) {
             Ok((key, record)) => {
-                records.insert(key, record);
+                loaded.records.insert(key, record);
             }
             Err(_) if i + 1 == lines.len() => {
                 // Interrupted final append: resume will redo this point.
+                loaded.torn_tail_offset = Some(*start);
             }
             Err(e) => {
                 return Err(SimError::Checkpoint(format!(
@@ -559,7 +624,7 @@ pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
             }
         }
     }
-    Ok(records)
+    Ok(loaded)
 }
 
 /// Appends one record to the checkpoint file (creating it if needed) and
@@ -570,7 +635,7 @@ pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Checkpoint`] on I/O failure.
+/// Returns [`SimError::CheckpointIo`] on I/O failure.
 pub fn append(path: &Path, key: &str, record: &PointRecord) -> Result<(), SimError> {
     Writer::open(path)?.append(key, record)
 }
@@ -595,13 +660,13 @@ impl Writer {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Checkpoint`] on I/O failure.
+    /// Returns [`SimError::CheckpointIo`] on I/O failure.
     pub fn open(path: &Path) -> Result<Self, SimError> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
-            .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
+            .map_err(|e| io_error(path, "open", &e))?;
         Ok(Self {
             path: path.to_path_buf(),
             file: Mutex::new(file),
@@ -618,11 +683,13 @@ impl Writer {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Checkpoint`] on I/O failure.
+    /// Returns [`SimError::CheckpointIo`] on I/O failure, with the
+    /// [`std::io::ErrorKind`] preserved so a supervisor can distinguish a
+    /// full disk (`StorageFull`) or short write (`WriteZero`) from a
+    /// transient error.
     pub fn append(&self, key: &str, record: &PointRecord) -> Result<(), SimError> {
         let mut line = render_record(key, record);
         line.push('\n');
-        let io_err = |e: std::io::Error| SimError::Checkpoint(format!("{}: {e}", self.path.display()));
         let mut file = match self.file.lock() {
             Ok(guard) => guard,
             // A worker that panicked while appending cannot have left a
@@ -630,8 +697,9 @@ impl Writer {
             // handle itself is still sound to use.
             Err(poisoned) => poisoned.into_inner(),
         };
-        file.write_all(line.as_bytes()).map_err(io_err)?;
-        file.flush().map_err(io_err)
+        file.write_all(line.as_bytes())
+            .map_err(|e| io_error(&self.path, "append", &e))?;
+        file.flush().map_err(|e| io_error(&self.path, "flush", &e))
     }
 }
 
@@ -742,6 +810,81 @@ mod tests {
         // The same corruption mid-file is an error.
         std::fs::write(&path, format!("{{\"key\":\"b::x\",\"sta\n{good}\n")).expect("tmp write");
         assert!(load(&path).is_err());
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// A torn trailing record is not just skipped by [`load_and_repair`]
+    /// — it is cut out of the file, so the append-after-resume path can
+    /// never concatenate a fresh record onto the unterminated tail (which
+    /// would turn a harmless kill artifact into mid-file corruption that
+    /// [`load`] rejects).
+    #[test]
+    fn repair_truncates_torn_tail_so_appends_stay_parseable() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_repair_{}.jsonl", std::process::id()));
+        let good = render_record(
+            "a::x",
+            &PointRecord::Failed {
+                attempts: 1,
+                error: "e".into(),
+            },
+        );
+        let torn = "{\"key\":\"b::x\",\"sta";
+        std::fs::write(&path, format!("{good}\n{torn}")).expect("tmp write");
+
+        // Without repair, appending after a torn tail corrupts the file
+        // mid-line — exactly the failure mode repair exists to prevent.
+        let map = load_and_repair(&path).expect("repair tolerates torn tail");
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key("a::x"));
+        let text = std::fs::read_to_string(&path).expect("tmp readable");
+        assert_eq!(text, format!("{good}\n"), "torn bytes removed from disk");
+
+        // The repaired file accepts appends and stays fully parseable.
+        let rec = PointRecord::Failed {
+            attempts: 2,
+            error: "redo".into(),
+        };
+        append(&path, "b::x", &rec).expect("append after repair");
+        let map = load(&path).expect("repaired-then-appended file loads");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get("b::x"), Some(&rec));
+
+        // Repair on a clean file is a no-op.
+        let before = std::fs::read_to_string(&path).expect("tmp readable");
+        let map = load_and_repair(&path).expect("clean file repairs trivially");
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("tmp readable"),
+            before
+        );
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// Repair refuses to touch a file whose corruption is *not* the
+    /// torn-tail signature, and reports the typed mid-file error.
+    #[test]
+    fn repair_rejects_mid_file_corruption() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_midfile_{}.jsonl", std::process::id()));
+        let good = render_record(
+            "a::x",
+            &PointRecord::Failed {
+                attempts: 1,
+                error: "e".into(),
+            },
+        );
+        std::fs::write(&path, format!("{{\"key\":\"b::x\",\"sta\n{good}\n")).expect("tmp write");
+        let before = std::fs::read_to_string(&path).expect("tmp readable");
+        assert!(matches!(
+            load_and_repair(&path),
+            Err(SimError::Checkpoint(_))
+        ));
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("tmp readable"),
+            before,
+            "mid-file corruption must be left for a human, not truncated"
+        );
         std::fs::remove_file(&path).expect("tmp cleanup");
     }
 

@@ -43,6 +43,22 @@ pub enum SimError {
     },
     /// Reading or writing the sweep checkpoint file failed.
     Checkpoint(String),
+    /// A checkpoint (or journal) file failed an I/O operation, with the
+    /// [`std::io::ErrorKind`] preserved so callers can tell persistent
+    /// conditions (disk full = `StorageFull`/`QuotaExceeded`, short
+    /// write = `WriteZero`) from transient ones instead of parsing a
+    /// rendered message.
+    CheckpointIo {
+        /// The file involved.
+        path: String,
+        /// The operation that failed (`"open"`, `"append"`, `"flush"`,
+        /// `"read"`, `"truncate"`).
+        op: &'static str,
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Rendering of the underlying OS error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -71,6 +87,12 @@ impl std::fmt::Display for SimError {
                 "design point {key} failed after {attempts} attempts; last error: {last_error}"
             ),
             SimError::Checkpoint(detail) => write!(f, "checkpoint I/O failed: {detail}"),
+            SimError::CheckpointIo {
+                path,
+                op,
+                kind,
+                detail,
+            } => write!(f, "checkpoint {op} on {path} failed ({kind:?}): {detail}"),
         }
     }
 }
@@ -108,6 +130,25 @@ mod tests {
             last_error: "boom".into(),
         };
         assert!(e.to_string().contains("astar::CAMEO") && e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn checkpoint_io_preserves_the_kind() {
+        let e = SimError::CheckpointIo {
+            path: "/tmp/x.jsonl".into(),
+            op: "append",
+            kind: std::io::ErrorKind::WriteZero,
+            detail: "short write".into(),
+        };
+        assert!(e.to_string().contains("append"));
+        assert!(e.to_string().contains("WriteZero"));
+        assert!(matches!(
+            e,
+            SimError::CheckpointIo {
+                kind: std::io::ErrorKind::WriteZero,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! * with an optional cycle-budget watchdog
 //!   ([`SweepOptions::watchdog_cycles`]), so a point that stops making
 //!   progress is cut off deterministically;
-//! * with bounded retries, an optional wall-clock backoff, and an optional
-//!   capacity-scale reduction per retry
-//!   ([`SweepOptions::retry_scale_factor`]);
+//! * with bounded retries, a deterministic seeded exponential backoff
+//!   with jitter ([`retry_backoff_ms`]), and an optional capacity-scale
+//!   reduction per retry ([`SweepOptions::retry_scale_factor`]);
 //! * appending each outcome to a JSONL checkpoint
 //!   ([`crate::checkpoint`]), so re-invoking the sweep resumes.
 //!
@@ -32,11 +32,13 @@
 //! gauges — but deliberately excluded from report equality, which covers
 //! simulated results only.
 
+use std::hash::BuildHasher as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use cameo_types::{DetBuildHasher, SplitMix64};
 use cameo_workloads::BenchSpec;
 
 use crate::checkpoint::{self, PointRecord};
@@ -90,9 +92,12 @@ pub struct SweepOptions {
     /// simulated capacity and footprint so a point that died of its size
     /// can still contribute a data point. `1` retries unchanged.
     pub retry_scale_factor: u64,
-    /// Wall-clock backoff: retry `n` sleeps `n * retry_backoff_ms`
-    /// milliseconds first (0 disables), giving transient host-level causes
-    /// — memory pressure, a busy checkpoint filesystem — room to clear.
+    /// Base wall-clock backoff: retry `n` first sleeps
+    /// [`retry_backoff_ms`]`(seed, key, n, base)` milliseconds — an
+    /// exponentially growing, seed-jittered delay (0 disables) — giving
+    /// transient host-level causes (memory pressure, a busy checkpoint
+    /// filesystem) room to clear without synchronizing every retrying
+    /// worker onto the same instant.
     pub retry_backoff_ms: u64,
     /// Abort a point whose issue clock passes this many cycles (see
     /// [`Runner::try_run`]). `None` disables the watchdog.
@@ -349,8 +354,12 @@ fn run_sweep_inner(
     build: &TracedOrgBuilder<'_>,
 ) -> Result<SweepReport, SimError> {
     let sweep_start = Instant::now();
+    // The sweep appends to the checkpoint it resumes from, so a torn
+    // trailing record (killed mid-append) must be truncated away first —
+    // plain `load` would leave the unterminated tail for the first fresh
+    // append to corrupt.
     let done_map = match checkpoint_path {
-        Some(path) => checkpoint::load(path)?,
+        Some(path) => checkpoint::load_and_repair(path)?,
         None => Default::default(),
     };
     let writer = match checkpoint_path {
@@ -432,6 +441,46 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// How many doublings the exponential backoff ceiling is allowed
+/// (2^10 · base caps the wait at ~17 min for a 1 s base — long enough for
+/// any transient, short enough that a supervisor's deadline still governs).
+const BACKOFF_MAX_DOUBLINGS: u32 = 10;
+
+/// Deterministic retry backoff in milliseconds: exponential ceiling with
+/// equal jitter, derived entirely from `(seed, key, attempt)`.
+///
+/// Attempt `n ≥ 2` draws uniformly from `[ceiling/2, ceiling]` where
+/// `ceiling = base_ms · 2^(n−2)` (capped at 2^[`BACKOFF_MAX_DOUBLINGS`] ·
+/// `base_ms`). The jitter comes from a [`SplitMix64`] stream seeded by the
+/// sweep seed, the point key's deterministic hash, and the attempt number
+/// — so two runs of the same sweep at the same seed back off identically
+/// (reproducible schedules, testable without sleeping), while distinct
+/// points desynchronize instead of thundering onto the checkpoint disk
+/// together. Attempt 1 and `base_ms == 0` cost nothing.
+#[must_use]
+pub fn retry_backoff_ms(seed: u64, key: &str, attempt: u32, base_ms: u64) -> u64 {
+    if base_ms == 0 || attempt < 2 {
+        return 0;
+    }
+    let doublings = (attempt - 2).min(BACKOFF_MAX_DOUBLINGS);
+    let ceiling = base_ms.saturating_mul(1u64 << doublings);
+    let half = ceiling / 2;
+    let mut rng = SplitMix64::new(
+        seed ^ DetBuildHasher::default().hash_one(key) ^ u64::from(attempt),
+    );
+    half + rng.below(ceiling - half + 1)
+}
+
+/// The full backoff schedule a point would follow: delays before attempts
+/// `2..=max_attempts`, in order. Lets a supervisor budget a point's worst
+/// case — and lets tests pin determinism — without running anything.
+#[must_use]
+pub fn retry_schedule(seed: u64, key: &str, max_attempts: u32, base_ms: u64) -> Vec<u64> {
+    (2..=max_attempts.max(1))
+        .map(|attempt| retry_backoff_ms(seed, key, attempt, base_ms))
+        .collect()
+}
+
 /// Runs one point to a terminal record: retries, scale reduction, backoff.
 /// Returns the recording of the successful attempt, when one was armed.
 fn run_point(
@@ -457,14 +506,18 @@ fn run_point(
     let mut last_error = String::new();
     for attempt in 1..=max_attempts {
         if attempt > 1 {
-            // Linear backoff before retry `n`: `n * retry_backoff_ms`.
-            // Compiled out of test builds so harness tests never
-            // wall-block, whatever backoff the options under test carry.
+            // Seeded exponential backoff with jitter before retry `n`
+            // (see `retry_backoff_ms`). The sleep is compiled out of test
+            // builds so harness tests never wall-block, whatever backoff
+            // the options under test carry.
             #[cfg(not(test))]
             if opts.retry_backoff_ms > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(
-                    u64::from(attempt - 1) * opts.retry_backoff_ms,
-                ));
+                std::thread::sleep(std::time::Duration::from_millis(retry_backoff_ms(
+                    opts.config.seed,
+                    &point.key,
+                    attempt,
+                    opts.retry_backoff_ms,
+                )));
             }
             config.scale = config.scale.saturating_mul(opts.retry_scale_factor.max(1));
         }
@@ -854,6 +907,34 @@ mod tests {
         let aps = report.accesses_per_sec().expect("wall-clock was recorded");
         assert!(aps > 0.0);
         assert!(report.cycles_per_sec().expect("wall-clock was recorded") > aps);
+    }
+
+    /// Satellite contract: the backoff schedule is a pure function of
+    /// `(seed, key, attempt, base)` — two runs at the same seed produce
+    /// identical retry schedules, delays respect the equal-jitter
+    /// envelope, and seed or key changes desynchronize the schedule.
+    #[test]
+    fn retry_backoff_schedule_is_deterministic() {
+        let a = retry_schedule(42, "astar::CAMEO", 6, 100);
+        let b = retry_schedule(42, "astar::CAMEO", 6, 100);
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        assert_eq!(a.len(), 5, "one delay per retry attempt 2..=6");
+        for (i, &delay) in a.iter().enumerate() {
+            let ceiling = 100u64 << i;
+            assert!(
+                delay >= ceiling / 2 && delay <= ceiling,
+                "attempt {}: delay {delay} outside [{}, {ceiling}]",
+                i + 2,
+                ceiling / 2
+            );
+        }
+        assert_ne!(a, retry_schedule(43, "astar::CAMEO", 6, 100), "seed matters");
+        assert_ne!(a, retry_schedule(42, "mcf::CAMEO", 6, 100), "key matters");
+        assert!(retry_schedule(42, "astar::CAMEO", 1, 100).is_empty());
+        assert_eq!(retry_schedule(42, "astar::CAMEO", 4, 0), vec![0, 0, 0]);
+        // The ceiling saturates instead of overflowing at high attempts.
+        let deep = retry_backoff_ms(7, "k", 60, u64::MAX / 2);
+        assert!(deep >= u64::MAX / 4);
     }
 
     /// The backoff sleep is compiled out of test builds: a huge

@@ -1,0 +1,82 @@
+//! The blocking daemon client the `sweepctl` binary wraps.
+//!
+//! One request is one connection: connect to the daemon's Unix socket,
+//! write the request line, half-close the write side, read the single
+//! response line. Both directions carry a timeout so a wedged peer
+//! surfaces as a typed error instead of a hang.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+use crate::{io_error, SweepdError};
+
+/// How long a client waits for the daemon to answer. Generous: `submit`
+/// answers immediately (the work happens after the acknowledgement),
+/// so even a loaded daemon responds in milliseconds.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A client bound to one daemon socket path.
+#[derive(Clone, Debug)]
+pub struct Client {
+    socket: PathBuf,
+}
+
+impl Client {
+    /// A client that will speak to the daemon at `socket`.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+        }
+    }
+
+    /// Sends one request and reads the one response.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepdError::Io`] if the socket cannot be reached or times out;
+    /// [`SweepdError::Protocol`] if the response line is malformed.
+    pub fn request(&self, request: &Request) -> Result<Response, SweepdError> {
+        let stream = UnixStream::connect(&self.socket)
+            .map_err(|e| io_error(&self.socket, "connect", &e))?;
+        stream
+            .set_read_timeout(Some(IO_TIMEOUT))
+            .map_err(|e| io_error(&self.socket, "configure", &e))?;
+        stream
+            .set_write_timeout(Some(IO_TIMEOUT))
+            .map_err(|e| io_error(&self.socket, "configure", &e))?;
+        let mut writer = &stream;
+        writer
+            .write_all(format!("{}\n", request.render()).as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| io_error(&self.socket, "write", &e))?;
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| io_error(&self.socket, "shutdown", &e))?;
+        let mut line = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut line)
+            .map_err(|e| io_error(&self.socket, "read", &e))?;
+        if line.trim().is_empty() {
+            return Err(SweepdError::Protocol(
+                "daemon closed the connection without a response".into(),
+            ));
+        }
+        Response::parse(line.trim_end()).map_err(SweepdError::Protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connecting_to_a_missing_socket_is_a_typed_error() {
+        let client = Client::new("/nonexistent/cameo-sweepd.sock");
+        let err = client.request(&Request::Health).expect_err("no daemon");
+        assert!(matches!(err, SweepdError::Io { op: "connect", .. }));
+    }
+}

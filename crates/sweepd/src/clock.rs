@@ -1,0 +1,83 @@
+//! The daemon's single wall-clock access point.
+//!
+//! Job deadlines and health uptime are wall time by design — they bound
+//! *host* behaviour, not simulated behaviour — but wall-clock reads are
+//! banned workspace-wide by the `wall-clock` lint so they cannot leak
+//! into results. This file is the one sweepd source on the lint's
+//! exemption list; every other daemon module handles time as opaque
+//! [`Deadline`] values or millisecond counts produced here.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline armed when a job starts running.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    started: Instant,
+    limit: Option<Duration>,
+}
+
+impl Deadline {
+    /// Arms a deadline `limit_ms` milliseconds from now; `None` never
+    /// expires (the deadline still tracks elapsed time for reporting).
+    #[must_use]
+    pub fn start(limit_ms: Option<u64>) -> Self {
+        Self {
+            started: Instant::now(),
+            limit: limit_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Whether the armed limit has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.limit.is_some_and(|limit| self.started.elapsed() >= limit)
+    }
+
+    /// Milliseconds since the deadline was armed.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Sleeps for `ms` milliseconds in 50 ms slices, re-checking `cancel`
+/// between slices so a drain request is honoured promptly. Returns
+/// `false` when cancelled early.
+pub fn interruptible_sleep_ms(ms: u64, cancel: &dyn Fn() -> bool) -> bool {
+    const SLICE_MS: u64 = 50;
+    let mut remaining = ms;
+    while remaining > 0 {
+        if cancel() {
+            return false;
+        }
+        let step = remaining.min(SLICE_MS);
+        std::thread::sleep(Duration::from_millis(step));
+        remaining -= step;
+    }
+    !cancel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_deadline_never_expires() {
+        let d = Deadline::start(None);
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::start(Some(0));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn cancelled_sleep_returns_false_quickly() {
+        let began = Deadline::start(None);
+        assert!(!interruptible_sleep_ms(60_000, &|| true));
+        assert!(began.elapsed_ms() < 5_000, "cancel must preempt the wait");
+        assert!(interruptible_sleep_ms(0, &|| false));
+    }
+}

@@ -1,0 +1,622 @@
+//! The daemon itself: accept loop, executor thread, shared job table.
+//!
+//! Layout of the data directory:
+//!
+//! ```text
+//!   <data_dir>/journal.jsonl            write-ahead job journal
+//!   <data_dir>/jobs/<job>.ckpt.jsonl    per-job point checkpoint
+//!   <data_dir>/cache/<job>.report.jsonl content-addressed result cache
+//! ```
+//!
+//! Two threads under one [`std::thread::scope`]: the accept loop serves
+//! one request per connection, the executor pops the job queue and runs
+//! each job through [`crate::supervise::run_job`]. They share a
+//! [`Mutex`]-guarded job table with a [`Condvar`] for queue wake-ups —
+//! deliberately no atomics, so the whole daemon stays outside the
+//! workspace's atomic-protocol audit surface.
+//!
+//! Crash safety is layered: the journal records what was promised, the
+//! per-job checkpoint records every finished point the instant it
+//! completes, and the result cache is only ever written by atomic
+//! rename. A `kill -9` at *any* instant therefore loses at most
+//! in-flight points; the next start replays the journal, re-queues
+//! unfinished jobs, and their checkpoints turn re-running into resuming.
+
+use std::collections::VecDeque;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::cache::{content_key, JobOutcome, ResultCache};
+use crate::journal::{recover, Journal, JournalEvent};
+use crate::protocol::{JobProgress, JobSpec, Request, Response};
+use crate::supervise::{run_job, ProgressSnapshot, SupervisorOptions};
+use crate::{io_error, SweepdError};
+
+/// Everything the daemon needs to start.
+#[derive(Clone, Debug)]
+pub struct DaemonOptions {
+    /// The Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// The persistence root (journal, checkpoints, cache).
+    pub data_dir: PathBuf,
+    /// The git revision results are keyed on — part of every cache key,
+    /// so results computed by different code never collide.
+    pub git_rev: String,
+    /// Supervision knobs applied to every job.
+    pub supervisor: SupervisorOptions,
+}
+
+/// One job the daemon knows about, in submission order.
+#[derive(Clone, Debug)]
+struct JobEntry {
+    job: String,
+    spec: JobSpec,
+    /// `queued`, `running`, `done`, `degraded`, or `failed`.
+    state: String,
+    total: u64,
+    progress: ProgressSnapshot,
+}
+
+impl JobEntry {
+    fn to_progress(&self) -> JobProgress {
+        JobProgress {
+            job: self.job.clone(),
+            name: self.spec.name.clone(),
+            state: self.state.clone(),
+            total: self.total,
+            done: self.progress.done,
+            failed: self.progress.failed,
+            quarantined: self.progress.quarantined,
+            round: self.progress.round,
+            epochs: self.progress.epochs,
+            swaps: self.progress.totals.swaps,
+            predicts: self.progress.totals.predicts,
+            predicts_correct: self.progress.totals.predicts_correct,
+            stacked_serviced: self.progress.totals.stacked_serviced,
+            off_chip_serviced: self.progress.totals.off_chip_serviced,
+            migrated_pages: self.progress.totals.migrated_pages,
+        }
+    }
+}
+
+/// The mutable state both threads share.
+#[derive(Debug, Default)]
+struct Shared {
+    entries: Vec<JobEntry>,
+    queue: VecDeque<String>,
+    draining: bool,
+}
+
+struct DaemonState {
+    shared: Mutex<Shared>,
+    wake: Condvar,
+    journal: Journal,
+    cache: ResultCache,
+    jobs_dir: PathBuf,
+    git_rev: String,
+    supervisor: SupervisorOptions,
+}
+
+/// Runs the daemon until a `drain` request completes: binds the socket,
+/// replays the journal (re-queueing unfinished jobs), then serves
+/// requests while the executor works the queue.
+///
+/// # Errors
+///
+/// Returns [`SweepdError::AlreadyRunning`] if another daemon answers on
+/// the socket, and [`SweepdError::Io`]/[`SweepdError::Protocol`] on
+/// unrecoverable persistence failures at startup. Per-connection and
+/// per-job failures are handled and logged, never fatal.
+pub fn run(opts: &DaemonOptions) -> Result<(), SweepdError> {
+    let jobs_dir = opts.data_dir.join("jobs");
+    std::fs::create_dir_all(&jobs_dir).map_err(|e| io_error(&jobs_dir, "create_dir", &e))?;
+    let cache = ResultCache::open(&opts.data_dir.join("cache"))?;
+    let journal_path = opts.data_dir.join("journal.jsonl");
+    let (journal, events) = Journal::open(&journal_path)?;
+    let recovered = recover(&events);
+
+    let mut shared = Shared::default();
+    for (job, spec, state) in recovered.finished {
+        let mut entry = entry_for(job, spec, state);
+        // Fill the counters from the cached report so `status` shows the
+        // finished shape, not zeros.
+        if let Some(outcome) = cache.load(&entry.job) {
+            entry.progress.done = entry.total - outcome.quarantined.len() as u64;
+            entry.progress.quarantined = outcome.quarantined.len() as u64;
+            entry.progress.round = outcome.rounds;
+        }
+        shared.entries.push(entry);
+    }
+    for (job, spec) in recovered.unfinished {
+        eprintln!("[sweepd] recovering unfinished job {job} ({})", spec.name);
+        shared.queue.push_back(job.clone());
+        shared.entries.push(entry_for(job, spec, "queued".into()));
+    }
+
+    let listener = bind_socket(&opts.socket)?;
+    let state = DaemonState {
+        shared: Mutex::new(shared),
+        wake: Condvar::new(),
+        journal,
+        cache,
+        jobs_dir,
+        git_rev: opts.git_rev.clone(),
+        supervisor: opts.supervisor,
+    };
+    eprintln!(
+        "[sweepd] listening on {} (rev {})",
+        opts.socket.display(),
+        state.git_rev
+    );
+
+    std::thread::scope(|s| {
+        s.spawn(|| executor(&state));
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    if serve_connection(stream, &state) {
+                        break; // drain acknowledged
+                    }
+                }
+                Err(e) => eprintln!("[sweepd] accept failed: {e}"),
+            }
+        }
+        // The executor wakes on the same drain flag and exits once the
+        // in-flight batch (if any) lands in the checkpoint.
+    });
+    let _ = std::fs::remove_file(&opts.socket);
+    eprintln!("[sweepd] drained; journal flushed");
+    Ok(())
+}
+
+fn entry_for(job: String, spec: JobSpec, state: String) -> JobEntry {
+    let total = spec.resolve_points().map_or(0, |p| p.len() as u64);
+    JobEntry {
+        job,
+        spec,
+        state,
+        total,
+        progress: ProgressSnapshot::default(),
+    }
+}
+
+/// Binds the listener, detecting a live daemon vs. a stale socket file
+/// left by a crash (`kill -9` never unlinks it).
+fn bind_socket(socket: &Path) -> Result<UnixListener, SweepdError> {
+    if socket.exists() {
+        if UnixStream::connect(socket).is_ok() {
+            return Err(SweepdError::AlreadyRunning(socket.display().to_string()));
+        }
+        eprintln!(
+            "[sweepd] removing stale socket {} (no daemon answered)",
+            socket.display()
+        );
+        std::fs::remove_file(socket).map_err(|e| io_error(socket, "unlink", &e))?;
+    }
+    UnixListener::bind(socket).map_err(|e| io_error(socket, "bind", &e))
+}
+
+/// Serves one connection (one request, one response). Returns `true`
+/// when the request was an acknowledged `drain` — the accept loop's
+/// signal to stop.
+fn serve_connection(stream: UnixStream, state: &DaemonState) -> bool {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut line = String::new();
+    if BufReader::new(&stream).read_line(&mut line).is_err() || line.trim().is_empty() {
+        return false;
+    }
+    let (response, drain) = match Request::parse(line.trim_end()) {
+        Ok(request) => handle(&request, state),
+        Err(message) => (Response::Error { message }, false),
+    };
+    let mut writer = &stream;
+    if let Err(e) = writer
+        .write_all(format!("{}\n", response.render()).as_bytes())
+        .and_then(|()| writer.flush())
+    {
+        eprintln!("[sweepd] response write failed: {e}");
+        return false;
+    }
+    drain
+}
+
+/// Dispatches one parsed request. The bool is the drain signal.
+fn handle(request: &Request, state: &DaemonState) -> (Response, bool) {
+    match request {
+        Request::Submit(spec) => (submit(spec, state), false),
+        Request::Status { job } => (status(job.as_deref(), state), false),
+        Request::Report { job } => (report(job, state), false),
+        Request::Health => (health(state), false),
+        Request::Drain => {
+            let mut shared = state.shared.lock().expect("daemon mutex poisoned");
+            shared.draining = true;
+            state.wake.notify_all();
+            (Response::Draining, true)
+        }
+    }
+}
+
+fn submit(spec: &JobSpec, state: &DaemonState) -> Response {
+    // Validate before promising anything: an unresolvable grid is a
+    // client error, not a job that exists only to fail.
+    if let Err(e) = spec.resolve_points() {
+        return Response::Error {
+            message: e.to_string(),
+        };
+    }
+    let job = content_key(&spec.canonical(&state.git_rev));
+    let mut shared = state.shared.lock().expect("daemon mutex poisoned");
+    if shared.draining {
+        return Response::Draining;
+    }
+    // Served from cache: the exact work (spec + code revision) already
+    // ran to completion — nothing to simulate.
+    if state.cache.load(&job).is_some() {
+        return Response::Accepted { job, cached: true };
+    }
+    // Already queued or running: collapse onto the existing job.
+    if shared
+        .entries
+        .iter()
+        .any(|e| e.job == job && (e.state == "queued" || e.state == "running"))
+    {
+        return Response::Accepted { job, cached: false };
+    }
+    // Write-ahead: journal first, acknowledge after — a crash between
+    // the two re-queues the job instead of losing it.
+    if let Err(e) = state.journal.append(&JournalEvent::Submitted {
+        job: job.clone(),
+        spec: spec.clone(),
+    }) {
+        return Response::Error {
+            message: e.to_string(),
+        };
+    }
+    shared.entries.retain(|e| e.job != job); // finished-but-cache-lost: recompute
+    shared
+        .entries
+        .push(entry_for(job.clone(), spec.clone(), "queued".into()));
+    shared.queue.push_back(job.clone());
+    state.wake.notify_all();
+    Response::Accepted { job, cached: false }
+}
+
+fn status(job: Option<&str>, state: &DaemonState) -> Response {
+    let shared = state.shared.lock().expect("daemon mutex poisoned");
+    let jobs: Vec<JobProgress> = shared
+        .entries
+        .iter()
+        .filter(|e| job.is_none_or(|j| e.job == j))
+        .map(JobEntry::to_progress)
+        .collect();
+    if job.is_some() && jobs.is_empty() {
+        return Response::Error {
+            message: SweepdError::UnknownJob(job.unwrap_or_default().to_owned()).to_string(),
+        };
+    }
+    Response::Status(jobs)
+}
+
+fn report(job: &str, state: &DaemonState) -> Response {
+    match state.cache.load(job) {
+        Some(JobOutcome {
+            state: job_state,
+            rounds,
+            quarantined,
+            points,
+        }) => Response::Report {
+            job: job.to_owned(),
+            state: job_state,
+            rounds,
+            quarantined,
+            points,
+        },
+        None => {
+            let shared = state.shared.lock().expect("daemon mutex poisoned");
+            let message = match shared.entries.iter().find(|e| e.job == job) {
+                Some(entry) => format!("job {job} is {}; no report yet", entry.state),
+                None => SweepdError::UnknownJob(job.to_owned()).to_string(),
+            };
+            Response::Error { message }
+        }
+    }
+}
+
+fn health(state: &DaemonState) -> Response {
+    let shared = state.shared.lock().expect("daemon mutex poisoned");
+    let count = |s: &str| shared.entries.iter().filter(|e| e.state == s).count() as u64;
+    Response::Health {
+        state: if shared.draining { "draining" } else { "ok" }.into(),
+        queued: count("queued"),
+        running: count("running"),
+        finished: shared
+            .entries
+            .iter()
+            .filter(|e| matches!(e.state.as_str(), "done" | "degraded" | "failed"))
+            .count() as u64,
+        git_rev: state.git_rev.clone(),
+    }
+}
+
+/// The executor thread: pops the queue, supervises each job, persists
+/// the outcome, repeats — until the queue is empty *and* a drain was
+/// requested.
+fn executor(state: &DaemonState) {
+    loop {
+        let (job, spec) = {
+            let mut shared = state.shared.lock().expect("daemon mutex poisoned");
+            loop {
+                // Draining wins over queued work: only the in-flight job
+                // finishes its current batch; everything still queued
+                // stays journalled and resumes on the next start.
+                if shared.draining {
+                    return;
+                }
+                if let Some(job) = shared.queue.pop_front() {
+                    let entry = shared
+                        .entries
+                        .iter_mut()
+                        .find(|e| e.job == job)
+                        .expect("queued job has an entry");
+                    entry.state = "running".into();
+                    break (job, entry.spec.clone());
+                }
+                shared = state
+                    .wake
+                    .wait(shared)
+                    .expect("daemon mutex poisoned");
+            }
+        };
+
+        let checkpoint = state.jobs_dir.join(format!("{job}.ckpt.jsonl"));
+        let should_stop = || {
+            state
+                .shared
+                .lock()
+                .expect("daemon mutex poisoned")
+                .draining
+        };
+        let mut progress = |snapshot: ProgressSnapshot| {
+            let mut shared = state.shared.lock().expect("daemon mutex poisoned");
+            if let Some(entry) = shared.entries.iter_mut().find(|e| e.job == job) {
+                entry.progress = snapshot;
+            }
+        };
+        let result = run_job(
+            &job,
+            &spec,
+            &checkpoint,
+            &state.supervisor,
+            &should_stop,
+            &mut progress,
+        );
+
+        let mut shared = state.shared.lock().expect("daemon mutex poisoned");
+        let entry_state = match result {
+            Ok(outcome) => {
+                let terminal = outcome.state.clone();
+                // Cache first, journal second: a crash between the two
+                // replays as unfinished and the checkpoint makes the
+                // re-run instant.
+                if let Err(e) = state.cache.store(&job, &outcome) {
+                    eprintln!("[sweepd] job {job}: cache store failed: {e}");
+                    "queued".to_owned()
+                } else if let Err(e) = state.journal.append(&JournalEvent::Finished {
+                    job: job.clone(),
+                    state: terminal.clone(),
+                }) {
+                    eprintln!("[sweepd] job {job}: journal append failed: {e}");
+                    terminal
+                } else {
+                    eprintln!("[sweepd] job {job} finished: {terminal}");
+                    terminal
+                }
+            }
+            Err(SweepdError::Interrupted) => {
+                // Drain hit mid-job: it stays journalled as unfinished
+                // and the next daemon start resumes it from checkpoint.
+                eprintln!("[sweepd] job {job} interrupted by drain; will resume on restart");
+                "queued".to_owned()
+            }
+            Err(e) => {
+                eprintln!("[sweepd] job {job} errored: {e}; left queued for restart");
+                "queued".to_owned()
+            }
+        };
+        if let Some(entry) = shared.entries.iter_mut().find(|e| e.job == job) {
+            entry.state = entry_state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cameo-sweepd-daemon-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn micro_spec() -> JobSpec {
+        JobSpec {
+            name: "micro".into(),
+            benches: vec!["astar".into()],
+            orgs: vec!["Baseline".into(), "CAMEO".into()],
+            scale: 4096,
+            cores: 1,
+            instructions: 20_000,
+            ..JobSpec::default()
+        }
+    }
+
+    /// Polls `status` until the job reaches a terminal state.
+    fn wait_terminal(client: &Client, job: &str) -> String {
+        for _ in 0..600 {
+            if let Ok(Response::Status(jobs)) = client.request(&Request::Status {
+                job: Some(job.to_owned()),
+            }) {
+                let state = jobs[0].state.clone();
+                if matches!(state.as_str(), "done" | "degraded" | "failed") {
+                    return state;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        panic!("job {job} never reached a terminal state");
+    }
+
+    fn wait_socket(socket: &Path) {
+        for _ in 0..100 {
+            if UnixStream::connect(socket).is_ok() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("daemon never bound {}", socket.display());
+    }
+
+    #[test]
+    fn daemon_runs_a_job_serves_cache_hits_and_drains() {
+        let dir = temp_dir("lifecycle");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let opts = DaemonOptions {
+            socket: dir.join("sweepd.sock"),
+            data_dir: dir.join("data"),
+            git_rev: "test-rev".into(),
+            supervisor: SupervisorOptions::default(),
+        };
+        std::thread::scope(|s| {
+            let daemon = s.spawn(|| run(&opts));
+            wait_socket(&opts.socket);
+            let client = Client::new(&opts.socket);
+
+            let Ok(Response::Health { state, .. }) = client.request(&Request::Health) else {
+                panic!("health query failed");
+            };
+            assert_eq!(state, "ok");
+
+            let spec = micro_spec();
+            let Ok(Response::Accepted { job, cached }) =
+                client.request(&Request::Submit(Box::new(spec.clone())))
+            else {
+                panic!("submit failed");
+            };
+            assert!(!cached, "first submission is fresh work");
+            assert_eq!(wait_terminal(&client, &job), "done");
+
+            let Ok(Response::Report { points, state, .. }) =
+                client.request(&Request::Report { job: job.clone() })
+            else {
+                panic!("report failed");
+            };
+            assert_eq!(state, "done");
+            assert_eq!(points.len(), 2);
+
+            // Identical resubmission: served from cache, no simulation.
+            let Ok(Response::Accepted {
+                job: again,
+                cached,
+            }) = client.request(&Request::Submit(Box::new(spec.clone())))
+            else {
+                panic!("resubmit failed");
+            };
+            assert_eq!(again, job, "content addressing gives the same id");
+            assert!(cached, "finished work is a cache hit");
+
+            // A different spec gets a different id.
+            let mut other = spec;
+            other.seed += 1;
+            let Ok(Response::Accepted { job: other_job, .. }) =
+                client.request(&Request::Submit(Box::new(other)))
+            else {
+                panic!("second submit failed");
+            };
+            assert_ne!(other_job, job);
+            wait_terminal(&client, &other_job);
+
+            // Unknown names are typed errors.
+            assert!(matches!(
+                client.request(&Request::Report { job: "nope".into() }),
+                Ok(Response::Error { .. })
+            ));
+            let mut bad = micro_spec();
+            bad.orgs = vec!["NotAnOrg".into()];
+            assert!(matches!(
+                client.request(&Request::Submit(Box::new(bad))),
+                Ok(Response::Error { .. })
+            ));
+
+            // Drain: acknowledged, then submissions are rejected typed.
+            assert!(matches!(
+                client.request(&Request::Drain),
+                Ok(Response::Draining)
+            ));
+            daemon.join().expect("daemon thread").expect("clean drain");
+            assert!(!opts.socket.exists(), "socket removed on exit");
+        });
+
+        // Restart on the same data dir: finished jobs are remembered and
+        // the cache still answers.
+        std::thread::scope(|s| {
+            let daemon = s.spawn(|| run(&opts));
+            wait_socket(&opts.socket);
+            let client = Client::new(&opts.socket);
+            let Ok(Response::Accepted { cached, .. }) =
+                client.request(&Request::Submit(Box::new(micro_spec())))
+            else {
+                panic!("post-restart submit failed");
+            };
+            assert!(cached, "cache survives the restart");
+            let Ok(Response::Health { finished, .. }) = client.request(&Request::Health)
+            else {
+                panic!("health failed");
+            };
+            assert!(finished >= 2, "journal replay restored finished jobs");
+            assert!(matches!(
+                client.request(&Request::Drain),
+                Ok(Response::Draining)
+            ));
+            daemon.join().expect("daemon thread").expect("clean drain");
+        });
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn second_daemon_on_a_live_socket_is_rejected() {
+        let dir = temp_dir("exclusive");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let opts = DaemonOptions {
+            socket: dir.join("sweepd.sock"),
+            data_dir: dir.join("data"),
+            git_rev: "test-rev".into(),
+            supervisor: SupervisorOptions::default(),
+        };
+        std::thread::scope(|s| {
+            let daemon = s.spawn(|| run(&opts));
+            wait_socket(&opts.socket);
+            let second = DaemonOptions {
+                data_dir: dir.join("data2"),
+                ..opts.clone()
+            };
+            assert!(matches!(
+                run(&second),
+                Err(SweepdError::AlreadyRunning(_))
+            ));
+            let client = Client::new(&opts.socket);
+            assert!(matches!(
+                client.request(&Request::Drain),
+                Ok(Response::Draining)
+            ));
+            daemon.join().expect("daemon thread").expect("clean drain");
+        });
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,306 @@
+//! The write-ahead job journal.
+//!
+//! Every accepted submission and every job completion is one appended
+//! JSONL line, flushed before the daemon acknowledges the event over the
+//! socket — so after a `kill -9` at any instant the next start replays
+//! the journal and knows exactly which jobs were promised but not
+//! finished. The append discipline is the checkpoint writer's: one
+//! `write_all` of a complete line + flush under a mutex, which means the
+//! only possible corruption is a torn *final* line, and
+//! [`Journal::open`] truncates that away exactly like
+//! [`cameo_sim::checkpoint::load_and_repair`] does for checkpoints.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cameo_sim::checkpoint::Json;
+
+use crate::protocol::JobSpec;
+use crate::{io_error, SweepdError};
+
+/// One journalled event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JournalEvent {
+    /// A job was accepted; its spec is embedded so recovery can re-queue
+    /// it without any other state surviving the crash.
+    Submitted {
+        /// Content-addressed job id.
+        job: String,
+        /// The full spec as submitted.
+        spec: JobSpec,
+    },
+    /// A job reached a terminal state (`done`, `degraded`, or `failed`);
+    /// its report now lives in the result cache.
+    Finished {
+        /// Content-addressed job id.
+        job: String,
+        /// Terminal state recorded.
+        state: String,
+    },
+}
+
+impl JournalEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            JournalEvent::Submitted { job, spec } => Json::Obj(vec![
+                ("event".into(), Json::Str("submitted".into())),
+                ("job".into(), Json::Str(job.clone())),
+                ("spec".into(), spec.to_json()),
+            ]),
+            JournalEvent::Finished { job, state } => Json::Obj(vec![
+                ("event".into(), Json::Str("finished".into())),
+                ("job".into(), Json::Str(job.clone())),
+                ("state".into(), Json::Str(state.clone())),
+            ]),
+        }
+        .render()
+    }
+
+    /// Parses one journal line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let obj = Json::parse(line)?;
+        let field = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        };
+        match field("event")?.as_str() {
+            "submitted" => Ok(JournalEvent::Submitted {
+                job: field("job")?,
+                spec: JobSpec::from_json(obj.get("spec").ok_or("submitted without spec")?)?,
+            }),
+            "finished" => Ok(JournalEvent::Finished {
+                job: field("job")?,
+                state: field("state")?,
+            }),
+            other => Err(format!("unknown journal event {other:?}")),
+        }
+    }
+}
+
+/// What a journal replay recovers.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Recovered {
+    /// Jobs submitted but never finished, in submission order — the
+    /// restart work queue.
+    pub unfinished: Vec<(String, JobSpec)>,
+    /// `(job, spec, terminal state)` for every finished job, in
+    /// completion order.
+    pub finished: Vec<(String, JobSpec, String)>,
+}
+
+/// Folds a replayed event stream into the restart state.
+///
+/// A `Submitted` after a `Finished` for the same job re-queues it (the
+/// daemon only re-journals a finished job when its cached report went
+/// missing); a `Finished` with no preceding `Submitted` is dropped — it
+/// cannot occur under the append order, so it carries no spec to act on.
+#[must_use]
+pub fn recover(events: &[JournalEvent]) -> Recovered {
+    let mut recovered = Recovered::default();
+    for event in events {
+        match event {
+            JournalEvent::Submitted { job, spec } => {
+                recovered.finished.retain(|(j, _, _)| j != job);
+                if !recovered.unfinished.iter().any(|(j, _)| j == job) {
+                    recovered.unfinished.push((job.clone(), spec.clone()));
+                }
+            }
+            JournalEvent::Finished { job, state } => {
+                if let Some(pos) = recovered.unfinished.iter().position(|(j, _)| j == job) {
+                    let (job, spec) = recovered.unfinished.remove(pos);
+                    recovered.finished.push((job, spec, state.clone()));
+                }
+            }
+        }
+    }
+    recovered
+}
+
+/// The append-only journal file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replaying every
+    /// complete line and truncating a torn final line left by a crash
+    /// mid-append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepdError::Io`] on filesystem failure and
+    /// [`SweepdError::Protocol`] on a corrupt *non-final* line — that is
+    /// not a crash signature (appends are atomic per line) and deserves
+    /// a human, not silent data loss.
+    pub fn open(path: &Path) -> Result<(Self, Vec<JournalEvent>), SweepdError> {
+        let mut events = Vec::new();
+        if path.exists() {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| io_error(path, "read", &e))?;
+            let mut offset = 0u64;
+            let mut torn_tail: Option<u64> = None;
+            for piece in text.split_inclusive('\n') {
+                let complete = piece.ends_with('\n');
+                match JournalEvent::parse(piece.trim_end_matches('\n')) {
+                    Ok(event) if complete => events.push(event),
+                    // A parseable line without its newline is still torn:
+                    // the crash may have cut a longer record short at a
+                    // point that happens to parse.
+                    Ok(_) | Err(_) if !complete => {
+                        torn_tail = Some(offset);
+                    }
+                    Ok(_) | Err(_) => {
+                        let err = JournalEvent::parse(piece.trim_end_matches('\n'))
+                            .expect_err("complete line reached the error arm");
+                        return Err(SweepdError::Protocol(format!(
+                            "journal {} corrupt at byte {offset}: {err}",
+                            path.display()
+                        )));
+                    }
+                }
+                offset += piece.len() as u64;
+            }
+            if let Some(tail) = torn_tail {
+                eprintln!(
+                    "[sweepd] {}: truncating torn trailing journal record at byte {tail} \
+                     (interrupted append)",
+                    path.display()
+                );
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| io_error(path, "truncate", &e))?;
+                file.set_len(tail).map_err(|e| io_error(path, "truncate", &e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_error(path, "open", &e))?;
+        Ok((
+            Self {
+                path: path.to_owned(),
+                file: Mutex::new(file),
+            },
+            events,
+        ))
+    }
+
+    /// Appends one event as a complete line and flushes before returning
+    /// — the write-ahead guarantee the daemon's acknowledgements rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepdError::Io`] if the write or flush fails.
+    pub fn append(&self, event: &JournalEvent) -> Result<(), SweepdError> {
+        let line = format!("{}\n", event.render());
+        let mut file = self.file.lock().expect("journal mutex poisoned");
+        file.write_all(line.as_bytes())
+            .map_err(|e| io_error(&self.path, "append", &e))?;
+        file.flush().map_err(|e| io_error(&self.path, "flush", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            benches: vec!["astar".into()],
+            orgs: vec!["CAMEO".into()],
+            ..JobSpec::default()
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cameo-sweepd-journal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn events_round_trip_and_replay() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let submitted = JournalEvent::Submitted {
+            job: "j1".into(),
+            spec: spec("first"),
+        };
+        let finished = JournalEvent::Finished {
+            job: "j1".into(),
+            state: "done".into(),
+        };
+        {
+            let (journal, events) = Journal::open(&path).expect("fresh journal");
+            assert!(events.is_empty());
+            journal.append(&submitted).expect("append");
+            journal
+                .append(&JournalEvent::Submitted {
+                    job: "j2".into(),
+                    spec: spec("second"),
+                })
+                .expect("append");
+            journal.append(&finished).expect("append");
+        }
+        let (_journal, events) = Journal::open(&path).expect("replay");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], submitted);
+        let recovered = recover(&events);
+        assert_eq!(recovered.unfinished.len(), 1, "j1 finished, j2 did not");
+        assert_eq!(recovered.unfinished[0].0, "j2");
+        assert_eq!(recovered.finished.len(), 1);
+        assert_eq!(recovered.finished[0].0, "j1");
+        assert_eq!(recovered.finished[0].1.name, "first", "spec survives recovery");
+        assert_eq!(recovered.finished[0].2, "done");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_path("torn");
+        let good = JournalEvent::Finished {
+            job: "j1".into(),
+            state: "done".into(),
+        }
+        .render();
+        std::fs::write(&path, format!("{good}\n{{\"event\":\"subm")).expect("seed file");
+        let (journal, events) = Journal::open(&path).expect("open repairs");
+        assert_eq!(events.len(), 1);
+        journal
+            .append(&JournalEvent::Finished {
+                job: "j2".into(),
+                state: "failed".into(),
+            })
+            .expect("append after repair");
+        drop(journal);
+        let (_journal, events) = Journal::open(&path).expect("reopen");
+        assert_eq!(events.len(), 2, "append landed on a clean tail");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "not json\n{\"event\":\"finished\"}\n").expect("seed file");
+        assert!(matches!(
+            Journal::open(&path),
+            Err(SweepdError::Protocol(m)) if m.contains("corrupt")
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

@@ -1,0 +1,128 @@
+//! `cameo-sweepd`: a persistent sweep daemon with supervised jobs.
+//!
+//! The figure binaries run one sweep and exit; campaign-scale work wants a
+//! long-lived service that accepts sweep jobs, schedules them onto the
+//! [`cameo_sim::pool`] workers, survives crashes, and never recomputes a
+//! result it already has. This crate is that service, built from
+//! `std` only:
+//!
+//! * [`protocol`] — the `cameo-sweepd/1` newline-delimited JSON protocol
+//!   spoken over a local Unix socket: `submit`, `status`, `report`,
+//!   `health`, `drain`.
+//! * [`supervise`] — the per-job supervision state machine: retry rounds
+//!   with deterministic seeded backoff, a wall-clock deadline, a
+//!   circuit-breaker on repeated point failures, and graceful
+//!   degradation (the job completes with its unrunnable points
+//!   explicitly quarantined).
+//! * [`journal`] — the write-ahead job journal: every submission and
+//!   completion is an appended JSONL line, so a `kill -9` at any instant
+//!   loses nothing that was acknowledged.
+//! * [`cache`] — the content-addressed result cache keyed on the
+//!   canonical job spec and the git revision; a finished job resubmitted
+//!   later is served from disk without simulating a single access.
+//! * [`daemon`] / [`client`] — the accept loop + executor thread, and
+//!   the blocking client the `sweepctl` binary wraps.
+//!
+//! Determinism contract: a job interrupted by `kill -9` and resumed on
+//! restart produces a byte-identical report to an uninterrupted run —
+//! the per-point records come from the same torn-record-safe checkpoint
+//! format the sweep harness uses ([`cameo_sim::checkpoint`]), and report
+//! rendering is canonical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cameo_sim::SimError;
+
+pub mod cache;
+pub mod client;
+pub mod clock;
+pub mod daemon;
+pub mod journal;
+pub mod protocol;
+pub mod supervise;
+
+/// Anything that can go wrong inside the daemon or its client.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SweepdError {
+    /// A filesystem or socket operation failed.
+    Io {
+        /// The path (or socket) involved.
+        path: String,
+        /// The operation that failed (`"bind"`, `"connect"`, `"read"`,
+        /// `"write"`, `"rename"`, ...).
+        op: &'static str,
+        /// Rendering of the underlying OS error.
+        detail: String,
+    },
+    /// A request or response line violated the `cameo-sweepd/1` protocol.
+    Protocol(String),
+    /// The simulation stack reported an error (checkpoint I/O, config).
+    Sim(SimError),
+    /// A status/report query named a job the daemon has never seen.
+    UnknownJob(String),
+    /// The daemon is draining and rejected the request.
+    Draining,
+    /// Another daemon already owns the socket.
+    AlreadyRunning(String),
+    /// A drain request interrupted the job between batches; it remains
+    /// journalled as unfinished and resumes on the next daemon start.
+    Interrupted,
+}
+
+impl std::fmt::Display for SweepdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepdError::Io { path, op, detail } => {
+                write!(f, "sweepd {op} on {path} failed: {detail}")
+            }
+            SweepdError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            SweepdError::Sim(e) => write!(f, "simulation error: {e}"),
+            SweepdError::UnknownJob(job) => write!(f, "unknown job {job}"),
+            SweepdError::Draining => f.write_str("daemon is draining; submission rejected"),
+            SweepdError::AlreadyRunning(path) => {
+                write!(f, "another sweepd already listens on {path}")
+            }
+            SweepdError::Interrupted => f.write_str("job interrupted by drain"),
+        }
+    }
+}
+
+impl std::error::Error for SweepdError {}
+
+impl From<SimError> for SweepdError {
+    fn from(e: SimError) -> Self {
+        SweepdError::Sim(e)
+    }
+}
+
+/// Maps an I/O failure on `path` into the typed [`SweepdError::Io`].
+pub(crate) fn io_error(
+    path: &std::path::Path,
+    op: &'static str,
+    e: &std::io::Error,
+) -> SweepdError {
+    SweepdError::Io {
+        path: path.display().to_string(),
+        op,
+        detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SweepdError::Io {
+            path: "/tmp/sock".into(),
+            op: "bind",
+            detail: "denied".into(),
+        };
+        assert!(e.to_string().contains("bind") && e.to_string().contains("denied"));
+        assert!(SweepdError::Draining.to_string().contains("draining"));
+        let sim: SweepdError = SimError::EmptyStreams.into();
+        assert!(sim.to_string().contains("miss stream"));
+    }
+}

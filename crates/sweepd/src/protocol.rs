@@ -1,0 +1,746 @@
+//! The `cameo-sweepd/1` wire protocol: newline-delimited JSON over a
+//! local Unix socket.
+//!
+//! Every connection carries one request line and receives one response
+//! line; both sides reuse the workspace's dependency-free JSON codec
+//! ([`cameo_sim::checkpoint::Json`]), so `u64` counters cross the wire
+//! bit-exactly. Every line names the protocol (`"proto":"cameo-sweepd/1"`)
+//! and a mismatch is a typed error, never a silent misparse.
+//!
+//! Requests: `submit` (a [`JobSpec`]), `status` (all jobs or one),
+//! `report` (the canonical per-point records of a finished job),
+//! `health`, and `drain` (graceful shutdown). Responses mirror them,
+//! plus the typed `draining` rejection a submission receives while the
+//! daemon shuts down.
+
+use cameo_sim::checkpoint::{parse_record, render_record, Json, PointRecord};
+use cameo_sim::experiments::OrgKind;
+use cameo_sim::harness::SweepPoint;
+use cameo_sim::SystemConfig;
+
+use crate::SweepdError;
+
+/// The protocol identifier every request and response line carries.
+pub const PROTOCOL: &str = "cameo-sweepd/1";
+
+/// One sweep job as submitted over the wire.
+///
+/// The spec is *canonicalizable*: [`JobSpec::canonical`] renders it (plus
+/// the git revision) with a fixed field order, and the hash of that text
+/// is both the job id and the result-cache key — identical submissions
+/// collapse onto one result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Human-readable job name (shown in status; not part of identity?
+    /// It is — two differently-named submissions are different jobs).
+    pub name: String,
+    /// Benchmark names, resolved against the Table II suite at submit.
+    pub benches: Vec<String>,
+    /// Organization labels, resolved via [`OrgKind::parse`] at submit.
+    pub orgs: Vec<String>,
+    /// Capacity scale divisor (see [`SystemConfig::scale`]).
+    pub scale: u64,
+    /// Rate-mode cores.
+    pub cores: u16,
+    /// Instructions per core (warmup included).
+    pub instructions: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Supervision: retry rounds per point (first run included; ≥ 1).
+    pub max_rounds: u32,
+    /// Supervision: base backoff before retry rounds, in milliseconds
+    /// (0 disables; the actual delay is seeded-exponential with jitter,
+    /// see [`cameo_sim::harness::retry_backoff_ms`]).
+    pub backoff_ms: u64,
+    /// Supervision: wall-clock deadline for the whole job; points not
+    /// started when it passes are quarantined and the job degrades.
+    pub deadline_ms: Option<u64>,
+    /// Supervision: per-point simulated-cycle watchdog budget
+    /// (deterministic; see [`cameo_sim::harness::SweepOptions`]).
+    pub watchdog_cycles: Option<u64>,
+    /// Supervision: circuit-breaker — when one round accumulates this
+    /// many point failures the remaining failing points are quarantined
+    /// wholesale instead of retried (0 disables).
+    pub breaker_limit: u32,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            name: "job".into(),
+            benches: Vec::new(),
+            orgs: Vec::new(),
+            scale: 512,
+            cores: 2,
+            instructions: 200_000,
+            seed: 42,
+            max_rounds: 3,
+            backoff_ms: 0,
+            deadline_ms: None,
+            watchdog_cycles: None,
+            breaker_limit: 0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The [`SystemConfig`] every point of this job runs under.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig {
+            scale: self.scale,
+            cores: self.cores,
+            instructions_per_core: self.instructions,
+            seed: self.seed,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Resolves the bench × org grid into sweep points in canonical
+    /// order (bench-major, org-minor), validating every name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepdError::Protocol`] on an empty grid, an unknown
+    /// benchmark, or an unknown organization label.
+    pub fn resolve_points(&self) -> Result<Vec<SweepPoint>, SweepdError> {
+        if self.benches.is_empty() || self.orgs.is_empty() {
+            return Err(SweepdError::Protocol(
+                "job needs at least one bench and one org".into(),
+            ));
+        }
+        let mut kinds: Vec<OrgKind> = Vec::with_capacity(self.orgs.len());
+        for label in &self.orgs {
+            kinds.push(OrgKind::parse(label).ok_or_else(|| {
+                SweepdError::Protocol(format!("unknown organization label {label:?}"))
+            })?);
+        }
+        let mut points = Vec::with_capacity(self.benches.len() * kinds.len());
+        for bench in &self.benches {
+            let spec = cameo_workloads::require(bench)
+                .map_err(|e| SweepdError::Protocol(e.to_string()))?;
+            for kind in &kinds {
+                points.push(SweepPoint::new(spec.name, *kind));
+            }
+        }
+        Ok(points)
+    }
+
+    /// Renders the spec as canonical JSON (fixed field order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        let opt = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("benches".into(), strings(&self.benches)),
+            ("orgs".into(), strings(&self.orgs)),
+            ("scale".into(), Json::U64(self.scale)),
+            ("cores".into(), Json::U64(u64::from(self.cores))),
+            ("instructions".into(), Json::U64(self.instructions)),
+            ("seed".into(), Json::U64(self.seed)),
+            ("max_rounds".into(), Json::U64(u64::from(self.max_rounds))),
+            ("backoff_ms".into(), Json::U64(self.backoff_ms)),
+            ("deadline_ms".into(), opt(self.deadline_ms)),
+            ("watchdog_cycles".into(), opt(self.watchdog_cycles)),
+            (
+                "breaker_limit".into(),
+                Json::U64(u64::from(self.breaker_limit)),
+            ),
+        ])
+    }
+
+    /// Parses a spec object rendered by [`JobSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(obj: &Json) -> Result<Self, String> {
+        let names = |key: &str| -> Result<Vec<String>, String> {
+            match obj.get(key) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| format!("non-string entry in {key:?}"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing or non-array field {key:?}")),
+            }
+        };
+        let opt = |key: &str| -> Result<Option<u64>, String> {
+            match obj.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("non-integer field {key:?}")),
+            }
+        };
+        Ok(Self {
+            name: req_str(obj, "name")?,
+            benches: names("benches")?,
+            orgs: names("orgs")?,
+            scale: req_u64(obj, "scale")?,
+            cores: u16::try_from(req_u64(obj, "cores")?)
+                .map_err(|_| "cores out of range".to_string())?,
+            instructions: req_u64(obj, "instructions")?,
+            seed: req_u64(obj, "seed")?,
+            max_rounds: narrow_u32(obj, "max_rounds")?,
+            backoff_ms: req_u64(obj, "backoff_ms")?,
+            deadline_ms: opt("deadline_ms")?,
+            watchdog_cycles: opt("watchdog_cycles")?,
+            breaker_limit: narrow_u32(obj, "breaker_limit")?,
+        })
+    }
+
+    /// The canonical identity text of this job under `git_rev`: protocol
+    /// version + revision + spec, rendered with a fixed field order.
+    /// Hashing this text yields the job id and cache key (see
+    /// [`crate::cache::content_key`]).
+    #[must_use]
+    pub fn canonical(&self, git_rev: &str) -> String {
+        Json::Obj(vec![
+            ("proto".into(), Json::Str(PROTOCOL.into())),
+            ("git_rev".into(), Json::Str(git_rev.into())),
+            ("spec".into(), self.to_json()),
+        ])
+        .render()
+    }
+}
+
+/// One client request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Submit a job (idempotent: identical specs share one job id).
+    Submit(Box<JobSpec>),
+    /// Per-job progress, for every job or one.
+    Status {
+        /// Restrict to this job id.
+        job: Option<String>,
+    },
+    /// The canonical report of a finished job.
+    Report {
+        /// The job id.
+        job: String,
+    },
+    /// Liveness + queue depth probe.
+    Health,
+    /// Begin graceful shutdown: finish in-flight points, flush the
+    /// journal, reject new submissions with [`Response::Draining`].
+    Drain,
+}
+
+impl Request {
+    /// Renders the request as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut fields = vec![("proto".to_owned(), Json::Str(PROTOCOL.into()))];
+        match self {
+            Request::Submit(spec) => {
+                fields.push(("op".into(), Json::Str("submit".into())));
+                fields.push(("spec".into(), spec.to_json()));
+            }
+            Request::Status { job } => {
+                fields.push(("op".into(), Json::Str("status".into())));
+                if let Some(job) = job {
+                    fields.push(("job".into(), Json::Str(job.clone())));
+                }
+            }
+            Request::Report { job } => {
+                fields.push(("op".into(), Json::Str("report".into())));
+                fields.push(("job".into(), Json::Str(job.clone())));
+            }
+            Request::Health => fields.push(("op".into(), Json::Str("health".into()))),
+            Request::Drain => fields.push(("op".into(), Json::Str("drain".into()))),
+        }
+        Json::Obj(fields).render()
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation (wrong
+    /// protocol, unknown op, malformed spec).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let obj = Json::parse(line)?;
+        check_proto(&obj)?;
+        let op = req_str(&obj, "op")?;
+        match op.as_str() {
+            "submit" => {
+                let spec = obj.get("spec").ok_or("submit without spec")?;
+                Ok(Request::Submit(Box::new(JobSpec::from_json(spec)?)))
+            }
+            "status" => Ok(Request::Status {
+                job: obj.get("job").and_then(Json::as_str).map(str::to_owned),
+            }),
+            "report" => Ok(Request::Report {
+                job: req_str(&obj, "job")?,
+            }),
+            "health" => Ok(Request::Health),
+            "drain" => Ok(Request::Drain),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Live progress of one job, as reported by `status`.
+///
+/// The trace counters aggregate the per-epoch event totals of every
+/// fresh point (see [`cameo_sim::trace::EpochCounters`]) — `status` is
+/// how a human watches a running sweep's swap/prediction behaviour
+/// without waiting for the report.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct JobProgress {
+    /// Job id (= cache key).
+    pub job: String,
+    /// Human-readable name from the spec.
+    pub name: String,
+    /// `queued`, `running`, `done`, `degraded`, `failed`, or `cached`.
+    pub state: String,
+    /// Total points in the job.
+    pub total: u64,
+    /// Points completed so far.
+    pub done: u64,
+    /// Points currently failing (may still be retried).
+    pub failed: u64,
+    /// Points quarantined for good.
+    pub quarantined: u64,
+    /// The supervision round in progress (1-based; 0 before the first).
+    pub round: u64,
+    /// Trace epochs recorded across fresh points.
+    pub epochs: u64,
+    /// Congruence-group swaps (trace total).
+    pub swaps: u64,
+    /// Location predictions made (trace total).
+    pub predicts: u64,
+    /// Correct predictions (trace total).
+    pub predicts_correct: u64,
+    /// Reads serviced by stacked DRAM (trace total).
+    pub stacked_serviced: u64,
+    /// Reads serviced off-chip (trace total).
+    pub off_chip_serviced: u64,
+    /// Pages migrated (trace total).
+    pub migrated_pages: u64,
+}
+
+impl JobProgress {
+    /// Renders as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("job".into(), Json::Str(self.job.clone())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("state".into(), Json::Str(self.state.clone())),
+            ("total".into(), Json::U64(self.total)),
+            ("done".into(), Json::U64(self.done)),
+            ("failed".into(), Json::U64(self.failed)),
+            ("quarantined".into(), Json::U64(self.quarantined)),
+            ("round".into(), Json::U64(self.round)),
+            ("epochs".into(), Json::U64(self.epochs)),
+            ("swaps".into(), Json::U64(self.swaps)),
+            ("predicts".into(), Json::U64(self.predicts)),
+            ("predicts_correct".into(), Json::U64(self.predicts_correct)),
+            ("stacked_serviced".into(), Json::U64(self.stacked_serviced)),
+            (
+                "off_chip_serviced".into(),
+                Json::U64(self.off_chip_serviced),
+            ),
+            ("migrated_pages".into(), Json::U64(self.migrated_pages)),
+        ])
+    }
+
+    /// Parses an object rendered by [`JobProgress::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(obj: &Json) -> Result<Self, String> {
+        Ok(Self {
+            job: req_str(obj, "job")?,
+            name: req_str(obj, "name")?,
+            state: req_str(obj, "state")?,
+            total: req_u64(obj, "total")?,
+            done: req_u64(obj, "done")?,
+            failed: req_u64(obj, "failed")?,
+            quarantined: req_u64(obj, "quarantined")?,
+            round: req_u64(obj, "round")?,
+            epochs: req_u64(obj, "epochs")?,
+            swaps: req_u64(obj, "swaps")?,
+            predicts: req_u64(obj, "predicts")?,
+            predicts_correct: req_u64(obj, "predicts_correct")?,
+            stacked_serviced: req_u64(obj, "stacked_serviced")?,
+            off_chip_serviced: req_u64(obj, "off_chip_serviced")?,
+            migrated_pages: req_u64(obj, "migrated_pages")?,
+        })
+    }
+}
+
+/// One daemon response.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// The submission was recorded (or found already finished).
+    Accepted {
+        /// The content-addressed job id.
+        job: String,
+        /// Whether the result already exists — a `report` query will be
+        /// served from cache without simulating anything.
+        cached: bool,
+    },
+    /// Per-job progress snapshots, in submission order.
+    Status(Vec<JobProgress>),
+    /// The canonical report of a finished job: per-point records in
+    /// canonical point order, rendered in the checkpoint record format.
+    Report {
+        /// The job id.
+        job: String,
+        /// `done`, `degraded`, or `failed`.
+        state: String,
+        /// Supervision rounds consumed.
+        rounds: u64,
+        /// `(point key, reason)` for every quarantined point.
+        quarantined: Vec<(String, String)>,
+        /// `(key, record)` per point, in canonical order.
+        points: Vec<(String, PointRecord)>,
+    },
+    /// Liveness probe answer.
+    Health {
+        /// `ok` or `draining`.
+        state: String,
+        /// Jobs waiting to run.
+        queued: u64,
+        /// Jobs currently running (0 or 1).
+        running: u64,
+        /// Jobs finished (cache-served included).
+        finished: u64,
+        /// The git revision the daemon keys its cache on.
+        git_rev: String,
+    },
+    /// Typed rejection while the daemon shuts down, and the
+    /// acknowledgement of a `drain` request.
+    Draining,
+    /// Anything else that went wrong with this request.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as one protocol line (no trailing newline).
+    /// Rendering is canonical: byte-identical responses for identical
+    /// payloads, which is what lets tests compare whole reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ok = !matches!(self, Response::Draining | Response::Error { .. });
+        let mut fields = vec![
+            ("proto".to_owned(), Json::Str(PROTOCOL.into())),
+            ("ok".to_owned(), Json::Bool(ok)),
+        ];
+        match self {
+            Response::Accepted { job, cached } => {
+                fields.push(("type".into(), Json::Str("accepted".into())));
+                fields.push(("job".into(), Json::Str(job.clone())));
+                fields.push(("cached".into(), Json::Bool(*cached)));
+            }
+            Response::Status(jobs) => {
+                fields.push(("type".into(), Json::Str("status".into())));
+                fields.push((
+                    "jobs".into(),
+                    Json::Arr(jobs.iter().map(JobProgress::to_json).collect()),
+                ));
+            }
+            Response::Report {
+                job,
+                state,
+                rounds,
+                quarantined,
+                points,
+            } => {
+                fields.push(("type".into(), Json::Str("report".into())));
+                fields.push(("job".into(), Json::Str(job.clone())));
+                fields.push(("state".into(), Json::Str(state.clone())));
+                fields.push(("rounds".into(), Json::U64(*rounds)));
+                fields.push((
+                    "quarantined".into(),
+                    Json::Arr(
+                        quarantined
+                            .iter()
+                            .map(|(key, reason)| {
+                                Json::Obj(vec![
+                                    ("key".into(), Json::Str(key.clone())),
+                                    ("reason".into(), Json::Str(reason.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "points".into(),
+                    Json::Arr(
+                        points
+                            .iter()
+                            .map(|(key, record)| record_to_json(key, record))
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Health {
+                state,
+                queued,
+                running,
+                finished,
+                git_rev,
+            } => {
+                fields.push(("type".into(), Json::Str("health".into())));
+                fields.push(("state".into(), Json::Str(state.clone())));
+                fields.push(("queued".into(), Json::U64(*queued)));
+                fields.push(("running".into(), Json::U64(*running)));
+                fields.push(("finished".into(), Json::U64(*finished)));
+                fields.push(("git_rev".into(), Json::Str(git_rev.clone())));
+            }
+            Response::Draining => {
+                fields.push(("type".into(), Json::Str("draining".into())));
+            }
+            Response::Error { message } => {
+                fields.push(("type".into(), Json::Str("error".into())));
+                fields.push(("message".into(), Json::Str(message.clone())));
+            }
+        }
+        Json::Obj(fields).render()
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let obj = Json::parse(line)?;
+        check_proto(&obj)?;
+        let kind = req_str(&obj, "type")?;
+        match kind.as_str() {
+            "accepted" => Ok(Response::Accepted {
+                job: req_str(&obj, "job")?,
+                cached: matches!(obj.get("cached"), Some(Json::Bool(true))),
+            }),
+            "status" => match obj.get("jobs") {
+                Some(Json::Arr(items)) => Ok(Response::Status(
+                    items
+                        .iter()
+                        .map(JobProgress::from_json)
+                        .collect::<Result<_, _>>()?,
+                )),
+                _ => Err("status without jobs array".into()),
+            },
+            "report" => {
+                let quarantined = match obj.get("quarantined") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|q| Ok((req_str(q, "key")?, req_str(q, "reason")?)))
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => return Err("report without quarantined array".into()),
+                };
+                let points = match obj.get("points") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|p| parse_record(&p.render()))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("report without points array".into()),
+                };
+                Ok(Response::Report {
+                    job: req_str(&obj, "job")?,
+                    state: req_str(&obj, "state")?,
+                    rounds: req_u64(&obj, "rounds")?,
+                    quarantined,
+                    points,
+                })
+            }
+            "health" => Ok(Response::Health {
+                state: req_str(&obj, "state")?,
+                queued: req_u64(&obj, "queued")?,
+                running: req_u64(&obj, "running")?,
+                finished: req_u64(&obj, "finished")?,
+                git_rev: req_str(&obj, "git_rev")?,
+            }),
+            "draining" => Ok(Response::Draining),
+            "error" => Ok(Response::Error {
+                message: req_str(&obj, "message")?,
+            }),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// Renders a `(key, record)` pair as a JSON object value (the same shape
+/// [`render_record`] produces as a line).
+#[must_use]
+pub fn record_to_json(key: &str, record: &PointRecord) -> Json {
+    Json::parse(&render_record(key, record))
+        .expect("render_record always produces parseable JSON")
+}
+
+/// Required string field.
+fn req_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+/// Required integer field.
+fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+/// Required integer field that must fit `u32`.
+fn narrow_u32(obj: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(req_u64(obj, key)?).map_err(|_| format!("field {key:?} out of range"))
+}
+
+/// Rejects lines that do not carry this protocol's identifier.
+fn check_proto(obj: &Json) -> Result<(), String> {
+    match obj.get("proto").and_then(Json::as_str) {
+        Some(p) if p == PROTOCOL => Ok(()),
+        Some(p) => Err(format!("protocol mismatch: got {p:?}, want {PROTOCOL:?}")),
+        None => Err(format!("line does not name a protocol (want {PROTOCOL:?})")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            name: "fig13-micro".into(),
+            benches: vec!["astar".into(), "mcf".into()],
+            orgs: vec!["Baseline".into(), "CAMEO".into()],
+            deadline_ms: Some(60_000),
+            watchdog_cycles: Some(5_000_000),
+            breaker_limit: 4,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Submit(Box::new(sample_spec())),
+            Request::Status { job: None },
+            Request::Status {
+                job: Some("abc".into()),
+            },
+            Request::Report { job: "abc".into() },
+            Request::Health,
+            Request::Drain,
+        ];
+        for request in &requests {
+            let line = request.render();
+            assert_eq!(
+                Request::parse(&line).expect("rendered request parses"),
+                *request
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let record = PointRecord::Failed {
+            attempts: 2,
+            error: "boom".into(),
+        };
+        let responses = [
+            Response::Accepted {
+                job: "k".into(),
+                cached: true,
+            },
+            Response::Status(vec![JobProgress {
+                job: "k".into(),
+                name: "fig13".into(),
+                state: "running".into(),
+                total: 4,
+                done: 2,
+                swaps: 17,
+                ..JobProgress::default()
+            }]),
+            Response::Report {
+                job: "k".into(),
+                state: "degraded".into(),
+                rounds: 3,
+                quarantined: vec![("astar::CAMEO".into(), "retries-exhausted".into())],
+                points: vec![("astar::CAMEO".into(), record)],
+            },
+            Response::Health {
+                state: "ok".into(),
+                queued: 1,
+                running: 1,
+                finished: 2,
+                git_rev: "deadbeef".into(),
+            },
+            Response::Draining,
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for response in &responses {
+            let line = response.render();
+            assert_eq!(
+                Response::parse(&line).expect("rendered response parses"),
+                *response
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_mismatch_is_rejected() {
+        assert!(Request::parse("{\"op\":\"health\"}").is_err());
+        let wrong = "{\"proto\":\"cameo-sweepd/9\",\"op\":\"health\"}";
+        let err = Request::parse(wrong).expect_err("future protocol rejected");
+        assert!(err.contains("cameo-sweepd/9"), "{err}");
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_rev_sensitive() {
+        let spec = sample_spec();
+        assert_eq!(spec.canonical("r1"), spec.canonical("r1"));
+        assert_ne!(spec.canonical("r1"), spec.canonical("r2"));
+        let mut other = spec.clone();
+        other.seed += 1;
+        assert_ne!(spec.canonical("r1"), other.canonical("r1"));
+    }
+
+    #[test]
+    fn resolve_points_builds_the_grid_in_canonical_order() {
+        let points = sample_spec().resolve_points().expect("valid grid");
+        let keys: Vec<&str> = points.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "astar::Baseline",
+                "astar::CAMEO",
+                "mcf::Baseline",
+                "mcf::CAMEO"
+            ]
+        );
+    }
+
+    #[test]
+    fn resolve_points_rejects_bad_names() {
+        let mut spec = sample_spec();
+        spec.orgs = vec!["NotAnOrg".into()];
+        assert!(matches!(
+            spec.resolve_points(),
+            Err(SweepdError::Protocol(m)) if m.contains("NotAnOrg")
+        ));
+        let mut spec = sample_spec();
+        spec.benches = vec!["nosuchbench".into()];
+        assert!(spec.resolve_points().is_err());
+        let empty = JobSpec::default();
+        assert!(empty.resolve_points().is_err());
+    }
+}

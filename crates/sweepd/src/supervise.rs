@@ -1,0 +1,473 @@
+//! The per-job supervision state machine.
+//!
+//! A job is a bench × organization grid run under a watchful loop:
+//!
+//! ```text
+//!   round 1..=max_rounds
+//!     ├─ batch of points  → run (crash-isolated, watchdog-bounded)
+//!     │    ├─ deadline passed?   → quarantine the rest, degrade
+//!     │    └─ drain requested?   → Interrupted (journal keeps the job)
+//!     ├─ too many failures this round? → circuit-break: quarantine them
+//!     └─ failures remain → seeded backoff, next round retries them
+//!   retries exhausted → quarantine survivors, degrade
+//! ```
+//!
+//! Quarantine is how the job *completes instead of wedging*: a point that
+//! keeps failing (or was never reachable before the deadline) is set
+//! aside with an explicit reason, and the job finishes `degraded` with
+//! every other point's result intact. Only a job whose every point is
+//! quarantined reports `failed`.
+//!
+//! Determinism: the simulated results come from the harness unchanged,
+//! per-point records land in the same checkpoint file across restarts,
+//! and the backoff schedule is a pure function of (seed, job, round) —
+//! so a killed-and-resumed job converges on byte-identical output.
+
+use std::path::Path;
+
+use cameo_sim::checkpoint::PointRecord;
+use cameo_sim::harness::{retry_backoff_ms, run_sweep_traced, SweepOptions, SweepPoint};
+use cameo_sim::trace::{EpochCounters, TraceOptions};
+use cameo_types::DetHashMap;
+
+use crate::cache::JobOutcome;
+use crate::clock::{interruptible_sleep_ms, Deadline};
+use crate::protocol::JobSpec;
+use crate::SweepdError;
+
+/// Daemon-level knobs the supervisor runs every job under.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorOptions {
+    /// Worker threads per batch (see [`SweepOptions::jobs`]).
+    pub jobs: usize,
+    /// Points per batch — the granularity at which the deadline and a
+    /// drain request are honoured. Small batches react faster; large
+    /// batches keep the workers busier.
+    pub batch_size: usize,
+    /// Artificial pause after each batch, in milliseconds. `0` in
+    /// production; the chaos tests widen the kill window with it.
+    pub point_delay_ms: u64,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            batch_size: 4,
+            point_delay_ms: 0,
+        }
+    }
+}
+
+/// A progress snapshot pushed to the daemon after every batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProgressSnapshot {
+    /// Supervision round in progress (1-based).
+    pub round: u64,
+    /// Points completed so far.
+    pub done: u64,
+    /// Points currently failing (still retryable).
+    pub failed: u64,
+    /// Points quarantined for good.
+    pub quarantined: u64,
+    /// Trace epochs recorded across fresh points so far.
+    pub epochs: u64,
+    /// Aggregated trace event totals across fresh points so far.
+    pub totals: EpochCounters,
+}
+
+/// Runs one job to a terminal state under supervision.
+///
+/// `job_id` seeds the backoff schedule and labels log lines;
+/// `checkpoint` is the job's per-point write-ahead file (appends land
+/// there the moment each point finishes, so a `kill -9` loses at most
+/// the in-flight batch); `should_stop` is polled between batches and
+/// turns a drain request into [`SweepdError::Interrupted`] — the job
+/// stays journalled as unfinished and resumes on the next daemon start.
+///
+/// # Errors
+///
+/// [`SweepdError::Interrupted`] on drain, [`SweepdError::Protocol`] on
+/// an unresolvable spec, [`SweepdError::Sim`] on checkpoint I/O failure.
+pub fn run_job(
+    job_id: &str,
+    spec: &JobSpec,
+    checkpoint: &Path,
+    opts: &SupervisorOptions,
+    should_stop: &dyn Fn() -> bool,
+    progress: &mut dyn FnMut(ProgressSnapshot),
+) -> Result<JobOutcome, SweepdError> {
+    let points = spec.resolve_points()?;
+    let config = spec.config();
+    let deadline = Deadline::start(spec.deadline_ms);
+    let max_rounds = spec.max_rounds.max(1);
+    let batch_size = opts.batch_size.max(1);
+
+    let mut records: DetHashMap<String, PointRecord> = DetHashMap::default();
+    let mut quarantined: Vec<(String, String)> = Vec::new();
+    let mut totals = EpochCounters::default();
+    let mut epochs = 0u64;
+    let mut rounds_used = 0u64;
+
+    let sweep_opts = SweepOptions {
+        config,
+        max_attempts: 1,
+        retry_scale_factor: 1,
+        retry_backoff_ms: 0,
+        watchdog_cycles: spec.watchdog_cycles,
+        quiet_panics: true,
+        jobs: opts.jobs,
+    };
+
+    let is_quarantined =
+        |q: &[(String, String)], key: &str| q.iter().any(|(k, _)| k == key);
+    let snapshot = |records: &DetHashMap<String, PointRecord>,
+                    quarantined: &[(String, String)],
+                    round: u64,
+                    epochs: u64,
+                    totals: EpochCounters| {
+        let done = records
+            .values()
+            .filter(|r| matches!(r, PointRecord::Done { .. }))
+            .count() as u64;
+        let failed = records
+            .iter()
+            .filter(|(key, r)| {
+                matches!(r, PointRecord::Failed { .. }) && !is_quarantined(quarantined, key)
+            })
+            .count() as u64;
+        ProgressSnapshot {
+            round,
+            done,
+            failed,
+            quarantined: quarantined.len() as u64,
+            epochs,
+            totals,
+        }
+    };
+
+    'rounds: for round in 1..=max_rounds {
+        // Points still worth running: not done, not quarantined.
+        let active: Vec<SweepPoint> = points
+            .iter()
+            .filter(|p| {
+                !matches!(records.get(&p.key), Some(PointRecord::Done { .. }))
+                    && !is_quarantined(&quarantined, &p.key)
+            })
+            .cloned()
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        rounds_used = u64::from(round);
+
+        // Deterministic exponential backoff with seeded jitter before
+        // every retry round — transient host-level causes get room to
+        // clear, and two runs at the same seed wait identically.
+        if round >= 2 && spec.backoff_ms > 0 {
+            let delay = retry_backoff_ms(spec.seed, job_id, round, spec.backoff_ms);
+            if !interruptible_sleep_ms(delay, &|| should_stop()) {
+                return Err(SweepdError::Interrupted);
+            }
+        }
+
+        let mut failures_this_round = 0u32;
+        for batch in active.chunks(batch_size) {
+            if should_stop() {
+                return Err(SweepdError::Interrupted);
+            }
+            if deadline.expired() {
+                // Graceful degradation: everything not yet done is set
+                // aside with an explicit reason instead of running past
+                // the deadline or wedging the queue.
+                for point in &points {
+                    if !matches!(records.get(&point.key), Some(PointRecord::Done { .. }))
+                        && !is_quarantined(&quarantined, &point.key)
+                    {
+                        quarantined.push((point.key.clone(), "deadline".into()));
+                    }
+                }
+                eprintln!(
+                    "[sweepd] job {job_id}: deadline after {} ms, {} point(s) quarantined",
+                    deadline.elapsed_ms(),
+                    quarantined.len()
+                );
+                break 'rounds;
+            }
+
+            let report = run_sweep_traced(
+                batch,
+                &sweep_opts,
+                Some(checkpoint),
+                TraceOptions {
+                    capture_events: false,
+                    ..TraceOptions::default()
+                },
+            )?;
+            for outcome in &report.outcomes {
+                if matches!(outcome.record, PointRecord::Failed { .. }) && !outcome.resumed {
+                    failures_this_round += 1;
+                }
+                if let Some(trace) = &outcome.trace {
+                    totals.merge(&trace.totals());
+                    epochs += trace.epochs.epochs().len() as u64;
+                }
+                records.insert(outcome.point.key.clone(), outcome.record.clone());
+            }
+            progress(snapshot(
+                &records,
+                &quarantined,
+                u64::from(round),
+                epochs,
+                totals,
+            ));
+
+            if opts.point_delay_ms > 0
+                && !interruptible_sleep_ms(opts.point_delay_ms, &|| should_stop())
+            {
+                return Err(SweepdError::Interrupted);
+            }
+        }
+
+        // Circuit-breaker: a round this unhealthy stops retrying — every
+        // failing point is quarantined wholesale rather than burning the
+        // remaining rounds on a systemic cause.
+        if spec.breaker_limit > 0 && failures_this_round >= spec.breaker_limit {
+            for point in &points {
+                if matches!(records.get(&point.key), Some(PointRecord::Failed { .. }))
+                    && !is_quarantined(&quarantined, &point.key)
+                {
+                    quarantined.push((point.key.clone(), "circuit-breaker".into()));
+                }
+            }
+            eprintln!(
+                "[sweepd] job {job_id}: circuit-breaker tripped in round {round} \
+                 ({failures_this_round} failures)"
+            );
+            break;
+        }
+    }
+
+    // Whatever still fails after the last round is quarantined so the
+    // job reaches a terminal state instead of reporting raw failures.
+    for point in &points {
+        if !matches!(records.get(&point.key), Some(PointRecord::Done { .. }))
+            && !is_quarantined(&quarantined, &point.key)
+        {
+            quarantined.push((point.key.clone(), "retries-exhausted".into()));
+        }
+    }
+
+    // Canonical point order; points the deadline preempted before any
+    // attempt get an explicit synthesized record.
+    let out_points: Vec<(String, PointRecord)> = points
+        .iter()
+        .map(|point| {
+            let record = records.get(&point.key).cloned().unwrap_or_else(|| {
+                let reason = quarantined
+                    .iter()
+                    .find(|(k, _)| k == &point.key)
+                    .map_or("unknown", |(_, r)| r.as_str());
+                PointRecord::Failed {
+                    attempts: 0,
+                    error: format!("not run: {reason}"),
+                }
+            });
+            (point.key.clone(), record)
+        })
+        .collect();
+    let state = if quarantined.is_empty() {
+        "done"
+    } else if quarantined.len() == points.len() {
+        "failed"
+    } else {
+        "degraded"
+    };
+    progress(snapshot(&records, &quarantined, rounds_used, epochs, totals));
+    Ok(JobOutcome {
+        state: state.into(),
+        rounds: rounds_used,
+        quarantined,
+        points: out_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_spec() -> JobSpec {
+        JobSpec {
+            name: "micro".into(),
+            benches: vec!["astar".into()],
+            orgs: vec!["Baseline".into(), "CAMEO".into()],
+            scale: 4096,
+            cores: 1,
+            instructions: 20_000,
+            max_rounds: 2,
+            ..JobSpec::default()
+        }
+    }
+
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cameo-sweepd-sup-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn healthy_job_completes_done_with_trace_totals() {
+        let ckpt = temp_ckpt("healthy");
+        let mut snaps = Vec::new();
+        let outcome = run_job(
+            "job-a",
+            &micro_spec(),
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |s| snaps.push(s),
+        )
+        .expect("job runs");
+        assert_eq!(outcome.state, "done");
+        assert_eq!(outcome.rounds, 1);
+        assert!(outcome.quarantined.is_empty());
+        assert_eq!(outcome.points.len(), 2);
+        assert!(outcome
+            .points
+            .iter()
+            .all(|(_, r)| matches!(r, PointRecord::Done { .. })));
+        let last = snaps.last().expect("progress was reported");
+        assert_eq!(last.done, 2);
+        assert!(last.epochs > 0, "traced points report epochs");
+        assert!(
+            last.totals.serviced() > 0,
+            "CAMEO point services reads through the trace layer"
+        );
+        std::fs::remove_file(&ckpt).expect("cleanup");
+    }
+
+    #[test]
+    fn rerun_resumes_from_checkpoint_and_is_identical() {
+        let ckpt = temp_ckpt("resume");
+        let spec = micro_spec();
+        let first = run_job(
+            "job-b",
+            &spec,
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |_| {},
+        )
+        .expect("first run");
+        // Second run over the same checkpoint: everything resumes, and
+        // the outcome (state, records, order) is byte-for-byte the same.
+        let second = run_job(
+            "job-b",
+            &spec,
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |_| {},
+        )
+        .expect("second run");
+        assert_eq!(first, second);
+        std::fs::remove_file(&ckpt).expect("cleanup");
+    }
+
+    #[test]
+    fn watchdog_failures_quarantine_and_degrade() {
+        let ckpt = temp_ckpt("degraded");
+        let mut spec = micro_spec();
+        // A 1-cycle watchdog budget kills every fresh attempt; Baseline
+        // and CAMEO both fail, are retried once, then quarantined.
+        spec.watchdog_cycles = Some(1);
+        let outcome = run_job(
+            "job-c",
+            &spec,
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |_| {},
+        )
+        .expect("job completes despite failures");
+        assert_eq!(outcome.state, "failed", "every point quarantined");
+        assert_eq!(outcome.rounds, 2, "both rounds were consumed");
+        assert_eq!(outcome.quarantined.len(), 2);
+        assert!(outcome
+            .quarantined
+            .iter()
+            .all(|(_, reason)| reason == "retries-exhausted"));
+        std::fs::remove_file(&ckpt).expect("cleanup");
+    }
+
+    #[test]
+    fn circuit_breaker_stops_retry_rounds() {
+        let ckpt = temp_ckpt("breaker");
+        let mut spec = micro_spec();
+        spec.watchdog_cycles = Some(1);
+        spec.max_rounds = 5;
+        spec.breaker_limit = 2;
+        let outcome = run_job(
+            "job-d",
+            &spec,
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |_| {},
+        )
+        .expect("job completes");
+        assert_eq!(outcome.rounds, 1, "breaker tripped in the first round");
+        assert!(outcome
+            .quarantined
+            .iter()
+            .all(|(_, reason)| reason == "circuit-breaker"));
+        std::fs::remove_file(&ckpt).expect("cleanup");
+    }
+
+    #[test]
+    fn zero_deadline_quarantines_everything_up_front() {
+        let ckpt = temp_ckpt("deadline");
+        let mut spec = micro_spec();
+        spec.deadline_ms = Some(0);
+        let outcome = run_job(
+            "job-e",
+            &spec,
+            &ckpt,
+            &SupervisorOptions::default(),
+            &|| false,
+            &mut |_| {},
+        )
+        .expect("job completes");
+        assert_eq!(outcome.state, "failed");
+        assert!(outcome
+            .quarantined
+            .iter()
+            .all(|(_, reason)| reason == "deadline"));
+        // Never-run points carry an explicit synthesized record.
+        assert!(outcome.points.iter().all(
+            |(_, r)| matches!(r, PointRecord::Failed { attempts: 0, error } if error.starts_with("not run:"))
+        ));
+        // No point ever ran, so no checkpoint file was created.
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn drain_interrupts_between_batches() {
+        let ckpt = temp_ckpt("drain");
+        let err = run_job(
+            "job-f",
+            &micro_spec(),
+            &ckpt,
+            &SupervisorOptions {
+                batch_size: 1,
+                ..SupervisorOptions::default()
+            },
+            &|| true,
+            &mut |_| {},
+        )
+        .expect_err("drain wins before the first batch");
+        assert_eq!(err, SweepdError::Interrupted);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}

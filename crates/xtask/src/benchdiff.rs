@@ -1,0 +1,197 @@
+//! `cargo xtask bench-diff`: regression gate over the benchmark
+//! artifacts the sweep harness emits.
+//!
+//! The bench binaries write `cameo-bench-sweep/1` documents (see
+//! `crates/bench/src/perf.rs`) whose headline number is
+//! `accesses_per_sec` — simulated post-L3 accesses retired per host
+//! second, the throughput of the whole simulation stack. A reference
+//! artifact is checked in under `results/`; CI regenerates the artifact
+//! on every run and this module compares the two, failing when current
+//! throughput falls more than a threshold below the reference.
+//!
+//! Only relative *regressions* fail: faster-than-reference runs pass (a
+//! speedup just means the reference should be refreshed), and absolute
+//! values are never compared across machines — the reference is only
+//! meaningful against runs on comparable hardware, which is why the
+//! default threshold is a generous 15 %.
+
+use std::path::Path;
+
+use crate::json::{parse, Value};
+
+/// The schema `bench-diff` understands.
+pub const SWEEP_SCHEMA: &str = "cameo-bench-sweep/1";
+
+/// Default failure threshold: current throughput more than this many
+/// percent below the reference fails the gate.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+/// The fields `bench-diff` compares, extracted from one artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPerf {
+    /// The sweep label (`"fig13_speedup"` etc.).
+    pub sweep: String,
+    /// Simulated accesses retired per host second.
+    pub accesses_per_sec: f64,
+    /// Total simulated accesses (sanity context in reports).
+    pub sim_accesses: u64,
+    /// Points completed.
+    pub completed: u64,
+}
+
+impl SweepPerf {
+    /// Parses one `cameo-bench-sweep/1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = parse(text)?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some(SWEEP_SCHEMA) => {}
+            Some(other) => return Err(format!("schema mismatch: got {other:?}, want {SWEEP_SCHEMA:?}")),
+            None => return Err(format!("document has no schema (want {SWEEP_SCHEMA:?})")),
+        }
+        let field_f64 = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        };
+        let field_u64 = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        Ok(Self {
+            sweep: doc
+                .get("sweep")
+                .and_then(Value::as_str)
+                .ok_or("missing or non-string field \"sweep\"")?
+                .to_owned(),
+            accesses_per_sec: field_f64("accesses_per_sec")?,
+            sim_accesses: field_u64("sim_accesses")?,
+            completed: field_u64("completed")?,
+        })
+    }
+}
+
+/// The verdict of one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Human-readable comparison summary.
+    pub summary: String,
+    /// Whether the current run regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// Compares a current artifact against the reference at `threshold_pct`.
+///
+/// # Errors
+///
+/// Returns a description when either document is malformed, the sweeps
+/// differ, or the reference throughput is zero.
+pub fn compare(current: &SweepPerf, reference: &SweepPerf, threshold_pct: f64) -> Result<Verdict, String> {
+    if current.sweep != reference.sweep {
+        return Err(format!(
+            "sweep mismatch: current is {:?}, reference is {:?}",
+            current.sweep, reference.sweep
+        ));
+    }
+    if !reference.accesses_per_sec.is_finite() || reference.accesses_per_sec <= 0.0 {
+        return Err("reference accesses_per_sec is not positive".to_string());
+    }
+    let delta_pct = (current.accesses_per_sec / reference.accesses_per_sec - 1.0) * 100.0;
+    let regressed = delta_pct < -threshold_pct;
+    let direction = if delta_pct >= 0.0 { "faster" } else { "slower" };
+    let summary = format!(
+        "bench-diff [{}]: {:.0} vs {:.0} accesses/sec ({:+.1}% — {direction}; \
+         threshold -{threshold_pct:.0}%); {} accesses over {} point(s)",
+        current.sweep,
+        current.accesses_per_sec,
+        reference.accesses_per_sec,
+        delta_pct,
+        current.sim_accesses,
+        current.completed,
+    );
+    Ok(Verdict { summary, regressed })
+}
+
+/// File-level entry point: reads both artifacts and compares them.
+///
+/// # Errors
+///
+/// Returns a description on unreadable files or malformed documents.
+pub fn diff_files(current: &Path, reference: &Path, threshold_pct: f64) -> Result<Verdict, String> {
+    let read = |path: &Path| {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+    };
+    let current = SweepPerf::parse(&read(current)?)
+        .map_err(|e| format!("{}: {e}", current.display()))?;
+    let reference = SweepPerf::parse(&read(reference)?)
+        .map_err(|e| format!("{}: {e}", reference.display()))?;
+    compare(&current, &reference, threshold_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(sweep: &str, aps: f64) -> String {
+        format!(
+            "{{\"schema\":\"cameo-bench-sweep/1\",\"sweep\":\"{sweep}\",\"jobs\":1,\
+             \"points\":4,\"completed\":4,\"failed\":0,\"sim_accesses\":1000,\
+             \"accesses_per_sec\":{aps},\"cycles_per_sec\":1.5e9}}"
+        )
+    }
+
+    #[test]
+    fn parses_real_shaped_artifacts() {
+        let perf = SweepPerf::parse(&artifact("fig13_speedup", 1013525.67)).expect("parses");
+        assert_eq!(perf.sweep, "fig13_speedup");
+        assert!((perf.accesses_per_sec - 1013525.67).abs() < 1e-6);
+        assert_eq!(perf.completed, 4);
+        assert!(SweepPerf::parse("{\"schema\":\"other/1\"}").is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_the_threshold() {
+        let reference = SweepPerf::parse(&artifact("s", 1000.0)).expect("ref");
+        let ok = SweepPerf::parse(&artifact("s", 900.0)).expect("ok");
+        let verdict = compare(&ok, &reference, 15.0).expect("compare");
+        assert!(!verdict.regressed, "-10% is inside a 15% threshold");
+        assert!(verdict.summary.contains("-10.0%"), "{}", verdict.summary);
+
+        let slow = SweepPerf::parse(&artifact("s", 800.0)).expect("slow");
+        assert!(compare(&slow, &reference, 15.0).expect("compare").regressed);
+
+        let fast = SweepPerf::parse(&artifact("s", 2000.0)).expect("fast");
+        let verdict = compare(&fast, &reference, 15.0).expect("compare");
+        assert!(!verdict.regressed, "speedups never fail the gate");
+        assert!(verdict.summary.contains("faster"));
+    }
+
+    #[test]
+    fn mismatched_sweeps_and_zero_references_are_errors() {
+        let a = SweepPerf::parse(&artifact("a", 1.0)).expect("a");
+        let b = SweepPerf::parse(&artifact("b", 1.0)).expect("b");
+        assert!(compare(&a, &b, 15.0).is_err());
+        let zero = SweepPerf::parse(&artifact("a", 0.0)).expect("zero");
+        assert!(compare(&a, &zero, 15.0).is_err());
+    }
+
+    #[test]
+    fn diff_files_reads_the_checked_in_reference() {
+        // The repository's own reference artifact must stay parseable —
+        // this is the contract CI's bench-diff step relies on.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("workspace root");
+        let reference = root.join("results/BENCH_sweep.json");
+        if reference.is_file() {
+            let verdict =
+                diff_files(&reference, &reference, 15.0).expect("self-diff parses");
+            assert!(!verdict.regressed, "an artifact never regresses against itself");
+        }
+    }
+}

@@ -16,6 +16,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-diff") => bench_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -40,6 +41,9 @@ Tasks:
                       layering passes. Findings are gated against the
                       checked-in lint-baseline.json: anything fresh fails,
                       and so does a stale baseline entry.
+  bench-diff [opts]   Compare a fresh cameo-bench-sweep/1 artifact against
+                      the checked-in reference and fail on a throughput
+                      regression past the threshold.
   help                Show this message.
 
 Lint options:
@@ -52,6 +56,13 @@ Lint options:
   --baseline PATH     Baseline file (default: <root>/lint-baseline.json).
   --update-baseline   Rewrite the baseline to accept the current findings,
                       preserving reasons of surviving entries.
+
+Bench-diff options:
+  --current PATH      Fresh artifact (default: BENCH_sweep.json).
+  --reference PATH    Checked-in reference (default:
+                      <root>/results/BENCH_sweep.json).
+  --threshold PCT     Allowed slowdown in percent before failing
+                      (default: 15).
 
 Suppress a finding in place with `// lint: allow(<rule>)` (or
 `# lint: allow(<rule>)` in Cargo.toml) on the same line or alone on the
@@ -208,6 +219,61 @@ fn lint(flags: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Compares a fresh benchmark artifact against the checked-in reference,
+/// failing on a throughput regression past the threshold.
+fn bench_diff(flags: &[String]) -> ExitCode {
+    let mut current = PathBuf::from("BENCH_sweep.json");
+    let mut reference: Option<PathBuf> = None;
+    let mut threshold = xtask::benchdiff::DEFAULT_THRESHOLD_PCT;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        let result = match flag.as_str() {
+            "--current" => need("--current").map(|v| current = PathBuf::from(v)),
+            "--reference" => need("--reference").map(|v| reference = Some(PathBuf::from(v))),
+            "--threshold" => need("--threshold").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("`--threshold {v}` is not a number"))
+                    .map(|v| threshold = v)
+            }),
+            other => Err(format!("unknown flag `{other}` for `bench-diff`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("error: {msg}");
+            return ExitCode::from(USAGE_ERROR);
+        }
+    }
+    let reference = match reference {
+        Some(path) => path,
+        None => match workspace_root() {
+            Some(root) => root.join("results/BENCH_sweep.json"),
+            None => {
+                eprintln!("error: cannot locate the workspace root (no Cargo.toml found)");
+                return ExitCode::from(USAGE_ERROR);
+            }
+        },
+    };
+    match xtask::benchdiff::diff_files(&current, &reference, threshold) {
+        Ok(verdict) => {
+            println!("{}", verdict.summary);
+            if verdict.regressed {
+                eprintln!("error: throughput regressed more than {threshold}% below the reference");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(USAGE_ERROR)
+        }
     }
 }
 
