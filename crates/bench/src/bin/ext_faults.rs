@@ -226,7 +226,8 @@ mod faulted {
                 for &policy in &policies {
                     let key = point_key(bench.name, rate, policy);
                     grid.insert(key.clone(), (rate, policy));
-                    points.push(SweepPoint::new(bench.name, OrgKind::cameo_default()).with_key(key));
+                    points
+                        .push(SweepPoint::new(bench.name, OrgKind::cameo_default()).with_key(key));
                 }
             }
         }
@@ -264,6 +265,7 @@ mod faulted {
         let opts = SweepOptions {
             config: cli.config,
             jobs: cli.jobs,
+            chunk_accesses: cli.chunk,
             ..SweepOptions::default()
         };
         let report = match run_sweep_with(&points, &opts, flags.checkpoint.as_deref(), &build) {
@@ -326,7 +328,11 @@ mod faulted {
                 r.recovery.drops_recovered,
                 r.recovery.drops_unrecovered,
                 r.recovery.scrubs,
-                if r.degraded { "  [degraded to SAM]" } else { "" },
+                if r.degraded {
+                    "  [degraded to SAM]"
+                } else {
+                    ""
+                },
             );
         }
         println!(

@@ -92,6 +92,7 @@ fn main() {
         config: cli.config,
         max_attempts: 1,
         jobs: cli.jobs,
+        chunk_accesses: cli.chunk,
         ..SweepOptions::default()
     };
     let report = match run_sweep_with(&points, &opts, None, &build) {

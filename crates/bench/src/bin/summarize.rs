@@ -50,7 +50,9 @@ fn artifact_modes(args: Vec<String>) -> Vec<String> {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         if arg == "--perf-json" {
-            let path = it.next().unwrap_or_else(|| panic!("--perf-json needs a value"));
+            let path = it
+                .next()
+                .unwrap_or_else(|| panic!("--perf-json needs a value"));
             let doc = cameo_bench::perf::read_sweep_json(std::path::Path::new(&path))
                 .unwrap_or_else(|e| panic!("{e}"));
             println!("Host throughput — {path}\n");
@@ -58,7 +60,9 @@ fn artifact_modes(args: Vec<String>) -> Vec<String> {
             std::process::exit(0);
         }
         if arg == "--trace-json" {
-            let path = it.next().unwrap_or_else(|| panic!("--trace-json needs a value"));
+            let path = it
+                .next()
+                .unwrap_or_else(|| panic!("--trace-json needs a value"));
             trace_json_mode(std::path::Path::new(&path));
             std::process::exit(0);
         }
@@ -93,9 +97,16 @@ fn trace_json_mode(path: &std::path::Path) {
             .unwrap_or_else(|e| panic!("parsing {}: {e}", chrome.display()));
         match doc.get("traceEvents") {
             Some(cameo_sim::checkpoint::Json::Arr(items)) => {
-                eprintln!("[trace] {}: {} trace event(s)", chrome.display(), items.len());
+                eprintln!(
+                    "[trace] {}: {} trace event(s)",
+                    chrome.display(),
+                    items.len()
+                );
             }
-            other => panic!("{}: traceEvents missing or not an array: {other:?}", chrome.display()),
+            other => panic!(
+                "{}: traceEvents missing or not an array: {other:?}",
+                chrome.display()
+            ),
         }
     }
     println!("Epoch breakdown — {}\n", path.display());

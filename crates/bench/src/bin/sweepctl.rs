@@ -29,7 +29,8 @@ fn main() {
 
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {

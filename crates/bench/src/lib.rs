@@ -9,6 +9,8 @@
 //! --seed N           deterministic seed (default 42)
 //! --bench NAME       restrict to one benchmark (repeatable)
 //! --jobs N           parallel sweep workers (default: all host cores; 0 = auto)
+//! --chunk N          split each point into resumable chunks of N accesses so
+//!                    idle workers can steal long points (default: off)
 //! --bench-json PATH  write the machine-readable BENCH_sweep.json perf artifact
 //! --trace-out PATH   arm event tracing; write PATH (JSONL) + PATH.chrome.json
 //! --quick            small smoke-test configuration
@@ -48,6 +50,9 @@ pub struct Cli {
     /// Sweep worker threads (`--jobs`; defaults to the host's available
     /// parallelism).
     pub jobs: usize,
+    /// Chunked execution: simulated accesses per scheduling chunk
+    /// (`--chunk`); `None` drives each point to completion in one go.
+    pub chunk: Option<u64>,
     /// Where to write the `BENCH_sweep.json` perf artifact, if anywhere.
     pub bench_json: Option<PathBuf>,
     /// Where to write the JSONL event dump (`--trace-out`); the
@@ -76,6 +81,7 @@ impl Cli {
         let mut csv = false;
         let mut names: Vec<String> = Vec::new();
         let mut jobs = 0usize; // 0 = auto (available parallelism)
+        let mut chunk = None;
         let mut bench_json = None;
         let mut trace_out = None;
         let mut it = args.into_iter();
@@ -96,6 +102,7 @@ impl Cli {
                 "--ipc" => config.ipc = need(&mut it, "--ipc").parse().expect("--ipc"),
                 "--bench" => names.push(need(&mut it, "--bench")),
                 "--jobs" => jobs = need(&mut it, "--jobs").parse().expect("--jobs"),
+                "--chunk" => chunk = Some(need(&mut it, "--chunk").parse().expect("--chunk")),
                 "--bench-json" => {
                     bench_json = Some(PathBuf::from(need(&mut it, "--bench-json")));
                 }
@@ -111,7 +118,7 @@ impl Cli {
                 "--help" | "-h" => {
                     println!(
                         "flags: --scale N --cores N --instructions N --seed N --mlp N \
-                         --bench NAME (repeatable) --jobs N --bench-json PATH \
+                         --bench NAME (repeatable) --jobs N --chunk N --bench-json PATH \
                          --trace-out PATH --quick --csv"
                     );
                     std::process::exit(0);
@@ -127,9 +134,7 @@ impl Cli {
         } else {
             names
                 .iter()
-                .map(|n| {
-                    cameo_workloads::require(n).unwrap_or_else(|e| panic!("{e}"))
-                })
+                .map(|n| cameo_workloads::require(n).unwrap_or_else(|e| panic!("{e}")))
                 .collect()
         };
         if jobs == 0 {
@@ -140,6 +145,7 @@ impl Cli {
             csv,
             benches,
             jobs,
+            chunk,
             bench_json,
             trace_out,
         }
@@ -238,6 +244,7 @@ impl SpeedupGrid {
             config: cli.config,
             max_attempts: 1,
             jobs: cli.jobs,
+            chunk_accesses: cli.chunk,
             ..SweepOptions::default()
         };
         // `--trace-out` arms the recording sink; results are bit-identical
@@ -390,6 +397,12 @@ mod tests {
         let cli = args("--quick");
         assert_eq!(cli.config.scale, 512);
         assert_eq!(cli.config.cores, 2);
+    }
+
+    #[test]
+    fn chunk_parses_and_defaults_off() {
+        assert_eq!(args("--chunk 50000").chunk, Some(50_000));
+        assert_eq!(args("").chunk, None);
     }
 
     #[test]

@@ -25,6 +25,28 @@ use cameo_sim::SystemConfig;
 /// Schema identifier embedded in every artifact.
 pub const SCHEMA: &str = "cameo-bench-sweep/1";
 
+/// Per-point load imbalance: the ratio of the slowest to the fastest
+/// point's wall time, over points completed fresh in this run.
+///
+/// A ratio near 1 means the work-stealing pool kept every worker busy;
+/// a large ratio means one point dominated the sweep's wall clock (the
+/// situation point chunking exists to fix). `None` with fewer than two
+/// fresh completed points, or when a point's wall time is zero (clock
+/// granularity) — a ratio against ~0 ns is noise, not signal. Resumed
+/// points are excluded: they re-ran only the tail of their work, so
+/// their wall times are not comparable to fresh points'.
+pub fn imbalance(report: &SweepReport) -> Option<f64> {
+    let walls = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.resumed && matches!(o.record, PointRecord::Done { .. }))
+        .map(|o| o.wall_nanos);
+    let (min, max, n) = walls.fold((u64::MAX, 0u64, 0u64), |(lo, hi, n), w| {
+        (lo.min(w), hi.max(w), n + 1)
+    });
+    (n >= 2 && min > 0).then(|| max as f64 / min as f64)
+}
+
 /// Builds the artifact document for a finished sweep.
 pub fn sweep_json(
     sweep_name: &str,
@@ -39,7 +61,11 @@ pub fn sweep_json(
             Json::Null
         }
     };
-    let point_metrics: Vec<Json> = report.outcomes.iter().map(|o| point_json(o, &rate)).collect();
+    let point_metrics: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| point_json(o, &rate))
+        .collect();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("sweep".into(), Json::Str(sweep_name.into())),
@@ -70,6 +96,10 @@ pub fn sweep_json(
         (
             "cycles_per_sec".into(),
             rate(report.sim_cycles(), report.wall_nanos),
+        ),
+        (
+            "imbalance".into(),
+            imbalance(report).map_or(Json::Null, Json::F64),
         ),
         ("point_metrics".into(), Json::Arr(point_metrics)),
     ])
@@ -179,13 +209,21 @@ pub fn perf_table(doc: &Json) -> Table {
         }
     }
     let wall = u64_of(doc, "wall_nanos");
+    let imbalance_note = match doc.get("imbalance") {
+        Some(Json::F64(r)) => format!(" / imbalance {r:.2}x"),
+        _ => String::new(),
+    };
     table.row(vec![
-        format!("TOTAL ({}, --jobs {})", str_of(doc, "sweep"), u64_of(doc, "jobs")),
+        format!(
+            "TOTAL ({}, --jobs {})",
+            str_of(doc, "sweep"),
+            u64_of(doc, "jobs")
+        ),
         format!("{:.3}", seconds(wall)),
         u64_of(doc, "sim_accesses").to_string(),
         rate_cell(u64_of(doc, "sim_accesses"), wall),
         format!(
-            "{} done / {} failed / {} resumed",
+            "{} done / {} failed / {} resumed{imbalance_note}",
             u64_of(doc, "completed"),
             u64_of(doc, "failed"),
             u64_of(doc, "resumed"),
@@ -240,6 +278,44 @@ mod tests {
         assert!(rendered.contains("astar::Baseline"), "{rendered}");
         assert!(rendered.contains("TOTAL"), "{rendered}");
         std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    #[test]
+    fn imbalance_is_max_over_min_of_fresh_completed_walls() {
+        let config = SystemConfig {
+            scale: 8192,
+            cores: 2,
+            instructions_per_core: 20_000,
+            warmup_fraction: 0.2,
+            ..SystemConfig::default()
+        };
+        let opts = SweepOptions {
+            config,
+            max_attempts: 1,
+            ..SweepOptions::default()
+        };
+        let points = [
+            SweepPoint::new("astar", OrgKind::Baseline),
+            SweepPoint::new("mcf", OrgKind::Baseline),
+        ];
+        let mut report = run_sweep(&points, &opts, None).expect("no checkpoint I/O involved");
+        report.outcomes[0].wall_nanos = 100;
+        report.outcomes[1].wall_nanos = 250;
+        assert_eq!(imbalance(&report), Some(2.5));
+
+        let doc = sweep_json("unit-test", 1, &config, &report);
+        assert!(matches!(doc.get("imbalance"), Some(Json::F64(v)) if *v == 2.5));
+        let rendered = perf_table(&doc).to_string();
+        assert!(rendered.contains("imbalance 2.50x"), "{rendered}");
+
+        // A resumed point is excluded, leaving one fresh point: no ratio.
+        report.outcomes[1].resumed = true;
+        assert_eq!(imbalance(&report), None);
+
+        // Zero-wall points (clock granularity) yield no ratio either.
+        report.outcomes[1].resumed = false;
+        report.outcomes[1].wall_nanos = 0;
+        assert_eq!(imbalance(&report), None);
     }
 
     #[test]

@@ -270,10 +270,15 @@ pub fn read_trace_jsonl(path: &Path) -> Result<Vec<Json>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let value = Json::parse(line).map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        let value =
+            Json::parse(line).map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
         lines.push(value);
     }
-    match lines.first().and_then(|h| h.get("schema")).and_then(Json::as_str) {
+    match lines
+        .first()
+        .and_then(|h| h.get("schema"))
+        .and_then(Json::as_str)
+    {
         Some(SCHEMA) => Ok(lines),
         other => Err(format!(
             "{}: header schema is {other:?}, want {SCHEMA:?}",
@@ -399,12 +404,12 @@ mod tests {
         match doc.get("traceEvents") {
             Some(Json::Arr(events)) => {
                 assert!(!events.is_empty());
-                assert!(events.iter().any(|e| {
-                    e.get("ph").and_then(Json::as_str) == Some("C")
-                }));
-                assert!(events.iter().any(|e| {
-                    e.get("ph").and_then(Json::as_str) == Some("M")
-                }));
+                assert!(events
+                    .iter()
+                    .any(|e| { e.get("ph").and_then(Json::as_str) == Some("C") }));
+                assert!(events
+                    .iter()
+                    .any(|e| { e.get("ph").and_then(Json::as_str) == Some("M") }));
             }
             other => panic!("traceEvents missing: {other:?}"),
         }
@@ -417,7 +422,9 @@ mod tests {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("cameo_trace_bad_{}.jsonl", std::process::id()));
         std::fs::write(&path, "{\"schema\":\"other/9\"}\n").expect("tmp write");
-        assert!(read_trace_jsonl(&path).expect_err("wrong schema").contains("schema"));
+        assert!(read_trace_jsonl(&path)
+            .expect_err("wrong schema")
+            .contains("schema"));
         std::fs::write(
             &path,
             format!("{{\"schema\":\"{SCHEMA}\"}}\n{{\"kind\":\"ev"),

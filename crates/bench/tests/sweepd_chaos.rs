@@ -113,8 +113,8 @@ fn sigkill_mid_sweep_resumes_to_a_byte_identical_report() {
     let mut ref_daemon = spawn_daemon(&ref_socket, &ref_dir.join("data"), 0);
     wait_socket(&ref_socket);
     let ref_client = Client::new(&ref_socket);
-    let Ok(Response::Accepted { job, cached }) = ref_client
-        .request(&Request::Submit(Box::new(micro_spec())))
+    let Ok(Response::Accepted { job, cached }) =
+        ref_client.request(&Request::Submit(Box::new(micro_spec())))
     else {
         panic!("reference submit failed");
     };
@@ -186,10 +186,8 @@ fn resubmitting_a_finished_job_simulates_nothing() {
     assert!(checkpoint.exists(), "finished job left its checkpoint");
     std::fs::remove_file(&checkpoint).expect("drop checkpoint");
 
-    let Ok(Response::Accepted {
-        job: again,
-        cached,
-    }) = client.request(&Request::Submit(Box::new(micro_spec())))
+    let Ok(Response::Accepted { job: again, cached }) =
+        client.request(&Request::Submit(Box::new(micro_spec())))
     else {
         panic!("resubmit failed");
     };

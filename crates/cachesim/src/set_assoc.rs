@@ -145,19 +145,21 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    dirty: bool,
-    /// Policy-defined metadata: LRU timestamp or SRRIP RRPV.
-    meta: u64,
-}
+/// Per-way state flags, packed into one byte per way.
+const FLAG_VALID: u8 = 1 << 0;
+const FLAG_DIRTY: u8 = 1 << 1;
 
 /// Set-associative, write-back, write-allocate cache with a pluggable
 /// [`Replacement`] policy (true-LRU by default).
 ///
 /// Addresses are mapped as `set = line % sets`, `tag = line / sets`, so the
 /// original line address of a victim can be reconstructed for writeback.
+///
+/// Way state is stored structure-of-arrays — parallel `tags`, `meta`, and
+/// `flags` vectors indexed by `set * ways + way` — rather than a
+/// `Vec<Option<Way>>`. Tag probes (the hot path of every access) scan a
+/// dense `u64` run with no discriminant checks, and an entire 16-way set's
+/// flags fit in two words.
 ///
 /// # Examples
 ///
@@ -178,7 +180,12 @@ struct Way {
 pub struct SetAssocCache {
     config: CacheConfig,
     sets: u64,
-    ways: Vec<Option<Way>>,
+    /// Tag of each way (valid only where `flags` says so).
+    tags: Vec<u64>,
+    /// Policy-defined metadata: LRU timestamp or SRRIP RRPV.
+    meta: Vec<u64>,
+    /// [`FLAG_VALID`] | [`FLAG_DIRTY`] per way.
+    flags: Vec<u8>,
     clock: u64,
     policy: Replacement,
     rng: SmallRng,
@@ -202,7 +209,7 @@ impl SetAssocCache {
     /// Panics if the geometry is degenerate (see [`CacheConfig::sets`]).
     pub fn with_policy(config: CacheConfig, policy: Replacement) -> Self {
         let sets = config.sets();
-        let ways = vec![None; (sets * u64::from(config.ways)) as usize];
+        let total = (sets * u64::from(config.ways)) as usize;
         let seed = match policy {
             Replacement::Random { seed } => seed,
             _ => 0,
@@ -210,7 +217,9 @@ impl SetAssocCache {
         Self {
             config,
             sets,
-            ways,
+            tags: vec![0; total],
+            meta: vec![0; total],
+            flags: vec![0; total],
             clock: 0,
             policy,
             rng: SmallRng::seed_from_u64(seed),
@@ -250,13 +259,23 @@ impl SetAssocCache {
         start..start + self.config.ways as usize
     }
 
+    /// Index of the way holding `tag` in `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: u64, tag: u64) -> Option<usize> {
+        let range = self.set_range(set);
+        // A dense scan over the parallel arrays: tags of invalid ways are
+        // stale, so the flags word gates every candidate match.
+        self.tags[range.clone()]
+            .iter()
+            .zip(&self.flags[range.clone()])
+            .position(|(&t, &f)| f & FLAG_VALID != 0 && t == tag)
+            .map(|offset| range.start + offset)
+    }
+
     /// Probes without modifying state or statistics.
     pub fn contains(&self, line: LineAddr) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        self.ways[self.set_range(set)]
-            .iter()
-            .flatten()
-            .any(|w| w.tag == tag)
+        self.find_way(set, tag).is_some()
     }
 
     /// Accesses `line`, filling it on a miss (write-allocate) and returning
@@ -265,18 +284,16 @@ impl SetAssocCache {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.set_and_tag(line);
-        let range = self.set_range(set);
-        let set_ways = &mut self.ways[range];
-
         let policy = self.policy;
-        if let Some(way) = set_ways.iter_mut().flatten().find(|w| w.tag == tag) {
-            way.meta = match policy {
+
+        if let Some(idx) = self.find_way(set, tag) {
+            self.meta[idx] = match policy {
                 Replacement::Lru => clock,
                 Replacement::Random { .. } => 0,
                 // Hit promotion: predict near-immediate re-reference.
                 Replacement::Srrip => 0,
             };
-            way.dirty |= is_write;
+            self.flags[idx] |= FLAG_VALID | if is_write { FLAG_DIRTY } else { 0 };
             self.stats.hits += 1;
             return AccessOutcome {
                 hit: true,
@@ -285,51 +302,57 @@ impl SetAssocCache {
         }
 
         self.stats.misses += 1;
+        let range = self.set_range(set);
         // Fill: prefer an invalid way, else ask the policy for a victim.
-        let victim_idx = match set_ways.iter().position(Option::is_none) {
+        // Tie-breaking order is identical to the former array-of-structs
+        // scan (first invalid; first-minimal LRU timestamp) so sweep
+        // results stay bit-identical across the layout change.
+        let victim_offset = match self.flags[range.clone()]
+            .iter()
+            .position(|&f| f & FLAG_VALID == 0)
+        {
             Some(idx) => idx,
             None => match policy {
-                Replacement::Lru => set_ways
+                Replacement::Lru => self.meta[range.clone()]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.as_ref().map(|w| w.meta))
+                    .min_by_key(|&(_, &m)| m)
                     .map(|(idx, _)| idx)
                     .expect("cache set has at least one way"),
-                Replacement::Random { .. } => self.rng.gen_range(0..set_ways.len()),
+                Replacement::Random { .. } => self.rng.gen_range(0..range.len()),
                 Replacement::Srrip => {
                     // Find an RRPV-3 way, aging everyone until one appears.
+                    // All ways are valid here (no invalid way was found).
                     loop {
-                        if let Some(idx) = set_ways
-                            .iter()
-                            .position(|w| w.as_ref().is_some_and(|w| w.meta >= RRPV_MAX))
+                        if let Some(idx) =
+                            self.meta[range.clone()].iter().position(|&m| m >= RRPV_MAX)
                         {
                             break idx;
                         }
-                        for way in set_ways.iter_mut().flatten() {
-                            way.meta += 1;
+                        for m in &mut self.meta[range.clone()] {
+                            *m += 1;
                         }
                     }
                 }
             },
         };
-        let evicted = set_ways[victim_idx].map(|w| Eviction {
-            line: LineAddr::new(w.tag * self.sets + set),
-            dirty: w.dirty,
+        let victim = range.start + victim_offset;
+        let evicted = (self.flags[victim] & FLAG_VALID != 0).then(|| Eviction {
+            line: LineAddr::new(self.tags[victim] * self.sets + set),
+            dirty: self.flags[victim] & FLAG_DIRTY != 0,
         });
         if evicted.is_some_and(|e| e.dirty) {
             self.stats.dirty_evictions += 1;
         }
-        set_ways[victim_idx] = Some(Way {
-            tag,
-            dirty: is_write,
-            meta: match policy {
-                Replacement::Lru => clock,
-                Replacement::Random { .. } => 0,
-                // Fills are predicted to re-reference in a long interval —
-                // this is what makes SRRIP scan-resistant.
-                Replacement::Srrip => RRPV_LONG,
-            },
-        });
+        self.tags[victim] = tag;
+        self.flags[victim] = FLAG_VALID | if is_write { FLAG_DIRTY } else { 0 };
+        self.meta[victim] = match policy {
+            Replacement::Lru => clock,
+            Replacement::Random { .. } => 0,
+            // Fills are predicted to re-reference in a long interval —
+            // this is what makes SRRIP scan-resistant.
+            Replacement::Srrip => RRPV_LONG,
+        };
         AccessOutcome {
             hit: false,
             evicted,
@@ -339,19 +362,15 @@ impl SetAssocCache {
     /// Invalidates `line` if resident, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let (set, tag) = self.set_and_tag(line);
-        let range = self.set_range(set);
-        for way in &mut self.ways[range] {
-            if let Some(w) = way.filter(|w| w.tag == tag) {
-                *way = None;
-                return Some(w.dirty);
-            }
-        }
-        None
+        let idx = self.find_way(set, tag)?;
+        let dirty = self.flags[idx] & FLAG_DIRTY != 0;
+        self.flags[idx] = 0;
+        Some(dirty)
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().flatten().count()
+        self.flags.iter().filter(|&&f| f & FLAG_VALID != 0).count()
     }
 }
 

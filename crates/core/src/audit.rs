@@ -39,7 +39,11 @@ pub struct AuditError {
 
 impl fmt::Display for AuditError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invariant `{}` violated: {}", self.invariant, self.detail)
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
     }
 }
 

@@ -1,13 +1,13 @@
 //! The CAMEO memory controller: glues the LLT design and the location
 //! predictor to the two DRAM timing models.
 
-use cameo_memsim::DramConfig;
 #[cfg(not(feature = "faults"))]
 use cameo_memsim::Dram;
+use cameo_memsim::DramConfig;
 
-use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind, NopSink, TraceEvent, TraceSink};
 #[cfg(feature = "faults")]
 use cameo_types::RecoveryKind;
+use cameo_types::{Access, ByteSize, Cycle, LineAddr, MemKind, NopSink, TraceEvent, TraceSink};
 
 use crate::congruence::{div31, CongruenceMap};
 use crate::llp::{LineLocationPredictor, PredictionCase, PredictionCaseCounts};
@@ -277,7 +277,8 @@ impl<S: TraceSink> Cameo<S> {
     #[cfg(feature = "faults")]
     pub fn inject_faults(&mut self, cfg: cameo_memsim::faults::FaultConfig, seed: u64) {
         self.stacked.arm(cfg, seed);
-        self.off_chip.arm(cfg.transport_only(), seed ^ 0x5EED_F417_0FFC_419B);
+        self.off_chip
+            .arm(cfg.transport_only(), seed ^ 0x5EED_F417_0FFC_419B);
     }
 
     /// Selects the recovery policy applied to injected faults (default
@@ -555,7 +556,7 @@ impl<S: TraceSink> Cameo<S> {
                 self.recovery
                     .read_meta(&mut self.stacked, now, line, bytes, &mut self.sink);
             if let Some(bit) = escaped {
-                self.recovery.save_truth(group, *self.llt.entry(group));
+                self.recovery.save_truth(group, self.llt.entry(group));
                 self.llt.corrupt_entry_bit(group, bit);
             }
             if self.recovery.scrub_enabled() && !self.llt.entry(group).is_permutation() {

@@ -159,9 +159,15 @@ impl PredictionCaseCounts {
 #[derive(Clone, Debug)]
 pub struct LineLocationPredictor {
     entries_per_core: usize,
-    /// Last-observed slot per (core, pc-hash); 2 bits in hardware, a byte
-    /// here.
-    llrs: Vec<u8>,
+    /// Total LLRs across all core tables (`cores * entries_per_core`);
+    /// kept explicitly because `nibbles` rounds up to whole bytes.
+    llr_count: usize,
+    /// Last-observed slot per (core, pc-hash), nibble-packed two LLRs per
+    /// byte: LLR `i` lives in the low (even `i`) or high (odd `i`) nibble
+    /// of byte `i / 2`. The paper's slots are a 4-ary choice (2 bits); a
+    /// nibble leaves headroom for the simulator's wider ratios while still
+    /// quartering the byte-per-LLR footprint of the naive layout.
+    nibbles: Vec<u8>,
 }
 
 impl LineLocationPredictor {
@@ -177,11 +183,13 @@ impl LineLocationPredictor {
             entries_per_core.is_power_of_two(),
             "table size must be a power of two"
         );
+        let llr_count = usize::from(cores) * entries_per_core;
         Self {
             entries_per_core,
+            llr_count,
             // Slot 0 (stacked) is the cold-start prediction: serial access
             // is the safe default.
-            llrs: vec![0; usize::from(cores) * entries_per_core],
+            nibbles: vec![0; llr_count.div_ceil(2)],
         }
     }
 
@@ -196,23 +204,30 @@ impl LineLocationPredictor {
     ///
     /// Panics if `core` exceeds the configured core count.
     pub fn predict(&self, core: CoreId, pc: u64) -> Slot {
-        Slot::new(self.llrs[self.index(core, pc)])
+        let idx = self.index(core, pc);
+        Slot::new((self.nibbles[idx / 2] >> ((idx & 1) * 4)) & 0xF)
     }
 
     /// Trains the LLR with the slot the LLT actually reported.
     ///
     /// # Panics
     ///
-    /// Panics if `core` exceeds the configured core count.
+    /// Panics if `core` exceeds the configured core count, or if the slot
+    /// does not fit the nibble encoding (ratios above 16 — beyond any
+    /// configuration the simulator accepts).
     pub fn train(&mut self, core: CoreId, pc: u64, actual: Slot) {
+        let raw = actual.raw();
+        assert!(raw <= 0xF, "slot {raw} does not fit a packed LLR nibble");
         let idx = self.index(core, pc);
-        self.llrs[idx] = actual.raw();
+        let shift = (idx & 1) * 4;
+        let byte = &mut self.nibbles[idx / 2];
+        *byte = (*byte & !(0xF << shift)) | (raw << shift);
     }
 
     /// Hardware storage in bytes (2 bits per LLR), the paper's "512 bytes
     /// total" claim for 8 cores × 256 entries.
     pub fn storage_bytes(&self) -> usize {
-        self.llrs.len() * 2 / 8
+        self.llr_count * 2 / 8
     }
 
     /// Entries per core table.

@@ -185,10 +185,32 @@ impl LltEntry {
         }
         b
     }
+
+    /// The raw packed nibbles. The structure-of-arrays table stores only
+    /// this word per group; the ratio is table-wide.
+    #[inline]
+    pub(crate) fn packed_bits(&self) -> u32 {
+        self.packed
+    }
+
+    /// Reassembles an entry from its packed word and the table's ratio.
+    #[inline]
+    pub(crate) fn from_packed(packed: u32, ratio: u8) -> Self {
+        Self { packed, ratio }
+    }
 }
 
-/// The full Line Location Table: one [`LltEntry`] per congruence group,
+/// The full Line Location Table: one entry per congruence group,
 /// initialized to the identity mapping (paper Figure 5's starting state).
+///
+/// Storage is structure-of-arrays: the table keeps only each group's
+/// packed permutation word, with the (table-wide) ratio hoisted out of
+/// the per-group entries. An array-of-[`LltEntry`] costs 8 bytes per
+/// group (4 packed + 1 ratio + padding); the flat `Vec<u32>` costs 4 —
+/// halving the table's footprint and doubling how many groups fit per
+/// cache line on the per-access `locate` path, where the simulator
+/// spends most of its time. [`LltEntry`] remains the manipulation API;
+/// [`LineLocationTable::entry`] materializes one *by value* on demand.
 ///
 /// This is the *contents* of the table; where those contents physically
 /// live (SRAM, a reserved stacked region, or co-located LEADs) — and what
@@ -197,17 +219,20 @@ impl LltEntry {
 #[derive(Clone, Debug)]
 pub struct LineLocationTable {
     map: CongruenceMap,
-    entries: Vec<LltEntry>,
+    packed: Vec<u32>,
+    ratio: u8,
     swaps: u64,
 }
 
 impl LineLocationTable {
     /// Creates an identity-mapped table for `map`.
     pub fn new(map: CongruenceMap) -> Self {
-        let entries = vec![LltEntry::identity(map.ratio()); map.groups() as usize];
+        let ratio = map.ratio();
+        let identity = LltEntry::identity(ratio).packed_bits();
         Self {
             map,
-            entries,
+            packed: vec![identity; map.groups() as usize],
+            ratio,
             swaps: 0,
         }
     }
@@ -224,22 +249,23 @@ impl LineLocationTable {
         self.swaps
     }
 
-    /// Entry of `group`.
+    /// Entry of `group`, materialized by value from the packed store.
     ///
     /// # Panics
     ///
     /// Panics if `group` is out of range.
     #[inline]
-    pub fn entry(&self, group: u64) -> &LltEntry {
-        &self.entries[group as usize]
+    pub fn entry(&self, group: u64) -> LltEntry {
+        LltEntry::from_packed(self.packed[group as usize], self.ratio)
     }
 
-    /// Physical slot of a requested line.
+    /// Physical slot of a requested line: one 4-byte word read and a
+    /// nibble extract — the hot path of every post-L3 access.
     #[inline]
     pub fn locate(&self, line: LineAddr) -> Slot {
         let group = self.map.group_of(line);
         let way = self.map.way_of(line);
-        self.entries[group as usize].slot_of(way)
+        Slot::new(((self.packed[group as usize] >> (way * 4)) & 0xF) as u8)
     }
 
     /// Swaps `line` into its group's stacked slot, returning the requested
@@ -248,7 +274,9 @@ impl LineLocationTable {
     pub fn promote(&mut self, line: LineAddr) -> Option<(LineAddr, Slot)> {
         let group = self.map.group_of(line);
         let way = self.map.way_of(line);
-        let (displaced_way, slot) = self.entries[group as usize].promote(way)?;
+        let mut entry = self.entry(group);
+        let (displaced_way, slot) = entry.promote(way)?;
+        self.packed[group as usize] = entry.packed_bits();
         self.swaps += 1;
         Some((self.map.line_of(group, displaced_way), slot))
     }
@@ -261,7 +289,9 @@ impl LineLocationTable {
     /// Panics if `group` is out of range.
     #[cfg(feature = "faults")]
     pub fn corrupt_entry_bit(&mut self, group: u64, bit: u8) {
-        self.entries[group as usize].flip_bit(bit);
+        let mut entry = self.entry(group);
+        entry.flip_bit(bit);
+        self.packed[group as usize] = entry.packed_bits();
     }
 
     /// Overwrites `group`'s entry wholesale — the final step of a scrub
@@ -270,23 +300,29 @@ impl LineLocationTable {
     ///
     /// # Panics
     ///
-    /// Panics if `group` is out of range.
+    /// Panics if `group` is out of range, or if `entry` was built for a
+    /// different ratio than this table's.
     #[cfg(feature = "faults")]
     pub fn restore_entry(&mut self, group: u64, entry: LltEntry) {
-        self.entries[group as usize] = entry;
+        assert_eq!(
+            entry.ratio(),
+            self.ratio,
+            "restored entry must match the table's ratio"
+        );
+        self.packed[group as usize] = entry.packed_bits();
     }
 
     /// Fraction of groups still in their identity mapping (useful to watch
     /// swap churn in experiments).
     pub fn identity_fraction(&self) -> f64 {
-        let identity = LltEntry::identity(self.map.ratio());
-        let n = self.entries.iter().filter(|e| **e == identity).count();
-        n as f64 / self.entries.len() as f64
+        let identity = LltEntry::identity(self.ratio).packed_bits();
+        let n = self.packed.iter().filter(|&&p| p == identity).count();
+        n as f64 / self.packed.len() as f64
     }
 
     /// Storage the table would occupy with the paper's one-byte entries.
     pub fn storage_bytes(&self) -> u64 {
-        self.entries.len() as u64
+        self.packed.len() as u64
     }
 }
 

@@ -242,8 +242,7 @@ impl RecoveryState {
                         self.stats.retries += 1;
                         emit(RecoveryKind::Retry, sink, done);
                         let backoff = self.cfg.retry.map_or(0, |r| r.backoff_cycles);
-                        at = done
-                            + Cycle::new(DROP_TIMEOUT_CYCLES + backoff * u64::from(attempt));
+                        at = done + Cycle::new(DROP_TIMEOUT_CYCLES + backoff * u64::from(attempt));
                     } else {
                         self.stats.drops_unrecovered += 1;
                         emit(RecoveryKind::DropUnrecovered, sink, done);

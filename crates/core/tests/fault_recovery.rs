@@ -53,7 +53,10 @@ fn ecc_corrects_every_flip_and_invariants_hold() {
     let mut cameo = controller(RecoveryConfig::ecc_only());
     drive(&mut cameo, 200);
     let stats = cameo.recovery_stats();
-    assert!(stats.ecc_corrected > 0, "faults were injected and corrected");
+    assert!(
+        stats.ecc_corrected > 0,
+        "faults were injected and corrected"
+    );
     assert_eq!(stats.flips_escaped, 0, "SECDED catches single-bit flips");
     assert!(!cameo.degraded());
     #[cfg(feature = "deep-audit")]
@@ -89,10 +92,7 @@ fn unrecovered_corruption_is_detected_not_silent() {
     });
     match outcome {
         Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
             assert!(
                 msg.contains("deep-audit"),
                 "expected a deep-audit violation, got: {msg}"

@@ -493,12 +493,43 @@ pub fn render_record(key: &str, record: &PointRecord) -> String {
     Json::Obj(fields).render()
 }
 
-/// Parses one JSONL line into its `(key, record)` pair.
+/// Renders an in-flight progress marker for `key` as a single JSONL line
+/// (no trailing newline): `{"key":…,"status":"chunk","attempts":…}`.
+///
+/// A chunked sweep appends one of these the first time a point parks
+/// between chunks, so an operator inspecting a killed sweep's checkpoint
+/// can tell "was mid-run" from "never started". Progress markers carry no
+/// resumable state: loaders skip them and the point re-runs from scratch.
+pub fn render_progress(key: &str, attempts: u32) -> String {
+    Json::Obj(vec![
+        ("key".to_owned(), Json::Str(key.to_owned())),
+        ("status".to_owned(), Json::Str("chunk".to_owned())),
+        ("attempts".to_owned(), Json::U64(u64::from(attempts))),
+    ])
+    .render()
+}
+
+/// One parsed checkpoint line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CheckpointLine {
+    /// A terminal record: the point completed or failed for good.
+    Terminal(String, PointRecord),
+    /// A `"chunk"` progress marker (see [`render_progress`]): the keyed
+    /// point was in flight when the line was written.
+    Progress {
+        /// The in-flight point's checkpoint key.
+        key: String,
+        /// The attempt that was running when the marker was written.
+        attempts: u32,
+    },
+}
+
+/// Parses one JSONL line into a [`CheckpointLine`].
 ///
 /// # Errors
 ///
 /// Returns a description of the malformation.
-pub fn parse_record(line: &str) -> Result<(String, PointRecord), String> {
+pub fn parse_line(line: &str) -> Result<CheckpointLine, String> {
     let obj = Json::parse(line)?;
     let key = field_str(&obj, "key")?;
     let status = field_str(&obj, "status")?;
@@ -515,9 +546,26 @@ pub fn parse_record(line: &str) -> Result<(String, PointRecord), String> {
             attempts,
             error: field_str(&obj, "error")?,
         },
+        "chunk" => return Ok(CheckpointLine::Progress { key, attempts }),
         other => return Err(format!("unknown status {other:?}")),
     };
-    Ok((key, record))
+    Ok(CheckpointLine::Terminal(key, record))
+}
+
+/// Parses one JSONL line into its `(key, record)` pair. A well-formed
+/// progress marker is an error here — callers wanting terminal records
+/// only must not silently mistake "in flight" for a result.
+///
+/// # Errors
+///
+/// Returns a description of the malformation.
+pub fn parse_record(line: &str) -> Result<(String, PointRecord), String> {
+    match parse_line(line)? {
+        CheckpointLine::Terminal(key, record) => Ok((key, record)),
+        CheckpointLine::Progress { key, .. } => Err(format!(
+            "line is a chunk-progress marker for {key:?}, not a terminal record"
+        )),
+    }
 }
 
 /// Loads a checkpoint file into a key → record map.
@@ -607,9 +655,14 @@ fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
     }
     let mut loaded = empty();
     for (i, (start, line)) in lines.iter().enumerate() {
-        match parse_record(line) {
-            Ok((key, record)) => {
+        match parse_line(line) {
+            Ok(CheckpointLine::Terminal(key, record)) => {
                 loaded.records.insert(key, record);
+            }
+            Ok(CheckpointLine::Progress { .. }) => {
+                // In-flight marker from a chunked sweep that was killed:
+                // no result exists, so the point simply re-runs — which
+                // is exactly what "absent from the done-map" causes.
             }
             Err(_) if i + 1 == lines.len() => {
                 // Interrupted final append: resume will redo this point.
@@ -688,7 +741,22 @@ impl Writer {
     /// full disk (`StorageFull`) or short write (`WriteZero`) from a
     /// transient error.
     pub fn append(&self, key: &str, record: &PointRecord) -> Result<(), SimError> {
-        let mut line = render_record(key, record);
+        self.append_line(render_record(key, record))
+    }
+
+    /// Appends an in-flight progress marker (see [`render_progress`]) as
+    /// a single flushed line. Callable from any thread through a shared
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointIo`] on I/O failure, as
+    /// [`Writer::append`] does.
+    pub fn append_progress(&self, key: &str, attempts: u32) -> Result<(), SimError> {
+        self.append_line(render_progress(key, attempts))
+    }
+
+    fn append_line(&self, mut line: String) -> Result<(), SimError> {
         line.push('\n');
         let mut file = match self.file.lock() {
             Ok(guard) => guard,
@@ -884,6 +952,52 @@ mod tests {
             std::fs::read_to_string(&path).expect("tmp readable"),
             before,
             "mid-file corruption must be left for a human, not truncated"
+        );
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    #[test]
+    fn progress_marker_round_trips_and_is_not_a_record() {
+        let line = render_progress("mcf::CAMEO", 2);
+        assert_eq!(
+            parse_line(&line).expect("rendered progress parses"),
+            CheckpointLine::Progress {
+                key: "mcf::CAMEO".into(),
+                attempts: 2
+            }
+        );
+        let err = parse_record(&line).expect_err("progress is not a terminal record");
+        assert!(err.contains("chunk-progress"), "{err}");
+    }
+
+    /// Progress markers anywhere in the file — not just the tail — are
+    /// skipped by the loaders: a killed chunked sweep leaves them behind
+    /// and its in-flight points must simply re-run.
+    #[test]
+    fn load_skips_progress_markers() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_progress_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let writer = Writer::open(&path).expect("tmp dir is writable");
+        writer
+            .append_progress("a::x", 1)
+            .expect("progress appends like a record");
+        let rec = PointRecord::Failed {
+            attempts: 1,
+            error: "e".into(),
+        };
+        writer.append("b::y", &rec).expect("append succeeds");
+        writer
+            .append_progress("c::z", 3)
+            .expect("trailing progress marker");
+        let records = load(&path).expect("progress markers never corrupt a load");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records.get("b::y"), Some(&rec));
+        assert!(
+            load_and_repair(&path)
+                .expect("repair tolerates markers too")
+                .len()
+                == 1
         );
         std::fs::remove_file(&path).expect("tmp cleanup");
     }

@@ -210,9 +210,7 @@ pub fn build_org_traced(
     let off_chip = config.off_chip();
     let seed = config.seed ^ 0xBEEF;
     match kind {
-        OrgKind::Baseline | OrgKind::LhCache | OrgKind::DoubleUse => {
-            build_org(bench, kind, config)
-        }
+        OrgKind::Baseline | OrgKind::LhCache | OrgKind::DoubleUse => build_org(bench, kind, config),
         OrgKind::AlloyCache => Box::new(AlloyCacheOrg::with_sink(
             stacked,
             off_chip,
@@ -398,7 +396,12 @@ mod tests {
                 .expect("valid config")
                 .try_run(org.as_mut(), None)
                 .expect("run completes");
-            assert_eq!(plain, traced, "{}: tracing must not perturb results", kind.label());
+            assert_eq!(
+                plain,
+                traced,
+                "{}: tracing must not perturb results",
+                kind.label()
+            );
             let totals = sink.take().totals();
             assert!(totals.serviced() > 0, "{}: no service events", kind.label());
             // The epoch counters agree with the end-of-run aggregates for

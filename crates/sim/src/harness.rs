@@ -39,14 +39,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use cameo_types::{DetBuildHasher, SplitMix64};
-use cameo_workloads::BenchSpec;
+use cameo_workloads::{BenchSpec, TraceGenerator};
 
 use crate::checkpoint::{self, PointRecord};
 use crate::config::SystemConfig;
 use crate::error::SimError;
 use crate::experiments::{build_org, build_org_traced, OrgKind};
 use crate::org::MemoryOrganization;
-use crate::runner::Runner;
+use crate::runner::{RunSession, Runner, SessionStatus};
 use crate::stats::RunStats;
 use crate::trace::{SharedSink, TraceData, TraceOptions};
 
@@ -111,6 +111,16 @@ pub struct SweepOptions {
     /// count: points are independent and the report is assembled in
     /// input order.
     pub jobs: usize,
+    /// Split each point's event loop into chunks of at most this many
+    /// post-L3 accesses. Between chunks the point's whole state (its
+    /// organization plus the paused [`crate::runner::RunSession`]) parks
+    /// on the work queue, where *any* worker — usually an idle one — can
+    /// steal and resume it, so one long point no longer serializes a
+    /// sweep's tail. Results are bit-identical at any chunk size and any
+    /// job count: a chunk boundary changes which thread executes the next
+    /// access, never which access executes next. `None` (the default)
+    /// runs every point to completion in one piece.
+    pub chunk_accesses: Option<u64>,
 }
 
 impl Default for SweepOptions {
@@ -123,6 +133,7 @@ impl Default for SweepOptions {
             watchdog_cycles: None,
             quiet_panics: true,
             jobs: 1,
+            chunk_accesses: None,
         }
     }
 }
@@ -390,20 +401,55 @@ fn run_sweep_inner(
     // reaches the report.
     type ResultCell = Mutex<Option<(PointRecord, u64, Option<TraceData>)>>;
     let results: Vec<ResultCell> = pending.iter().map(|_| Mutex::new(None)).collect();
+    // One parked task per pending point. The cell holds `None` exactly
+    // while a worker runs a chunk of it — the pool guarantees a single
+    // holder, so these mutexes are never contended; they only ferry the
+    // state (organization + paused session) between workers.
+    let tasks: Vec<Mutex<Option<PointTask>>> = pending
+        .iter()
+        .map(|_| Mutex::new(Some(PointTask::new(opts))))
+        .collect();
     let checkpoint_failure: Mutex<Option<SimError>> = Mutex::new(None);
-    crate::pool::for_each_indexed(opts.jobs.max(1), pending.len(), |n, cancel| {
+    crate::pool::run_chunked(opts.jobs.max(1), pending.len(), |n, cancel| {
         let point = &points[pending[n]];
-        let point_start = Instant::now();
-        let (record, trace) = run_point(point, opts, build);
-        let wall_nanos = u64::try_from(point_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        if let Some(writer) = &writer {
-            if let Err(e) = writer.append(&point.key, &record) {
-                *lock(&checkpoint_failure) = Some(e);
-                cancel.cancel();
-                return;
+        let mut task = lock(&tasks[n])
+            .take()
+            .expect("the pool hands a parked task to exactly one worker at a time");
+        let chunk_start = Instant::now();
+        let outcome = run_chunk(point, opts, build, &mut task);
+        task.wall_nanos = task
+            .wall_nanos
+            .saturating_add(u64::try_from(chunk_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        match outcome {
+            ChunkOutcome::Terminal(record, trace) => {
+                if let Some(writer) = &writer {
+                    if let Err(e) = writer.append(&point.key, &record) {
+                        *lock(&checkpoint_failure) = Some(e);
+                        cancel.cancel();
+                        return crate::pool::TaskStatus::Done;
+                    }
+                }
+                *lock(&results[n]) = Some((record, task.wall_nanos, trace));
+                crate::pool::TaskStatus::Done
+            }
+            ChunkOutcome::InProgress => {
+                // First park of a chunked point: leave an in-flight
+                // marker so a killed sweep's checkpoint distinguishes
+                // "was mid-run" from "never started". Loaders skip it.
+                if !task.progress_written && opts.chunk_accesses.is_some() {
+                    task.progress_written = true;
+                    if let Some(writer) = &writer {
+                        if let Err(e) = writer.append_progress(&point.key, task.attempt) {
+                            *lock(&checkpoint_failure) = Some(e);
+                            cancel.cancel();
+                            return crate::pool::TaskStatus::Done;
+                        }
+                    }
+                }
+                *lock(&tasks[n]) = Some(task);
+                crate::pool::TaskStatus::Yield
             }
         }
-        *lock(&results[n]) = Some((record, wall_nanos, trace));
     });
     if let Some(e) = lock(&checkpoint_failure).take() {
         return Err(e);
@@ -465,9 +511,8 @@ pub fn retry_backoff_ms(seed: u64, key: &str, attempt: u32, base_ms: u64) -> u64
     let doublings = (attempt - 2).min(BACKOFF_MAX_DOUBLINGS);
     let ceiling = base_ms.saturating_mul(1u64 << doublings);
     let half = ceiling / 2;
-    let mut rng = SplitMix64::new(
-        seed ^ DetBuildHasher::default().hash_one(key) ^ u64::from(attempt),
-    );
+    let mut rng =
+        SplitMix64::new(seed ^ DetBuildHasher::default().hash_one(key) ^ u64::from(attempt));
     half + rng.below(ceiling - half + 1)
 }
 
@@ -481,31 +526,83 @@ pub fn retry_schedule(seed: u64, key: &str, max_attempts: u32, base_ms: u64) -> 
         .collect()
 }
 
-/// Runs one point to a terminal record: retries, scale reduction, backoff.
-/// Returns the recording of the successful attempt, when one was armed.
-fn run_point(
+/// The parked state of one pending point between chunks: everything the
+/// old single-shot `run_point` kept on its stack, lifted into a value so
+/// it can travel across workers on the work-stealing queue.
+struct PointTask {
+    /// Per-attempt configuration (`scale` shrinks on retries).
+    config: SystemConfig,
+    /// The attempt currently live (or about to start); 0 before the first.
+    attempt: u32,
+    /// Stringified error of the most recent failed attempt.
+    last_error: String,
+    /// Host wall-clock accumulated across this point's chunks.
+    wall_nanos: u64,
+    /// Whether the in-flight checkpoint marker was already appended.
+    progress_written: bool,
+    /// The live attempt, if one is mid-run.
+    active: Option<ActiveRun>,
+}
+
+impl PointTask {
+    fn new(opts: &SweepOptions) -> Self {
+        Self {
+            config: opts.config,
+            attempt: 0,
+            last_error: String::new(),
+            wall_nanos: 0,
+            progress_written: false,
+            active: None,
+        }
+    }
+}
+
+/// A mid-run attempt: the organization under test, its optional trace
+/// sink, and the paused event-loop session that resumes them.
+struct ActiveRun {
+    org: Box<dyn MemoryOrganization>,
+    sink: Option<SharedSink>,
+    session: RunSession<TraceGenerator>,
+}
+
+/// What one chunk invocation produced.
+enum ChunkOutcome {
+    /// The point reached a terminal record (done, or failed for good).
+    Terminal(PointRecord, Option<TraceData>),
+    /// The point parked mid-run (or between failed attempts); re-queue.
+    InProgress,
+}
+
+/// Runs one chunk of one point: starts the next attempt if none is live
+/// (applying the retry backoff and scale reduction first), then advances
+/// the live session by at most [`SweepOptions::chunk_accesses`] accesses.
+///
+/// With chunking off the first chunk carries the attempt to completion,
+/// so the terminal record matches the old single-shot path by
+/// construction — attempt accounting, backoff, scale reduction, panic
+/// capture and the event loop itself are the same code either way.
+fn run_chunk(
     point: &SweepPoint,
     opts: &SweepOptions,
     build: &TracedOrgBuilder<'_>,
-) -> (PointRecord, Option<TraceData>) {
-    let bench = match cameo_workloads::require(&point.bench) {
-        Ok(bench) => bench,
-        Err(e) => {
-            // Deterministic configuration error: retrying cannot help.
-            return (
-                PointRecord::Failed {
-                    attempts: 1,
-                    error: SimError::from(e).to_string(),
-                },
-                None,
-            );
-        }
-    };
-    let max_attempts = opts.max_attempts.max(1);
-    let mut config = opts.config;
-    let mut last_error = String::new();
-    for attempt in 1..=max_attempts {
-        if attempt > 1 {
+    task: &mut PointTask,
+) -> ChunkOutcome {
+    if task.active.is_none() {
+        let bench = match cameo_workloads::require(&point.bench) {
+            Ok(bench) => bench,
+            Err(e) => {
+                // Deterministic configuration error: retrying cannot help.
+                return ChunkOutcome::Terminal(
+                    PointRecord::Failed {
+                        attempts: 1,
+                        error: SimError::from(e).to_string(),
+                    },
+                    None,
+                );
+            }
+        };
+        task.attempt += 1;
+        if task.attempt > 1 {
             // Seeded exponential backoff with jitter before retry `n`
             // (see `retry_backoff_ms`). The sleep is compiled out of test
             // builds so harness tests never wall-block, whatever backoff
@@ -515,57 +612,110 @@ fn run_point(
                 std::thread::sleep(std::time::Duration::from_millis(retry_backoff_ms(
                     opts.config.seed,
                     &point.key,
-                    attempt,
+                    task.attempt,
                     opts.retry_backoff_ms,
                 )));
             }
-            config.scale = config.scale.saturating_mul(opts.retry_scale_factor.max(1));
+            task.config.scale = task
+                .config
+                .scale
+                .saturating_mul(opts.retry_scale_factor.max(1));
         }
-        match run_attempt(point, &bench, &config, opts, build) {
-            Ok((stats, trace)) => {
-                return (
-                    PointRecord::Done {
-                        attempts: attempt,
-                        stats: Box::new(stats),
-                    },
-                    trace,
-                )
+        match begin_attempt(point, &bench, &task.config, build) {
+            Ok(active) => task.active = Some(active),
+            Err(e) => {
+                task.last_error = e.to_string();
+                return fail_or_retry(task, opts);
             }
-            Err(e) => last_error = e.to_string(),
         }
     }
-    (
-        PointRecord::Failed {
-            attempts: max_attempts,
-            error: last_error,
-        },
-        None,
-    )
+    let budget = opts.chunk_accesses.map_or(u64::MAX, |c| c.max(1));
+    let active = task
+        .active
+        .as_mut()
+        .expect("a live attempt was ensured just above");
+    match step_attempt(point, active, opts.watchdog_cycles, budget) {
+        Ok(SessionStatus::Running) => ChunkOutcome::InProgress,
+        Ok(SessionStatus::Complete(stats)) => {
+            let trace = task
+                .active
+                .take()
+                .and_then(|active| active.sink)
+                .map(|sink| sink.take());
+            ChunkOutcome::Terminal(
+                PointRecord::Done {
+                    attempts: task.attempt,
+                    stats,
+                },
+                trace,
+            )
+        }
+        Err(e) => {
+            task.active = None;
+            task.last_error = e.to_string();
+            fail_or_retry(task, opts)
+        }
+    }
 }
 
-/// One crash-isolated attempt at one point. The builder arms a fresh sink
-/// per call, so a failed attempt's partial recording is simply dropped
-/// with its organization — the surviving recording covers exactly the
-/// successful run.
-fn run_attempt(
+/// After a failed attempt: terminal `Failed` once the attempt budget is
+/// spent, otherwise park so the next claim starts the next attempt.
+fn fail_or_retry(task: &mut PointTask, opts: &SweepOptions) -> ChunkOutcome {
+    let max_attempts = opts.max_attempts.max(1);
+    if task.attempt >= max_attempts {
+        ChunkOutcome::Terminal(
+            PointRecord::Failed {
+                attempts: max_attempts,
+                error: std::mem::take(&mut task.last_error),
+            },
+            None,
+        )
+    } else {
+        ChunkOutcome::InProgress
+    }
+}
+
+/// Crash-isolated start of one attempt: builds the organization (and
+/// sink) and runs the prefill transient, parking the session before its
+/// first access. The builder arms a fresh sink per call, so a failed
+/// attempt's partial recording is simply dropped with its organization —
+/// the surviving recording covers exactly the successful run.
+fn begin_attempt(
     point: &SweepPoint,
     bench: &BenchSpec,
     config: &SystemConfig,
-    opts: &SweepOptions,
     build: &TracedOrgBuilder<'_>,
-) -> Result<(RunStats, Option<TraceData>), SimError> {
+) -> Result<ActiveRun, SimError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let (mut org, sink) = build(point, config);
-        let stats = Runner::new(*bench, config)?.try_run(org.as_mut(), opts.watchdog_cycles)?;
-        Ok((stats, sink.map(|s| s.take())))
+        let session = Runner::new(*bench, config)?.start(org.as_mut())?;
+        Ok(ActiveRun { org, sink, session })
     }));
-    match attempt {
-        Ok(result) => result,
-        Err(payload) => Err(SimError::PointPanicked {
+    attempt.unwrap_or_else(|payload| {
+        Err(SimError::PointPanicked {
             key: point.key.clone(),
             message: panic_message(payload.as_ref()),
-        }),
-    }
+        })
+    })
+}
+
+/// Crash-isolated advance of a live attempt by at most `budget` accesses.
+fn step_attempt(
+    point: &SweepPoint,
+    active: &mut ActiveRun,
+    watchdog_cycles: Option<u64>,
+    budget: u64,
+) -> Result<SessionStatus, SimError> {
+    let ActiveRun { org, session, .. } = active;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        session.step(org.as_mut(), watchdog_cycles, budget)
+    }));
+    outcome.unwrap_or_else(|payload| {
+        Err(SimError::PointPanicked {
+            key: point.key.clone(),
+            message: panic_message(payload.as_ref()),
+        })
+    })
 }
 
 /// Extracts the human-readable panic message, when there is one.
@@ -609,9 +759,9 @@ impl Drop for QuietPanics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cameo_types::{Access, ByteSize, Cycle, PageAddr};
     use crate::org::OrgResult;
     use crate::stats::BandwidthReport;
+    use cameo_types::{Access, ByteSize, Cycle, PageAddr};
 
     fn quick_opts() -> SweepOptions {
         SweepOptions {
@@ -796,8 +946,8 @@ mod tests {
             jobs: 4,
             ..quick_opts()
         };
-        let parallel = run_sweep(&points, &parallel_opts, Some(&parallel_path))
-            .expect("tmp dir is writable");
+        let parallel =
+            run_sweep(&points, &parallel_opts, Some(&parallel_path)).expect("tmp dir is writable");
 
         assert_eq!(serial, parallel);
         assert_eq!(parallel.completed(), points.len());
@@ -833,8 +983,12 @@ mod tests {
         let path = dir.join(format!("cameo_sweep_kill_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         for i in [1, 3] {
-            checkpoint::append(&path, &truth.outcomes[i].point.key, &truth.outcomes[i].record)
-                .expect("tmp dir is writable");
+            checkpoint::append(
+                &path,
+                &truth.outcomes[i].point.key,
+                &truth.outcomes[i].record,
+            )
+            .expect("tmp dir is writable");
         }
 
         let resumed_opts = SweepOptions {
@@ -928,7 +1082,11 @@ mod tests {
                 ceiling / 2
             );
         }
-        assert_ne!(a, retry_schedule(43, "astar::CAMEO", 6, 100), "seed matters");
+        assert_ne!(
+            a,
+            retry_schedule(43, "astar::CAMEO", 6, 100),
+            "seed matters"
+        );
         assert_ne!(a, retry_schedule(42, "mcf::CAMEO", 6, 100), "key matters");
         assert!(retry_schedule(42, "astar::CAMEO", 1, 100).is_empty());
         assert_eq!(retry_schedule(42, "astar::CAMEO", 4, 0), vec![0, 0, 0]);

@@ -212,6 +212,10 @@ impl<S: TraceSink> MemoryOrganization for AlloyCacheOrg<S> {
         self.vmm.translate(page, false);
     }
 
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        self.vmm.translate_batch(pages, false);
+    }
+
     fn reset_stats(&mut self) {
         self.stacked.reset_stats();
         self.off_chip.reset_stats();

@@ -89,6 +89,10 @@ impl MemoryOrganization for BaselineOrg {
         self.vmm.translate(page, false);
     }
 
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        self.vmm.translate_batch(pages, false);
+    }
+
     fn reset_stats(&mut self) {
         self.off_chip.reset_stats();
         self.vmm.reset_stats();

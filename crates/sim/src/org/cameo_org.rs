@@ -192,6 +192,10 @@ impl<S: TraceSink> MemoryOrganization for CameoOrg<S> {
         self.vmm.translate(page, false);
     }
 
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        self.vmm.translate_batch(pages, false);
+    }
+
     fn reset_stats(&mut self) {
         self.cameo.reset_stats();
         self.vmm.reset_stats();

@@ -68,6 +68,10 @@ impl MemoryOrganization for DoubleUseOrg {
         self.inner.prefill(page);
     }
 
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        self.inner.prefill_batch(pages);
+    }
+
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }

@@ -223,6 +223,10 @@ impl MemoryOrganization for LohHillCacheOrg {
         self.vmm.translate(page, false);
     }
 
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        self.vmm.translate_batch(pages, false);
+    }
+
     fn reset_stats(&mut self) {
         self.stacked.reset_stats();
         self.off_chip.reset_stats();

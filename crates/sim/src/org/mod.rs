@@ -48,7 +48,11 @@ pub struct OrgResult {
 ///
 /// Accesses carry *virtual* line addresses; the organization performs its
 /// own translation, paging, and device routing.
-pub trait MemoryOrganization {
+///
+/// `Send` is a supertrait: the chunked sweep engine parks an in-progress
+/// point's organization between chunks and lets any worker resume it, so
+/// a boxed organization must be free to migrate across threads.
+pub trait MemoryOrganization: Send {
     /// Short label for reports (e.g. `"CAMEO"`, `"TLM-Dynamic"`).
     fn name(&self) -> &'static str;
 
@@ -85,6 +89,18 @@ pub trait MemoryOrganization {
     /// removes is the compulsory-fault transient that a short slice would
     /// otherwise overstate.
     fn prefill(&mut self, page: cameo_types::PageAddr);
+
+    /// Pre-touches a batch of virtual pages, in slice order, with
+    /// per-page effects identical to calling [`Self::prefill`] on each.
+    /// Organizations backed by a [`cameo_vmem::Vmm`] override this with
+    /// one batched translation call so the (large) prefill transient
+    /// pays the page-table sizing and dispatch cost once instead of per
+    /// page.
+    fn prefill_batch(&mut self, pages: &[cameo_types::PageAddr]) {
+        for &page in pages {
+            self.prefill(page);
+        }
+    }
 
     /// Clears all counters while keeping residency/mapping state — called
     /// when the measured region begins after warmup.

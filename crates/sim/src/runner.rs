@@ -143,6 +143,10 @@ impl<'a> Runner<'a> {
     /// monomorphizes on [`TraceGenerator`] and dispatches `next_event`
     /// statically instead of through a `Box<dyn MissStream>` vtable.
     ///
+    /// One unbounded [`RunSession::step`]: the chunked and unchunked
+    /// paths share every instruction of the event loop, which is what
+    /// makes chunked results bit-identical to this one.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::EmptyStreams`] if `streams` is empty, or
@@ -153,10 +157,96 @@ impl<'a> Runner<'a> {
         streams: Vec<S>,
         budget_cycles: Option<u64>,
     ) -> Result<RunStats, SimError> {
+        let mut session = RunSession::new(&self.bench, self.config, org, streams)?;
+        match session.step(org, budget_cycles, u64::MAX)? {
+            SessionStatus::Complete(stats) => Ok(*stats),
+            SessionStatus::Running => {
+                unreachable!("an unbounded step only returns once every core retired")
+            }
+        }
+    }
+
+    /// Starts a resumable session over the synthetic rate-mode streams:
+    /// the chunked-sweep entry point. The caller drives it with bounded
+    /// [`RunSession::step`] calls (possibly from different threads in
+    /// turn) until it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is invalid.
+    pub fn start(
+        &self,
+        org: &mut dyn MemoryOrganization,
+    ) -> Result<RunSession<TraceGenerator>, SimError> {
+        RunSession::new(&self.bench, self.config, org, self.build_streams())
+    }
+}
+
+/// What a bounded [`RunSession::step`] left behind.
+#[derive(Debug)]
+pub enum SessionStatus {
+    /// The access budget ran out with cores still active; step again.
+    Running,
+    /// Every core retired its instructions; the session is finished and
+    /// must not be stepped again. Boxed: the stats dwarf the `Running`
+    /// arm, and they head straight into [`PointRecord::Done`], which
+    /// stores them boxed anyway.
+    ///
+    /// [`PointRecord::Done`]: crate::checkpoint::PointRecord::Done
+    Complete(Box<RunStats>),
+}
+
+/// A paused, resumable run: the complete state of the runner's event loop
+/// between two post-L3 accesses.
+///
+/// Produced by [`Runner::start`] (or [`RunSession::new`] with explicit
+/// streams) after the prefill transient; each [`RunSession::step`] then
+/// services at most `max_accesses` events. The loop body is the *same
+/// code* the one-shot [`Runner::try_run_with_streams`] path executes, so
+/// a run split into chunks of any size retires the identical event
+/// sequence and produces bit-identical [`RunStats`] — the property the
+/// work-stealing sweep engine's determinism guarantee rests on. The
+/// session owns no organization: the caller passes `org` to every step,
+/// which is what lets a sweep worker park the pair and another worker
+/// steal and resume it.
+pub struct RunSession<S> {
+    bench: String,
+    cores: Vec<CoreState<S>>,
+    next_issue: Vec<u64>,
+    warmup_instr: u64,
+    total_instr: u64,
+    /// Divisor for the per-core instruction average (`cfg.cores`).
+    core_count: u64,
+    measuring: bool,
+    measure_offsets: Vec<Cycle>,
+    measure_instr_start: Vec<u64>,
+    demand_reads: u64,
+    demand_writes: u64,
+    faults: u64,
+    serviced_stacked: u64,
+    serviced_off_chip: u64,
+    read_latency_sum: u64,
+    latency_histogram: [u64; 24],
+}
+
+impl<S: MissStream> RunSession<S> {
+    /// Validates the configuration, runs the prefill transient through
+    /// `org`, and parks the event loop before its first access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on an invalid configuration and
+    /// [`SimError::EmptyStreams`] if `streams` is empty.
+    pub fn new(
+        bench: &BenchSpec,
+        cfg: &SystemConfig,
+        org: &mut dyn MemoryOrganization,
+        streams: Vec<S>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
         if streams.is_empty() {
             return Err(SimError::EmptyStreams);
         }
-        let cfg = self.config;
         let warmup_instr = (cfg.instructions_per_core as f64 * cfg.warmup_fraction) as u64;
         let total_instr = cfg.instructions_per_core;
 
@@ -164,19 +254,25 @@ impl<'a> Runner<'a> {
         // every copy (interleaved across cores so residency is fair when
         // the footprint exceeds memory) to absorb the compulsory-fault
         // transient that the paper's 20 B-instruction slices amortize away.
+        // The interleaved order is materialized first so one batched call
+        // covers the whole transient; the order (and therefore every
+        // placement decision) is exactly the per-page loop's.
         let prefill_lists: Vec<Vec<cameo_types::PageAddr>> =
             streams.iter().map(MissStream::prefill_pages).collect();
         let longest = prefill_lists.iter().map(Vec::len).max().unwrap_or(0);
+        let mut interleaved = Vec::with_capacity(prefill_lists.iter().map(Vec::len).sum());
         for i in 0..longest {
             for list in &prefill_lists {
                 if let Some(page) = list.get(i) {
-                    org.prefill(*page);
+                    interleaved.push(*page);
                 }
             }
         }
         drop(prefill_lists);
+        org.prefill_batch(&interleaved);
+        drop(interleaved);
 
-        let mut cores: Vec<CoreState<S>> = streams
+        let cores: Vec<CoreState<S>> = streams
             .into_iter()
             .map(|mut stream| {
                 let pending = stream.next_event();
@@ -192,26 +288,58 @@ impl<'a> Runner<'a> {
         // min-scanned by [`earliest_core`]. The projection includes
         // MLP-window stalls so device accesses are generated in
         // (approximately) nondecreasing time order.
-        let mut next_issue: Vec<u64> = cores
+        let next_issue: Vec<u64> = cores
             .iter()
             .map(|c| c.timeline.projected_issue(c.pending.gap_instructions).raw())
             .collect();
 
-        let mut measuring = warmup_instr == 0;
-        let mut measure_offsets: Vec<Cycle> = vec![Cycle::ZERO; cores.len()];
-        let mut measure_instr_start: Vec<u64> = vec![0; cores.len()];
-        let mut demand_reads = 0u64;
-        let mut demand_writes = 0u64;
-        let mut faults = 0u64;
-        let mut serviced_stacked = 0u64;
-        let mut serviced_off_chip = 0u64;
-        let mut read_latency_sum = 0u64;
-        let mut latency_histogram = [0u64; 24];
+        let core_len = cores.len();
+        Ok(Self {
+            bench: bench.name.to_owned(),
+            cores,
+            next_issue,
+            warmup_instr,
+            total_instr,
+            core_count: u64::from(cfg.cores),
+            measuring: warmup_instr == 0,
+            measure_offsets: vec![Cycle::ZERO; core_len],
+            measure_instr_start: vec![0; core_len],
+            demand_reads: 0,
+            demand_writes: 0,
+            faults: 0,
+            serviced_stacked: 0,
+            serviced_off_chip: 0,
+            read_latency_sum: 0,
+            latency_histogram: [0u64; 24],
+        })
+    }
 
-        while let Some(idx) = earliest_core(&next_issue) {
+    /// Services up to `max_accesses` post-L3 events, then pauses.
+    ///
+    /// Must be called with the same organization the session was created
+    /// over. After [`SessionStatus::Complete`] the session is spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogExpired`] when any core's issue clock
+    /// passes `budget_cycles` — the budget is over the *simulated* clock,
+    /// which is monotonic across steps, so passing the same budget to
+    /// every step bounds the whole run exactly as the one-shot path does.
+    pub fn step(
+        &mut self,
+        org: &mut dyn MemoryOrganization,
+        budget_cycles: Option<u64>,
+        max_accesses: u64,
+    ) -> Result<SessionStatus, SimError> {
+        let mut remaining = max_accesses;
+        while remaining > 0 {
+            let Some(idx) = earliest_core(&self.next_issue) else {
+                return Ok(SessionStatus::Complete(Box::new(self.finish(org))));
+            };
+            remaining -= 1;
             let finished_instructions;
             {
-                let core = &mut cores[idx];
+                let core = &mut self.cores[idx];
                 let event = core.pending;
                 core.timeline.advance(event.gap_instructions);
                 let issue = core.timeline.issue();
@@ -237,23 +365,23 @@ impl<'a> Runner<'a> {
                 if result.faulted {
                     // The OS runs; the core resumes when the page is in.
                     core.timeline.block_until(result.completion);
-                    if measuring {
-                        faults += 1;
+                    if self.measuring {
+                        self.faults += 1;
                     }
                 } else if !event.is_write {
                     core.timeline.complete_read(result.completion);
                 }
-                if measuring {
+                if self.measuring {
                     if event.is_write {
-                        demand_writes += 1;
+                        self.demand_writes += 1;
                     } else {
-                        demand_reads += 1;
+                        self.demand_reads += 1;
                         let lat = result.completion.saturating_sub(issue).raw();
-                        read_latency_sum += lat;
-                        latency_histogram[crate::stats::latency_bucket(lat)] += 1;
+                        self.read_latency_sum += lat;
+                        self.latency_histogram[crate::stats::latency_bucket(lat)] += 1;
                         match result.serviced_by {
-                            cameo_types::ServiceLocation::Stacked => serviced_stacked += 1,
-                            cameo_types::ServiceLocation::OffChip => serviced_off_chip += 1,
+                            cameo_types::ServiceLocation::Stacked => self.serviced_stacked += 1,
+                            cameo_types::ServiceLocation::OffChip => self.serviced_off_chip += 1,
                             cameo_types::ServiceLocation::Storage => {}
                         }
                     }
@@ -263,58 +391,69 @@ impl<'a> Runner<'a> {
 
             // Warmup boundary: once every core has crossed it, zero the
             // counters and record per-core time offsets.
-            if !measuring
-                && cores
+            if !self.measuring
+                && self
+                    .cores
                     .iter()
-                    .all(|c| c.timeline.instructions() >= warmup_instr)
+                    .all(|c| c.timeline.instructions() >= self.warmup_instr)
             {
-                measuring = true;
+                self.measuring = true;
                 org.reset_stats();
-                for (i, c) in cores.iter().enumerate() {
-                    measure_offsets[i] = c.timeline.time();
-                    measure_instr_start[i] = c.timeline.instructions();
+                for (i, c) in self.cores.iter().enumerate() {
+                    self.measure_offsets[i] = c.timeline.time();
+                    self.measure_instr_start[i] = c.timeline.instructions();
                 }
             }
 
-            if finished_instructions < total_instr {
-                let core = &mut cores[idx];
+            if finished_instructions < self.total_instr {
+                let core = &mut self.cores[idx];
                 core.pending = core.stream.next_event();
-                next_issue[idx] = core
+                self.next_issue[idx] = core
                     .timeline
                     .projected_issue(core.pending.gap_instructions)
                     .raw();
             } else {
-                next_issue[idx] = CORE_DONE;
+                self.next_issue[idx] = CORE_DONE;
             }
         }
+        if earliest_core(&self.next_issue).is_none() {
+            // The budget ran out exactly at retirement; finish now rather
+            // than making the caller pay a whole extra chunk round-trip.
+            return Ok(SessionStatus::Complete(Box::new(self.finish(org))));
+        }
+        Ok(SessionStatus::Running)
+    }
 
-        // Drain and measure. Instructions are reported as the per-core
-        // average so that CPI is a per-core figure (rate-mode variance
-        // across copies is negligible, as the paper notes).
+    /// Drains the timelines and assembles the measured-region statistics.
+    fn finish(&mut self, org: &mut dyn MemoryOrganization) -> RunStats {
+        // Instructions are reported as the per-core average so that CPI is
+        // a per-core figure (rate-mode variance across copies is
+        // negligible, as the paper notes).
         let mut execution_cycles = 0u64;
         let mut instructions_total = 0u64;
-        for (i, core) in cores.iter_mut().enumerate() {
+        for (i, core) in self.cores.iter_mut().enumerate() {
             let end = core.timeline.drain();
-            execution_cycles = execution_cycles.max(end.saturating_sub(measure_offsets[i]).raw());
-            instructions_total += core.timeline.instructions() - measure_instr_start[i];
+            execution_cycles =
+                execution_cycles.max(end.saturating_sub(self.measure_offsets[i]).raw());
+            instructions_total += core.timeline.instructions() - self.measure_instr_start[i];
         }
-        let instructions = instructions_total / u64::from(cfg.cores);
+        let instructions = instructions_total / self.core_count;
 
         let stats = RunStats {
             org: org.name().to_owned(),
-            bench: self.bench.name.to_owned(),
+            bench: self.bench.clone(),
             execution_cycles: execution_cycles.max(1),
             instructions: instructions.max(1),
-            demand_reads,
-            demand_writes,
-            serviced_stacked,
-            serviced_off_chip,
-            faults,
+            demand_reads: self.demand_reads,
+            demand_writes: self.demand_writes,
+            serviced_stacked: self.serviced_stacked,
+            serviced_off_chip: self.serviced_off_chip,
+            faults: self.faults,
             bandwidth: org.bandwidth(),
             cases: org.prediction_cases(),
             migrated_pages: org.migrated_pages(),
-            read_latency_sum,
-            latency_histogram,
+            read_latency_sum: self.read_latency_sum,
+            latency_histogram: self.latency_histogram,
         };
         #[cfg(feature = "deep-audit")]
         if let Err(violation) = stats.audit() {
@@ -322,7 +461,7 @@ impl<'a> Runner<'a> {
             // aborting the audited run is the point. lint: allow(no-panic)
             panic!("deep-audit: run statistics inconsistent: {violation}");
         }
-        Ok(stats)
+        stats
     }
 }
 
@@ -330,7 +469,6 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use crate::org::BaselineOrg;
-    
 
     fn quick_config() -> SystemConfig {
         SystemConfig {
@@ -409,7 +547,10 @@ mod tests {
         ));
         // A generous budget completes normally.
         let stats = runner("astar", &cfg)
-            .try_run(&mut BaselineOrg::new(cfg.off_chip(), cfg.seed), Some(u64::MAX))
+            .try_run(
+                &mut BaselineOrg::new(cfg.off_chip(), cfg.seed),
+                Some(u64::MAX),
+            )
             .expect("u64::MAX budget never trips");
         assert!(stats.demand_reads > 0);
     }
@@ -419,7 +560,11 @@ mod tests {
         let cfg = quick_config();
         let mut org = BaselineOrg::new(cfg.off_chip(), cfg.seed);
         let err = runner("astar", &cfg)
-            .try_run_with_streams(&mut org, Vec::<cameo_workloads::TraceGenerator>::new(), None)
+            .try_run_with_streams(
+                &mut org,
+                Vec::<cameo_workloads::TraceGenerator>::new(),
+                None,
+            )
             .expect_err("no streams to drive");
         assert_eq!(err, crate::error::SimError::EmptyStreams);
     }

@@ -185,6 +185,69 @@ impl EpochSeries {
     }
 }
 
+/// Events per [`EventBuffer`] block. 1024 pairs is ~16 KB per block —
+/// large enough to amortize the per-block allocation, small enough that a
+/// short recording does not reserve a `max_events`-sized arena up front.
+const EVENT_BLOCK: usize = 1024;
+
+/// Arena-backed raw event stream: a list of fixed-capacity blocks instead
+/// of one contiguous `Vec`.
+///
+/// A growing `Vec` doubles by reallocate-and-copy, so a near-cap recording
+/// copies every retained event O(log n) times and briefly holds 1.5× the
+/// stream in memory mid-reallocation — per in-flight sweep point, with the
+/// work-stealing pool keeping several points' recordings alive at once.
+/// Blocks never move once allocated: a push is amortized one pointer bump,
+/// and memory grows in `EVENT_BLOCK` steps instead of doubling.
+///
+/// Iterate with `for (now, event) in &buffer` (emission order).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct EventBuffer {
+    blocks: Vec<Vec<(Cycle, TraceEvent)>>,
+    len: usize,
+}
+
+impl EventBuffer {
+    /// Retained events across all blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one event, opening a fresh block when the last is full.
+    fn push(&mut self, now: Cycle, event: TraceEvent) {
+        if self.blocks.last().is_none_or(|b| b.len() == EVENT_BLOCK) {
+            self.blocks.push(Vec::with_capacity(EVENT_BLOCK));
+        }
+        let block = self
+            .blocks
+            .last_mut()
+            .expect("a block exists: one was pushed above when absent or full");
+        block.push((now, event));
+        self.len += 1;
+    }
+
+    /// The retained `(cycle, event)` pairs in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Cycle, TraceEvent)> {
+        self.blocks.iter().flatten()
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBuffer {
+    type Item = &'a (Cycle, TraceEvent);
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<(Cycle, TraceEvent)>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter().flatten()
+    }
+}
+
 /// Everything an armed trace run recorded: the epoch series, the bounded
 /// raw event stream, and how many events overflowed the retention cap.
 #[derive(Clone, PartialEq, Debug)]
@@ -193,7 +256,7 @@ pub struct TraceData {
     pub epochs: EpochSeries,
     /// Raw `(cycle, event)` pairs, in emission order, capped at
     /// [`TraceOptions::max_events`].
-    pub events: Vec<(Cycle, TraceEvent)>,
+    pub events: EventBuffer,
     /// Events that exceeded the cap (still counted in `epochs`).
     pub dropped_events: u64,
     opts: TraceOptions,
@@ -204,7 +267,7 @@ impl TraceData {
     pub fn new(opts: TraceOptions) -> Self {
         Self {
             epochs: EpochSeries::new(opts.epoch_cycles),
-            events: Vec::new(),
+            events: EventBuffer::default(),
             dropped_events: 0,
             opts,
         }
@@ -220,7 +283,7 @@ impl TraceData {
         self.epochs.record(now, &event);
         if self.opts.capture_events {
             if self.events.len() < self.opts.max_events {
-                self.events.push((now, event));
+                self.events.push(now, event);
             } else {
                 self.dropped_events += 1;
             }

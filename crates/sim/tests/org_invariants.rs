@@ -21,7 +21,11 @@ fn latency_histogram_partitions_reads() {
         OrgKind::cameo_default(),
         OrgKind::AlloyCache,
     ] {
-        let stats = run_benchmark(&require("xalancbmk").expect("suite benchmark"), kind, &cfg());
+        let stats = run_benchmark(
+            &require("xalancbmk").expect("suite benchmark"),
+            kind,
+            &cfg(),
+        );
         let total: u64 = stats.latency_histogram.iter().sum();
         assert_eq!(total, stats.demand_reads, "{}", kind.label());
         // Average falls inside the histogram's support.
@@ -178,8 +182,12 @@ fn org_reuse_via_runner_is_fresh() {
     let config = cfg();
     let mut a = build_org(&bench, OrgKind::TlmDynamic, &config);
     let mut b = build_org(&bench, OrgKind::TlmDynamic, &config);
-    let ra = Runner::new(bench, &config).expect("valid test config").run(a.as_mut());
-    let rb = Runner::new(bench, &config).expect("valid test config").run(b.as_mut());
+    let ra = Runner::new(bench, &config)
+        .expect("valid test config")
+        .run(a.as_mut());
+    let rb = Runner::new(bench, &config)
+        .expect("valid test config")
+        .run(b.as_mut());
     assert_eq!(ra.execution_cycles, rb.execution_cycles);
     assert_eq!(ra.migrated_pages, rb.migrated_pages);
 }
@@ -209,7 +217,9 @@ fn heterogeneous_streams_run() {
         .collect();
     let bench = require("gcc").expect("suite benchmark");
     let mut org = build_org(&bench, OrgKind::cameo_default(), &config);
-    let stats = Runner::new(bench, &config).expect("valid test config").run_with_streams(org.as_mut(), streams);
+    let stats = Runner::new(bench, &config)
+        .expect("valid test config")
+        .run_with_streams(org.as_mut(), streams);
     assert!(stats.demand_reads > 0);
     assert!(stats.execution_cycles > 0);
     assert_eq!(

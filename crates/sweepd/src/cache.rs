@@ -77,7 +77,9 @@ impl ResultCache {
     /// Returns [`SweepdError::Io`] if the directory cannot be created.
     pub fn open(dir: &Path) -> Result<Self, SweepdError> {
         std::fs::create_dir_all(dir).map_err(|e| io_error(dir, "create_dir", &e))?;
-        Ok(Self { dir: dir.to_owned() })
+        Ok(Self {
+            dir: dir.to_owned(),
+        })
     }
 
     /// The file a job's report lives in.
@@ -168,8 +170,7 @@ impl ResultCache {
         }
         let tmp = self.dir.join(format!("{job}.tmp"));
         {
-            let mut file =
-                std::fs::File::create(&tmp).map_err(|e| io_error(&tmp, "create", &e))?;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_error(&tmp, "create", &e))?;
             file.write_all(text.as_bytes())
                 .map_err(|e| io_error(&tmp, "write", &e))?;
             file.flush().map_err(|e| io_error(&tmp, "flush", &e))?;

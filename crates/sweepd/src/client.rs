@@ -40,8 +40,8 @@ impl Client {
     /// [`SweepdError::Io`] if the socket cannot be reached or times out;
     /// [`SweepdError::Protocol`] if the response line is malformed.
     pub fn request(&self, request: &Request) -> Result<Response, SweepdError> {
-        let stream = UnixStream::connect(&self.socket)
-            .map_err(|e| io_error(&self.socket, "connect", &e))?;
+        let stream =
+            UnixStream::connect(&self.socket).map_err(|e| io_error(&self.socket, "connect", &e))?;
         stream
             .set_read_timeout(Some(IO_TIMEOUT))
             .map_err(|e| io_error(&self.socket, "configure", &e))?;

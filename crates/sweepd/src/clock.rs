@@ -30,7 +30,8 @@ impl Deadline {
     /// Whether the armed limit has passed.
     #[must_use]
     pub fn expired(&self) -> bool {
-        self.limit.is_some_and(|limit| self.started.elapsed() >= limit)
+        self.limit
+            .is_some_and(|limit| self.started.elapsed() >= limit)
     }
 
     /// Milliseconds since the deadline was armed.

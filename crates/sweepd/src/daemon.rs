@@ -364,21 +364,12 @@ fn executor(state: &DaemonState) {
                     entry.state = "running".into();
                     break (job, entry.spec.clone());
                 }
-                shared = state
-                    .wake
-                    .wait(shared)
-                    .expect("daemon mutex poisoned");
+                shared = state.wake.wait(shared).expect("daemon mutex poisoned");
             }
         };
 
         let checkpoint = state.jobs_dir.join(format!("{job}.ckpt.jsonl"));
-        let should_stop = || {
-            state
-                .shared
-                .lock()
-                .expect("daemon mutex poisoned")
-                .draining
-        };
+        let should_stop = || state.shared.lock().expect("daemon mutex poisoned").draining;
         let mut progress = |snapshot: ProgressSnapshot| {
             let mut shared = state.shared.lock().expect("daemon mutex poisoned");
             if let Some(entry) = shared.entries.iter_mut().find(|e| e.job == job) {
@@ -520,10 +511,8 @@ mod tests {
             assert_eq!(points.len(), 2);
 
             // Identical resubmission: served from cache, no simulation.
-            let Ok(Response::Accepted {
-                job: again,
-                cached,
-            }) = client.request(&Request::Submit(Box::new(spec.clone())))
+            let Ok(Response::Accepted { job: again, cached }) =
+                client.request(&Request::Submit(Box::new(spec.clone())))
             else {
                 panic!("resubmit failed");
             };
@@ -574,8 +563,7 @@ mod tests {
                 panic!("post-restart submit failed");
             };
             assert!(cached, "cache survives the restart");
-            let Ok(Response::Health { finished, .. }) = client.request(&Request::Health)
-            else {
+            let Ok(Response::Health { finished, .. }) = client.request(&Request::Health) else {
                 panic!("health failed");
             };
             assert!(finished >= 2, "journal replay restored finished jobs");
@@ -606,10 +594,7 @@ mod tests {
                 data_dir: dir.join("data2"),
                 ..opts.clone()
             };
-            assert!(matches!(
-                run(&second),
-                Err(SweepdError::AlreadyRunning(_))
-            ));
+            assert!(matches!(run(&second), Err(SweepdError::AlreadyRunning(_))));
             let client = Client::new(&opts.socket);
             assert!(matches!(
                 client.request(&Request::Drain),

@@ -147,8 +147,7 @@ impl Journal {
     pub fn open(path: &Path) -> Result<(Self, Vec<JournalEvent>), SweepdError> {
         let mut events = Vec::new();
         if path.exists() {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| io_error(path, "read", &e))?;
+            let text = std::fs::read_to_string(path).map_err(|e| io_error(path, "read", &e))?;
             let mut offset = 0u64;
             let mut torn_tail: Option<u64> = None;
             for piece in text.split_inclusive('\n') {
@@ -182,7 +181,8 @@ impl Journal {
                     .write(true)
                     .open(path)
                     .map_err(|e| io_error(path, "truncate", &e))?;
-                file.set_len(tail).map_err(|e| io_error(path, "truncate", &e))?;
+                file.set_len(tail)
+                    .map_err(|e| io_error(path, "truncate", &e))?;
             }
         }
         let file = OpenOptions::new()
@@ -265,7 +265,10 @@ mod tests {
         assert_eq!(recovered.unfinished[0].0, "j2");
         assert_eq!(recovered.finished.len(), 1);
         assert_eq!(recovered.finished[0].0, "j1");
-        assert_eq!(recovered.finished[0].1.name, "first", "spec survives recovery");
+        assert_eq!(
+            recovered.finished[0].1.name, "first",
+            "spec survives recovery"
+        );
         assert_eq!(recovered.finished[0].2, "done");
         std::fs::remove_file(&path).expect("cleanup");
     }

@@ -578,8 +578,7 @@ impl Response {
 /// [`render_record`] produces as a line).
 #[must_use]
 pub fn record_to_json(key: &str, record: &PointRecord) -> Json {
-    Json::parse(&render_record(key, record))
-        .expect("render_record always produces parseable JSON")
+    Json::parse(&render_record(key, record)).expect("render_record always produces parseable JSON")
 }
 
 /// Required string field.

@@ -117,10 +117,10 @@ pub fn run_job(
         watchdog_cycles: spec.watchdog_cycles,
         quiet_panics: true,
         jobs: opts.jobs,
+        chunk_accesses: None,
     };
 
-    let is_quarantined =
-        |q: &[(String, String)], key: &str| q.iter().any(|(k, _)| k == key);
+    let is_quarantined = |q: &[(String, String)], key: &str| q.iter().any(|(k, _)| k == key);
     let snapshot = |records: &DetHashMap<String, PointRecord>,
                     quarantined: &[(String, String)],
                     round: u64,
@@ -283,7 +283,13 @@ pub fn run_job(
     } else {
         "degraded"
     };
-    progress(snapshot(&records, &quarantined, rounds_used, epochs, totals));
+    progress(snapshot(
+        &records,
+        &quarantined,
+        rounds_used,
+        epochs,
+        totals,
+    ));
     Ok(JobOutcome {
         state: state.into(),
         rounds: rounds_used,
@@ -311,7 +317,10 @@ mod tests {
 
     fn temp_ckpt(tag: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("cameo-sweepd-sup-{tag}-{}.jsonl", std::process::id()));
+        p.push(format!(
+            "cameo-sweepd-sup-{tag}-{}.jsonl",
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&p);
         p
     }

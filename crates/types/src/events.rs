@@ -138,7 +138,11 @@ impl TraceEvent {
 /// Implementations with `ENABLED == false` must treat [`TraceSink::emit`]
 /// as unreachable; emission sites guard on the constant, so a disabled
 /// sink's `emit` body is never monomorphized into the hot path.
-pub trait TraceSink {
+///
+/// `Send` is a supertrait: sinks live inside memory organizations, and the
+/// chunked sweep engine migrates a paused organization (sink and all) to
+/// whichever worker resumes its point.
+pub trait TraceSink: Send {
     /// Whether emission sites should construct and emit events. A
     /// compile-time constant so the disabled path folds away entirely.
     const ENABLED: bool;
@@ -192,10 +196,7 @@ mod tests {
         sink.emit(Cycle::new(9), TraceEvent::LlpPredict { correct: false });
         assert_eq!(sink.events.len(), 2);
         assert_eq!(sink.events[0].0, Cycle::new(5));
-        assert_eq!(
-            sink.events[1].1,
-            TraceEvent::LlpPredict { correct: false }
-        );
+        assert_eq!(sink.events[1].1, TraceEvent::LlpPredict { correct: false });
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use addr::{
 pub use capacity::ByteSize;
 pub use cycle::Cycle;
 pub use events::{NopSink, RecoveryKind, TraceEvent, TraceSink, VecSink};
-pub use hash::{DetBuildHasher, DetHasher, DetHashMap, DetHashSet, SplitMix64};
+pub use hash::{DetBuildHasher, DetHashMap, DetHashSet, DetHasher, SplitMix64};
 pub use request::{Access, AccessKind, CoreId, MemKind, ServiceLocation};

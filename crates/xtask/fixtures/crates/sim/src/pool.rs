@@ -14,10 +14,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Registered atomic-protocol sites produce no findings in this file
 /// (suppressed: atomic-protocol): the concurrency pass's table declares
-/// `flag.store`/`flag.load` and the `next.fetch_add` claim cursor for
-/// paths ending in `crates/sim/src/pool.rs`.
-pub fn registered(flag: &AtomicBool, next: &AtomicUsize) -> usize {
+/// `flag.store`/`flag.load` and the Chase–Lev deque protocol (`top`,
+/// `bottom`, `slot`, `completed` — all SeqCst) for paths ending in
+/// `crates/sim/src/pool.rs`.
+pub fn registered(flag: &AtomicBool, top: &AtomicUsize, completed: &AtomicUsize) -> usize {
     flag.store(true, Ordering::Release);
     let cancelled = flag.load(Ordering::Acquire);
-    next.fetch_add(1, Ordering::Relaxed) + usize::from(cancelled)
+    let t = top.load(Ordering::SeqCst);
+    let race = top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+    completed.fetch_add(usize::from(race.is_ok()), Ordering::SeqCst);
+    completed.load(Ordering::SeqCst) + usize::from(cancelled)
 }

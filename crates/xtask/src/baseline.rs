@@ -77,9 +77,7 @@ impl Baseline {
     pub fn load(path: &Path) -> Result<Baseline, String> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Baseline::default())
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
             Err(e) => return Err(format!("reading {}: {e}", path.display())),
         };
         Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
@@ -155,10 +153,9 @@ impl Baseline {
         let mut matched = vec![false; self.entries.len()];
         for diag in diags {
             let key = (diag_path(diag), diag.line, diag.rule);
-            let hit = self
-                .entries
-                .iter()
-                .position(|e| (e.path.as_str(), e.line, e.rule.as_str()) == (key.0.as_str(), key.1, key.2));
+            let hit = self.entries.iter().position(|e| {
+                (e.path.as_str(), e.line, e.rule.as_str()) == (key.0.as_str(), key.1, key.2)
+            });
             match hit {
                 Some(i) => {
                     matched[i] = true;
@@ -189,9 +186,10 @@ impl Baseline {
                         == (path.as_str(), diag.line, diag.rule)
                 });
                 let pick = exact.or_else(|| {
-                    self.entries.iter().enumerate().position(|(i, e)| {
-                        !claimed[i] && e.path == path && e.rule == diag.rule
-                    })
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .position(|(i, e)| !claimed[i] && e.path == path && e.rule == diag.rule)
                 });
                 let reason = match pick {
                     Some(i) => {
@@ -232,9 +230,7 @@ pub fn render_findings(check: &BaselineCheck) -> String {
         .map(|d| (d, false))
         .chain(check.accepted.iter().map(|d| (d, true)))
         .collect();
-    findings.sort_by(|(a, _), (b, _)| {
-        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
-    });
+    findings.sort_by(|(a, _), (b, _)| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{LINT_SCHEMA}\",");
@@ -244,10 +240,18 @@ pub fn render_findings(check: &BaselineCheck) -> String {
         out.push_str("  \"findings\": [\n");
         for (i, (diag, accepted)) in findings.iter().enumerate() {
             out.push_str("    {\n");
-            let _ = writeln!(out, "      \"path\": \"{}\",", json::escape(&diag_path(diag)));
+            let _ = writeln!(
+                out,
+                "      \"path\": \"{}\",",
+                json::escape(&diag_path(diag))
+            );
             let _ = writeln!(out, "      \"line\": {},", diag.line);
             let _ = writeln!(out, "      \"rule\": \"{}\",", json::escape(diag.rule));
-            let _ = writeln!(out, "      \"message\": \"{}\",", json::escape(&diag.message));
+            let _ = writeln!(
+                out,
+                "      \"message\": \"{}\",",
+                json::escape(&diag.message)
+            );
             let _ = writeln!(out, "      \"accepted\": {accepted}");
             out.push_str(if i + 1 < findings.len() {
                 "    },\n"
@@ -317,8 +321,18 @@ mod tests {
             Baseline::default(),
             Baseline {
                 entries: vec![
-                    entry("crates/sim/src/harness.rs", 351, "wall-clock", "perf metric"),
-                    entry("crates/sim/src/harness.rs", 387, "wall-clock", "perf \"quoted\""),
+                    entry(
+                        "crates/sim/src/harness.rs",
+                        351,
+                        "wall-clock",
+                        "perf metric",
+                    ),
+                    entry(
+                        "crates/sim/src/harness.rs",
+                        387,
+                        "wall-clock",
+                        "perf \"quoted\"",
+                    ),
                 ],
             },
         ] {

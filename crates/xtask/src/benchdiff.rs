@@ -26,6 +26,13 @@ pub const SWEEP_SCHEMA: &str = "cameo-bench-sweep/1";
 /// percent below the reference fails the gate.
 pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 
+/// Default imbalance gate: the current max/min point wall-time ratio may
+/// grow to this multiple of the reference's before failing. Generous for
+/// the same reason as the throughput threshold — wall times are noisy,
+/// and the gate exists to catch a chunking/stealing regression that
+/// re-serializes the sweep behind one long point, not 10 % jitter.
+pub const DEFAULT_IMBALANCE_FACTOR: f64 = 2.0;
+
 /// The fields `bench-diff` compares, extracted from one artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPerf {
@@ -37,6 +44,10 @@ pub struct SweepPerf {
     pub sim_accesses: u64,
     /// Points completed.
     pub completed: u64,
+    /// Max/min point wall-time ratio, from the artifact's `imbalance`
+    /// field or derived from `point_metrics`; `None` when neither source
+    /// yields a ratio (fewer than two fresh points, or an old artifact).
+    pub imbalance: Option<f64>,
 }
 
 impl SweepPerf {
@@ -49,7 +60,11 @@ impl SweepPerf {
         let doc = parse(text)?;
         match doc.get("schema").and_then(Value::as_str) {
             Some(SWEEP_SCHEMA) => {}
-            Some(other) => return Err(format!("schema mismatch: got {other:?}, want {SWEEP_SCHEMA:?}")),
+            Some(other) => {
+                return Err(format!(
+                    "schema mismatch: got {other:?}, want {SWEEP_SCHEMA:?}"
+                ))
+            }
             None => return Err(format!("document has no schema (want {SWEEP_SCHEMA:?})")),
         }
         let field_f64 = |key: &str| {
@@ -71,8 +86,30 @@ impl SweepPerf {
             accesses_per_sec: field_f64("accesses_per_sec")?,
             sim_accesses: field_u64("sim_accesses")?,
             completed: field_u64("completed")?,
+            imbalance: doc
+                .get("imbalance")
+                .and_then(Value::as_f64)
+                .or_else(|| derived_imbalance(&doc)),
         })
     }
+}
+
+/// Max/min wall-time ratio over fresh completed `point_metrics` entries,
+/// for artifacts written before the harness emitted a top-level
+/// `imbalance` field. Mirrors `cameo-bench`'s definition: resumed and
+/// failed points are excluded, and fewer than two usable points (or a
+/// zero wall time) yields `None`.
+fn derived_imbalance(doc: &Value) -> Option<f64> {
+    let points = doc.get("point_metrics").and_then(Value::as_arr)?;
+    let walls = points.iter().filter_map(|p| {
+        let fresh = !matches!(p.get("resumed"), Some(Value::Bool(true)));
+        let done = p.get("error").is_none();
+        (fresh && done).then(|| p.get("wall_nanos").and_then(Value::as_u64))?
+    });
+    let (min, max, n) = walls.fold((u64::MAX, 0u64, 0u64), |(lo, hi, n), w| {
+        (lo.min(w), hi.max(w), n + 1)
+    });
+    (n >= 2 && min > 0).then(|| max as f64 / min as f64)
 }
 
 /// The verdict of one comparison.
@@ -84,13 +121,24 @@ pub struct Verdict {
     pub regressed: bool,
 }
 
-/// Compares a current artifact against the reference at `threshold_pct`.
+/// Compares a current artifact against the reference at `threshold_pct`
+/// throughput tolerance and `imbalance_factor` load-balance tolerance.
+///
+/// The imbalance gate fires when both artifacts carry a max/min point
+/// wall-time ratio and the current one exceeds the reference's by more
+/// than `imbalance_factor`; artifacts without a ratio (single-point
+/// sweeps, pre-ratio references) skip the gate rather than fail it.
 ///
 /// # Errors
 ///
 /// Returns a description when either document is malformed, the sweeps
 /// differ, or the reference throughput is zero.
-pub fn compare(current: &SweepPerf, reference: &SweepPerf, threshold_pct: f64) -> Result<Verdict, String> {
+pub fn compare(
+    current: &SweepPerf,
+    reference: &SweepPerf,
+    threshold_pct: f64,
+    imbalance_factor: f64,
+) -> Result<Verdict, String> {
     if current.sweep != reference.sweep {
         return Err(format!(
             "sweep mismatch: current is {:?}, reference is {:?}",
@@ -101,11 +149,19 @@ pub fn compare(current: &SweepPerf, reference: &SweepPerf, threshold_pct: f64) -
         return Err("reference accesses_per_sec is not positive".to_string());
     }
     let delta_pct = (current.accesses_per_sec / reference.accesses_per_sec - 1.0) * 100.0;
-    let regressed = delta_pct < -threshold_pct;
+    let throughput_regressed = delta_pct < -threshold_pct;
     let direction = if delta_pct >= 0.0 { "faster" } else { "slower" };
+    let (imbalance_note, imbalance_regressed) = match (current.imbalance, reference.imbalance) {
+        (Some(cur), Some(reference)) if reference > 0.0 => (
+            format!("; imbalance {cur:.2}x vs {reference:.2}x (limit {imbalance_factor:.1}x ref)"),
+            cur > reference * imbalance_factor,
+        ),
+        (Some(cur), _) => (format!("; imbalance {cur:.2}x (no reference ratio)"), false),
+        _ => (String::new(), false),
+    };
     let summary = format!(
         "bench-diff [{}]: {:.0} vs {:.0} accesses/sec ({:+.1}% — {direction}; \
-         threshold -{threshold_pct:.0}%); {} accesses over {} point(s)",
+         threshold -{threshold_pct:.0}%); {} accesses over {} point(s){imbalance_note}",
         current.sweep,
         current.accesses_per_sec,
         reference.accesses_per_sec,
@@ -113,7 +169,10 @@ pub fn compare(current: &SweepPerf, reference: &SweepPerf, threshold_pct: f64) -
         current.sim_accesses,
         current.completed,
     );
-    Ok(Verdict { summary, regressed })
+    Ok(Verdict {
+        summary,
+        regressed: throughput_regressed || imbalance_regressed,
+    })
 }
 
 /// File-level entry point: reads both artifacts and compares them.
@@ -121,15 +180,20 @@ pub fn compare(current: &SweepPerf, reference: &SweepPerf, threshold_pct: f64) -
 /// # Errors
 ///
 /// Returns a description on unreadable files or malformed documents.
-pub fn diff_files(current: &Path, reference: &Path, threshold_pct: f64) -> Result<Verdict, String> {
+pub fn diff_files(
+    current: &Path,
+    reference: &Path,
+    threshold_pct: f64,
+    imbalance_factor: f64,
+) -> Result<Verdict, String> {
     let read = |path: &Path| {
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
     };
-    let current = SweepPerf::parse(&read(current)?)
-        .map_err(|e| format!("{}: {e}", current.display()))?;
-    let reference = SweepPerf::parse(&read(reference)?)
-        .map_err(|e| format!("{}: {e}", reference.display()))?;
-    compare(&current, &reference, threshold_pct)
+    let current =
+        SweepPerf::parse(&read(current)?).map_err(|e| format!("{}: {e}", current.display()))?;
+    let reference =
+        SweepPerf::parse(&read(reference)?).map_err(|e| format!("{}: {e}", reference.display()))?;
+    compare(&current, &reference, threshold_pct, imbalance_factor)
 }
 
 #[cfg(test)]
@@ -137,10 +201,16 @@ mod tests {
     use super::*;
 
     fn artifact(sweep: &str, aps: f64) -> String {
+        artifact_with_tail(sweep, aps, "")
+    }
+
+    /// Like [`artifact`] but with extra members (e.g. `imbalance` or
+    /// `point_metrics`) spliced in before the closing brace.
+    fn artifact_with_tail(sweep: &str, aps: f64, tail: &str) -> String {
         format!(
             "{{\"schema\":\"cameo-bench-sweep/1\",\"sweep\":\"{sweep}\",\"jobs\":1,\
              \"points\":4,\"completed\":4,\"failed\":0,\"sim_accesses\":1000,\
-             \"accesses_per_sec\":{aps},\"cycles_per_sec\":1.5e9}}"
+             \"accesses_per_sec\":{aps},\"cycles_per_sec\":1.5e9{tail}}}"
         )
     }
 
@@ -150,33 +220,105 @@ mod tests {
         assert_eq!(perf.sweep, "fig13_speedup");
         assert!((perf.accesses_per_sec - 1013525.67).abs() < 1e-6);
         assert_eq!(perf.completed, 4);
+        assert_eq!(perf.imbalance, None);
         assert!(SweepPerf::parse("{\"schema\":\"other/1\"}").is_err());
+    }
+
+    #[test]
+    fn imbalance_field_wins_and_point_metrics_back_fill() {
+        let with_field = artifact_with_tail("s", 1000.0, ",\"imbalance\":3.5,\"point_metrics\":[]");
+        assert_eq!(
+            SweepPerf::parse(&with_field).expect("parses").imbalance,
+            Some(3.5)
+        );
+
+        // Pre-ratio artifact: derive from point_metrics, skipping resumed
+        // and failed points.
+        let legacy = artifact_with_tail(
+            "s",
+            1000.0,
+            ",\"point_metrics\":[\
+             {\"key\":\"a\",\"resumed\":false,\"wall_nanos\":100},\
+             {\"key\":\"b\",\"resumed\":false,\"wall_nanos\":400},\
+             {\"key\":\"c\",\"resumed\":true,\"wall_nanos\":1},\
+             {\"key\":\"d\",\"resumed\":false,\"wall_nanos\":900,\"error\":\"x\"}]",
+        );
+        assert_eq!(
+            SweepPerf::parse(&legacy).expect("parses").imbalance,
+            Some(4.0)
+        );
     }
 
     #[test]
     fn regression_gate_fires_only_past_the_threshold() {
         let reference = SweepPerf::parse(&artifact("s", 1000.0)).expect("ref");
         let ok = SweepPerf::parse(&artifact("s", 900.0)).expect("ok");
-        let verdict = compare(&ok, &reference, 15.0).expect("compare");
+        let verdict = compare(&ok, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR).expect("compare");
         assert!(!verdict.regressed, "-10% is inside a 15% threshold");
         assert!(verdict.summary.contains("-10.0%"), "{}", verdict.summary);
 
         let slow = SweepPerf::parse(&artifact("s", 800.0)).expect("slow");
-        assert!(compare(&slow, &reference, 15.0).expect("compare").regressed);
+        assert!(
+            compare(&slow, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR)
+                .expect("compare")
+                .regressed
+        );
 
         let fast = SweepPerf::parse(&artifact("s", 2000.0)).expect("fast");
-        let verdict = compare(&fast, &reference, 15.0).expect("compare");
+        let verdict = compare(&fast, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR).expect("compare");
         assert!(!verdict.regressed, "speedups never fail the gate");
         assert!(verdict.summary.contains("faster"));
+    }
+
+    #[test]
+    fn imbalance_gate_fires_only_past_the_factor() {
+        let with_ratio = |r: f64| {
+            SweepPerf::parse(&artifact_with_tail(
+                "s",
+                1000.0,
+                &format!(",\"imbalance\":{r}"),
+            ))
+            .expect("parses")
+        };
+        let reference = with_ratio(1.5);
+        let ok = with_ratio(2.9);
+        let verdict = compare(&ok, &reference, 15.0, 2.0).expect("compare");
+        assert!(!verdict.regressed, "2.9 <= 1.5 * 2.0");
+        assert!(
+            verdict.summary.contains("imbalance 2.90x"),
+            "{}",
+            verdict.summary
+        );
+
+        let skewed = with_ratio(3.1);
+        assert!(
+            compare(&skewed, &reference, 15.0, 2.0)
+                .expect("compare")
+                .regressed,
+            "3.1 > 1.5 * 2.0 must fail the gate"
+        );
+
+        // Either side missing a ratio skips the gate instead of failing.
+        let no_ratio = SweepPerf::parse(&artifact("s", 1000.0)).expect("parses");
+        assert!(
+            !compare(&skewed, &no_ratio, 15.0, 2.0)
+                .expect("compare")
+                .regressed
+        );
+        assert!(
+            !compare(&no_ratio, &reference, 15.0, 2.0)
+                .expect("compare")
+                .regressed
+        );
     }
 
     #[test]
     fn mismatched_sweeps_and_zero_references_are_errors() {
         let a = SweepPerf::parse(&artifact("a", 1.0)).expect("a");
         let b = SweepPerf::parse(&artifact("b", 1.0)).expect("b");
-        assert!(compare(&a, &b, 15.0).is_err());
+        assert!(compare(&a, &b, 15.0, DEFAULT_IMBALANCE_FACTOR).is_err());
         let zero = SweepPerf::parse(&artifact("a", 0.0)).expect("zero");
-        assert!(compare(&a, &zero, 15.0).is_err());
+        assert!(compare(&a, &zero, 15.0, DEFAULT_IMBALANCE_FACTOR).is_err());
     }
 
     #[test]
@@ -189,9 +331,12 @@ mod tests {
             .expect("workspace root");
         let reference = root.join("results/BENCH_sweep.json");
         if reference.is_file() {
-            let verdict =
-                diff_files(&reference, &reference, 15.0).expect("self-diff parses");
-            assert!(!verdict.regressed, "an artifact never regresses against itself");
+            let verdict = diff_files(&reference, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR)
+                .expect("self-diff parses");
+            assert!(
+                !verdict.regressed,
+                "an artifact never regresses against itself"
+            );
         }
     }
 }

@@ -168,12 +168,7 @@ fn scan_files(
 
 /// Scans a single file into [`FileFacts`] with a workspace-relative
 /// display path.
-fn scan_one(
-    root: &Path,
-    path: &Path,
-    crate_dir: &str,
-    class: FileClass,
-) -> io::Result<FileFacts> {
+fn scan_one(root: &Path, path: &Path, crate_dir: &str, class: FileClass) -> io::Result<FileFacts> {
     let text = fs::read_to_string(path)?;
     let display = path.strip_prefix(root).unwrap_or(path).to_path_buf();
     Ok(FileFacts::extract(
@@ -341,8 +336,8 @@ mod tests {
     fn workspace_findings_match_baseline() {
         let root = workspace_root();
         let diags = lint_workspace(&root).expect("workspace sources are readable");
-        let baseline = Baseline::load(&root.join(baseline::BASELINE_FILE))
-            .expect("lint-baseline.json parses");
+        let baseline =
+            Baseline::load(&root.join(baseline::BASELINE_FILE)).expect("lint-baseline.json parses");
         let check = baseline.check(&diags);
         assert!(
             check.fresh.is_empty(),

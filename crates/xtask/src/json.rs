@@ -195,7 +195,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // through unmodified).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                let c = rest.chars().next().expect("non-empty rest has a first char");
+                let c = rest
+                    .chars()
+                    .next()
+                    .expect("non-empty rest has a first char");
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -288,7 +291,10 @@ mod tests {
     fn parses_the_document_shapes_lint_uses() {
         let v = parse(r#"{"schema":"cameo-lint/1","findings":[{"line":3,"ok":true}]}"#)
             .expect("valid document");
-        assert_eq!(v.get("schema").and_then(Value::as_str), Some("cameo-lint/1"));
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("cameo-lint/1")
+        );
         let findings = v.get("findings").and_then(Value::as_arr).expect("array");
         assert_eq!(findings[0].get("line").and_then(Value::as_u64), Some(3));
         assert_eq!(findings[0].get("ok"), Some(&Value::Bool(true)));
@@ -298,7 +304,10 @@ mod tests {
     fn parses_the_floats_bench_artifacts_carry() {
         let v = parse(r#"{"accesses_per_sec":1013525.670191503,"cps":3.2e9,"delta":-0.5}"#)
             .expect("valid document");
-        let aps = v.get("accesses_per_sec").and_then(Value::as_f64).expect("float");
+        let aps = v
+            .get("accesses_per_sec")
+            .and_then(Value::as_f64)
+            .expect("float");
         assert!((aps - 1_013_525.670_191_503).abs() < 1e-6);
         assert!((v.get("cps").and_then(Value::as_f64).expect("exp float") - 3.2e9).abs() < 1.0);
         assert!(v.get("delta").and_then(Value::as_f64).expect("negative") < 0.0);
@@ -332,7 +341,10 @@ mod tests {
     #[test]
     fn whitespace_is_tolerated_everywhere() {
         let v = parse(" {\n \"a\" : [ 1 , 2 ] ,\n \"b\" : null\n} ").expect("ws ok");
-        assert_eq!(v.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("b"), Some(&Value::Null));
     }
 }

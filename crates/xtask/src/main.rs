@@ -63,6 +63,10 @@ Bench-diff options:
                       <root>/results/BENCH_sweep.json).
   --threshold PCT     Allowed slowdown in percent before failing
                       (default: 15).
+  --imbalance-factor F  Allowed growth of the max/min point wall-time
+                      ratio relative to the reference before failing;
+                      artifacts without a ratio skip the gate
+                      (default: 2).
 
 Suppress a finding in place with `// lint: allow(<rule>)` (or
 `# lint: allow(<rule>)` in Cargo.toml) on the same line or alone on the
@@ -228,6 +232,7 @@ fn bench_diff(flags: &[String]) -> ExitCode {
     let mut current = PathBuf::from("BENCH_sweep.json");
     let mut reference: Option<PathBuf> = None;
     let mut threshold = xtask::benchdiff::DEFAULT_THRESHOLD_PCT;
+    let mut imbalance_factor = xtask::benchdiff::DEFAULT_IMBALANCE_FACTOR;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut need = |name: &str| {
@@ -242,6 +247,11 @@ fn bench_diff(flags: &[String]) -> ExitCode {
                 v.parse::<f64>()
                     .map_err(|_| format!("`--threshold {v}` is not a number"))
                     .map(|v| threshold = v)
+            }),
+            "--imbalance-factor" => need("--imbalance-factor").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("`--imbalance-factor {v}` is not a number"))
+                    .map(|v| imbalance_factor = v)
             }),
             other => Err(format!("unknown flag `{other}` for `bench-diff`")),
         };
@@ -260,11 +270,14 @@ fn bench_diff(flags: &[String]) -> ExitCode {
             }
         },
     };
-    match xtask::benchdiff::diff_files(&current, &reference, threshold) {
+    match xtask::benchdiff::diff_files(&current, &reference, threshold, imbalance_factor) {
         Ok(verdict) => {
             println!("{}", verdict.summary);
             if verdict.regressed {
-                eprintln!("error: throughput regressed more than {threshold}% below the reference");
+                eprintln!(
+                    "error: regressed past the gate (throughput threshold {threshold}%, \
+                     imbalance factor {imbalance_factor}x)"
+                );
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS

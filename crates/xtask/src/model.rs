@@ -386,7 +386,10 @@ pub fn load_manifests(root: &Path) -> BTreeMap<String, ManifestInfo> {
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let rel = manifest.strip_prefix(root).unwrap_or(&manifest).to_path_buf();
+            let rel = manifest
+                .strip_prefix(root)
+                .unwrap_or(&manifest)
+                .to_path_buf();
             manifests.insert(name.clone(), ManifestInfo::parse(rel, name, text.as_str()));
         }
     }
@@ -446,7 +449,9 @@ mod tests {
 
     #[test]
     fn use_edges_capture_cameo_crates_only() {
-        let f = facts("use std::fmt;\nuse cameo_sim::pool;\npub use cameo::Llt;\nuse cameo_types::{A, B};");
+        let f = facts(
+            "use std::fmt;\nuse cameo_sim::pool;\npub use cameo::Llt;\nuse cameo_types::{A, B};",
+        );
         let crates: Vec<&str> = f.uses.iter().map(|u| u.krate.as_str()).collect();
         assert_eq!(crates, ["cameo_sim", "cameo", "cameo_types"]);
         assert_eq!(f.uses[0].line, 1);

@@ -67,12 +67,72 @@ pub const ATOMIC_PROTOCOL_TABLE: &[AtomicUse] = &[
     },
     AtomicUse {
         file: "crates/sim/src/pool.rs",
-        receiver: "next",
+        receiver: "bottom",
+        method: "load",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev deque index: the verified interleaving model assumes a \
+              single total order of deque steps, which only SeqCst provides; \
+              the ops run once per sweep chunk, so the cost is unmeasurable",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "bottom",
+        method: "store",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev deque index: owner-side publish of pushes and pop \
+              claims; part of the SeqCst total order the interleaving model \
+              verifies",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "top",
+        method: "load",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev deque index: emptiness check against racing steals; \
+              part of the SeqCst total order the interleaving model verifies",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "top",
+        method: "compare_exchange",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev claim: the single linearization point of every steal \
+              and of the owner's last-element pop — the CAS that makes each \
+              task id claimable exactly once per push",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "slot",
+        method: "load",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev slot read: safe because capacity = count + 1 makes \
+              stale-slot reuse structurally impossible; SeqCst keeps it in \
+              the model's total order",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "slot",
+        method: "store",
+        orderings: &["SeqCst"],
+        why: "Chase–Lev slot publish: ordered before the bottom-advance that \
+              makes the slot visible to thieves",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "completed",
         method: "fetch_add",
-        orderings: &["Relaxed"],
-        why: "work-claim cursor: only increment atomicity is needed — each index \
-              is claimed once, and the happens-before edge for point results is \
-              the scoped-thread join, not the cursor",
+        orderings: &["SeqCst"],
+        why: "pool termination count: each Done increments once; SeqCst so a \
+              worker's idle check never misses the final increment and spins \
+              forever",
+    },
+    AtomicUse {
+        file: "crates/sim/src/pool.rs",
+        receiver: "completed",
+        method: "load",
+        orderings: &["SeqCst"],
+        why: "pool termination check: pairs with the fetch_add above in one \
+              total order — the pool exits exactly when all tasks are Done",
     },
     AtomicUse {
         file: "crates/xtask/src/engine.rs",
@@ -133,11 +193,10 @@ pub fn check_file(file: &FileFacts, out: &mut Vec<Diagnostic>) {
         for (pos, ordering) in ordering_sites(&line.code) {
             let site = call_site(&line.code, pos);
             if !is_registered(&file.path, site.as_ref(), ordering) {
-                let shown = site
-                    .as_ref()
-                    .map_or_else(|| format!("`Ordering::{ordering}`"), |(r, m)| {
-                        format!("`{r}.{m}(… Ordering::{ordering})`")
-                    });
+                let shown = site.as_ref().map_or_else(
+                    || format!("`Ordering::{ordering}`"),
+                    |(r, m)| format!("`{r}.{m}(… Ordering::{ordering})`"),
+                );
                 report(
                     ATOMIC_PROTOCOL,
                     format!(
@@ -217,11 +276,7 @@ fn call_site(code: &str, ord_pos: usize) -> Option<(String, String)> {
 }
 
 /// Whether `(file, site, ordering)` matches a protocol-table entry.
-fn is_registered(
-    path: &std::path::Path,
-    site: Option<&(String, String)>,
-    ordering: &str,
-) -> bool {
+fn is_registered(path: &std::path::Path, site: Option<&(String, String)>, ordering: &str) -> bool {
     let Some((receiver, method)) = site else {
         return false;
     };
@@ -312,7 +367,7 @@ mod tests {
 
     #[test]
     fn registered_pool_protocol_is_clean() {
-        let src = "fn f(&self) {\n self.flag.store(true, Ordering::Release);\n let c = self.flag.load(Ordering::Acquire);\n let n = next.fetch_add(1, Ordering::Relaxed);\n}";
+        let src = "fn f(&self) {\n self.flag.store(true, Ordering::Release);\n let c = self.flag.load(Ordering::Acquire);\n let b = self.bottom.load(Ordering::SeqCst);\n slot.store(task, Ordering::SeqCst);\n self.bottom.store(b, Ordering::SeqCst);\n let t = self.top.load(Ordering::SeqCst);\n let r = top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);\n completed.fetch_add(1, Ordering::SeqCst);\n let c = completed.load(Ordering::SeqCst);\n}";
         assert!(check("crates/sim/src/pool.rs", src).is_empty());
     }
 
@@ -388,7 +443,10 @@ mod tests {
         let src = "fn f(m: &Mutex<u64>) {\n let g = m.lock().expect(\"state is one atomic Option store\");\n let r = catch_unwind(|| work());\n drop(g);\n}";
         let d = check("crates/sim/src/x.rs", src);
         assert_eq!(d.iter().filter(|d| d.rule == LOCK_UNWIND).count(), 1);
-        assert_eq!(d.iter().find(|d| d.rule == LOCK_UNWIND).map(|d| d.line), Some(3));
+        assert_eq!(
+            d.iter().find(|d| d.rule == LOCK_UNWIND).map(|d| d.line),
+            Some(3)
+        );
     }
 
     #[test]
@@ -418,7 +476,11 @@ mod tests {
     #[test]
     fn protocol_table_entries_are_well_formed() {
         for entry in ATOMIC_PROTOCOL_TABLE {
-            assert!(!entry.why.is_empty(), "{}: justification required", entry.file);
+            assert!(
+                !entry.why.is_empty(),
+                "{}: justification required",
+                entry.file
+            );
             assert!(!entry.orderings.is_empty());
             assert!(ATOMIC_METHODS.contains(&entry.method));
             for o in entry.orderings {

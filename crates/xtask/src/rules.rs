@@ -229,7 +229,10 @@ fn no_panic_finding(code: &str, raw: &str) -> Option<String> {
 /// Length of the string literal opening after `.expect(` near byte
 /// position `hint` of `raw`, if the literal starts on this line.
 fn expect_message_len(raw: &str, hint: usize) -> Option<usize> {
-    let start = raw.get(hint..).and_then(|s| s.find(".expect(")).map(|p| p + hint)?;
+    let start = raw
+        .get(hint..)
+        .and_then(|s| s.find(".expect("))
+        .map(|p| p + hint)?;
     let after = &raw[start + ".expect(".len()..];
     let lit = after.trim_start();
     let body = lit.strip_prefix('"')?;
@@ -339,12 +342,14 @@ fn missing_docs_finding(src: &SourceFile, idx: usize) -> Option<String> {
     if has_doc_above(src, idx) {
         return None;
     }
-    let name: String = tokens
-        .get(i + 1).map_or_else(|| "<unnamed>".to_string(), |t| {
+    let name: String = tokens.get(i + 1).map_or_else(
+        || "<unnamed>".to_string(),
+        |t| {
             t.chars()
                 .take_while(|c| c.is_alphanumeric() || *c == '_')
                 .collect()
-        });
+        },
+    );
     Some(format!(
         "public {kw} `{name}` has no doc comment; document the contract or \
          hide it from the API"
@@ -361,8 +366,7 @@ fn has_doc_above(src: &SourceFile, idx: usize) -> bool {
             return true;
         }
         let t = line.code.trim();
-        bracket_balance +=
-            t.matches('[').count() as i64 - t.matches(']').count() as i64;
+        bracket_balance += t.matches('[').count() as i64 - t.matches(']').count() as i64;
         if bracket_balance < 0 {
             // Inside a multi-line attribute, keep climbing.
             continue;
@@ -564,16 +568,18 @@ mod tests {
         // A print macro without a TraceEvent, or a TraceEvent without a
         // print macro, is not direct emission.
         assert!(lint("fn f() { println!(\"hello\"); }", COLD).is_empty());
-        assert!(lint("fn f() { sink.emit(now, TraceEvent::Swap { group }); }", COLD).is_empty());
+        assert!(lint(
+            "fn f() { sink.emit(now, TraceEvent::Swap { group }); }",
+            COLD
+        )
+        .is_empty());
         // Look-alike macros are not the std print family.
         assert!(lint("fn f(e: TraceEvent) { my_println!(\"{e:?}\"); }", COLD).is_empty());
     }
 
     #[test]
     fn trace_print_exporter_file_is_exempt() {
-        let src = SourceFile::parse(
-            "fn f() { println!(\"{:?}\", TraceEvent::Swap { group }); }",
-        );
+        let src = SourceFile::parse("fn f() { println!(\"{:?}\", TraceEvent::Swap { group }); }");
         let exporter = check_file(Path::new(TRACE_PRINT_EXEMPT_FILE), COLD, &src);
         assert!(exporter.is_empty());
         let elsewhere = check_file(Path::new("crates/bench/src/lib.rs"), COLD, &src);
@@ -587,8 +593,7 @@ mod tests {
             COLD
         )
         .is_empty());
-        let src =
-            "#[cfg(test)]\nmod tests {\n fn t(e: TraceEvent) { println!(\"{e:?}\"); }\n}";
+        let src = "#[cfg(test)]\nmod tests {\n fn t(e: TraceEvent) { println!(\"{e:?}\"); }\n}";
         assert!(lint(src, COLD).is_empty());
     }
 

@@ -120,7 +120,12 @@ fn scan_line(raw: &str, mut state: State) -> (String, Vec<String>, State) {
             }
             State::RawStr(hashes) => {
                 if chars[i] == '"'
-                    && chars[i + 1..].iter().take(hashes).filter(|c| **c == '#').count() == hashes
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|c| **c == '#')
+                        .count()
+                        == hashes
                 {
                     code.push('"');
                     state = State::Code;

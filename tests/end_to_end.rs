@@ -48,7 +48,10 @@ fn all_kinds() -> Vec<OrgKind> {
 #[test]
 fn every_org_runs_every_category() {
     let cfg = quick();
-    for bench in [require("astar").expect("suite benchmark"), require("zeusmp").expect("suite benchmark")] {
+    for bench in [
+        require("astar").expect("suite benchmark"),
+        require("zeusmp").expect("suite benchmark"),
+    ] {
         for kind in all_kinds() {
             let stats = run_benchmark(&bench, kind, &cfg);
             assert!(
@@ -155,7 +158,9 @@ fn warmup_region_is_excluded() {
     let bench = require("astar").expect("suite benchmark");
     let cfg = quick();
     let mut org = build_org(&bench, OrgKind::Baseline, &cfg);
-    let stats = Runner::new(bench, &cfg).expect("valid test config").run(org.as_mut());
+    let stats = Runner::new(bench, &cfg)
+        .expect("valid test config")
+        .run(org.as_mut());
     // Measured instructions are per-core and strictly less than the budget
     // (a warmup fraction was carved out).
     assert!(stats.instructions < cfg.instructions_per_core);

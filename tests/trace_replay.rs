@@ -27,7 +27,9 @@ fn replay_reproduces_live_run() {
 
     // Live run.
     let mut live_org = build_org(&bench, OrgKind::cameo_default(), &cfg);
-    let live = Runner::new(bench, &cfg).expect("valid test config").run(live_org.as_mut());
+    let live = Runner::new(bench, &cfg)
+        .expect("valid test config")
+        .run(live_org.as_mut());
 
     // Record each core's stream with ample headroom, then replay.
     let events_per_core = cfg.expected_events_per_core(bench.mpki) * 2;
@@ -42,7 +44,9 @@ fn replay_reproduces_live_run() {
         })
         .collect();
     let mut replay_org = build_org(&bench, OrgKind::cameo_default(), &cfg);
-    let replayed = Runner::new(bench, &cfg).expect("valid test config").run_with_streams(replay_org.as_mut(), streams);
+    let replayed = Runner::new(bench, &cfg)
+        .expect("valid test config")
+        .run_with_streams(replay_org.as_mut(), streams);
 
     // Identical event streams: demand counts agree up to the warmup
     // boundary, whose exact event index shifts with timing interleaving.
@@ -80,8 +84,9 @@ fn short_recording_wraps_and_completes() {
     let replay = TraceFile::parse(&bytes).expect("parse").into_replay();
     let mut org = build_org(&bench, OrgKind::AlloyCache, &cfg);
     let single_core = SystemConfig { cores: 1, ..cfg };
-    let stats =
-        Runner::new(bench, &single_core).expect("valid test config").run_with_streams(org.as_mut(), vec![Box::new(replay)]);
+    let stats = Runner::new(bench, &single_core)
+        .expect("valid test config")
+        .run_with_streams(org.as_mut(), vec![Box::new(replay)]);
     assert!(stats.demand_reads + stats.demand_writes > 50); // must have wrapped
     assert!(stats.execution_cycles > 0);
     // A cyclic 500-event working set is tiny: the cache should end up
