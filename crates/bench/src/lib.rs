@@ -29,12 +29,15 @@ use std::path::PathBuf;
 
 use cameo_sim::checkpoint::PointRecord;
 use cameo_sim::experiments::{gmean, OrgKind};
-use cameo_sim::harness::{run_sweep, run_sweep_traced, SweepOptions, SweepPoint, SweepReport};
+use cameo_sim::harness::{
+    run_sweep, run_sweep_traced_spilling, EpochSpillFactory, SweepOptions, SweepPoint, SweepReport,
+};
 use cameo_sim::report::Table;
 use cameo_sim::trace::TraceOptions;
 use cameo_sim::{RunStats, SystemConfig};
 use cameo_workloads::{suite, BenchSpec, Category};
 
+pub mod fullscale;
 pub mod perf;
 pub mod trace_export;
 
@@ -219,6 +222,25 @@ impl SpeedupGrid {
     /// Panics if any design point fails — figure binaries want broken
     /// points loud, not silently missing columns.
     pub fn collect(kinds: &[OrgKind], cli: &Cli) -> Self {
+        Self::collect_spilling(kinds, cli, TraceOptions::default(), &|_| None)
+    }
+
+    /// [`SpeedupGrid::collect`], with explicit trace options and a
+    /// per-point epoch-spill factory for the streaming flat-memory path:
+    /// when `--trace-out` is armed, epochs evicted from the bounded
+    /// retention ring are handed to the hook `spill` returns for the
+    /// point instead of accumulating in the sink (see
+    /// [`cameo_sim::trace::EpochSeries`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any design point fails, like [`SpeedupGrid::collect`].
+    pub fn collect_spilling(
+        kinds: &[OrgKind],
+        cli: &Cli,
+        trace_opts: TraceOptions,
+        spill: &EpochSpillFactory<'_>,
+    ) -> Self {
         // Column-indexed keys: stable for checkpoints and immune to two
         // columns sharing an organization label.
         let mut points = Vec::with_capacity(cli.benches.len() * (kinds.len() + 1));
@@ -250,7 +272,7 @@ impl SpeedupGrid {
         // `--trace-out` arms the recording sink; results are bit-identical
         // either way (the harness guarantees report equality).
         let report = if cli.trace_out.is_some() {
-            run_sweep_traced(&points, &opts, None, TraceOptions::default())
+            run_sweep_traced_spilling(&points, &opts, None, trace_opts, spill)
         } else {
             run_sweep(&points, &opts, None)
         }

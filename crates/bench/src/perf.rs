@@ -10,10 +10,11 @@
 //! Schema (`cameo-bench-sweep/1`): one object with sweep identity
 //! (`sweep`, `jobs`, `config`), sweep totals (`wall_nanos`,
 //! `sim_accesses`, `sim_cycles`, `accesses_per_sec`, `cycles_per_sec`,
-//! `completed`/`failed`/`resumed`), and a `point_metrics` array with one
-//! object per point (`key`, `wall_nanos`, `accesses`, `cycles`,
-//! `resumed`). Simulated counters are exact `u64`s; only derived rates
-//! are floats.
+//! `completed`/`failed`/`resumed`), host memory gauges
+//! (`peak_rss_bytes`, `bytes_per_tracked_line` — `null` off Linux), and
+//! a `point_metrics` array with one object per point (`key`,
+//! `wall_nanos`, `accesses`, `cycles`, `resumed`). Simulated counters
+//! are exact `u64`s; only derived rates are floats.
 
 use std::path::Path;
 
@@ -24,6 +25,68 @@ use cameo_sim::SystemConfig;
 
 /// Schema identifier embedded in every artifact.
 pub const SCHEMA: &str = "cameo-bench-sweep/1";
+
+/// Peak resident-set size of this process in bytes, from the kernel's
+/// high-water mark (`VmHWM` in `/proc/self/status`).
+///
+/// The kernel tracks the true peak continuously, so a single read at
+/// artifact-write time covers the whole run — no sampling cadence to
+/// miss a transient spike. `None` where procfs is absent (non-Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_field_kb("VmHWM:")
+}
+
+/// Current resident-set size of this process in bytes, from
+/// `/proc/self/statm` (resident pages × page size).
+///
+/// This is the cheap per-sample gauge — one small procfs read — that the
+/// memory-flatness checks sample at epoch boundaries. `None` where
+/// procfs is absent (non-Linux).
+pub fn current_rss_bytes() -> Option<u64> {
+    let pages = statm_resident_pages()?;
+    Some(pages * page_size_bytes())
+}
+
+fn statm_resident_pages() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/statm").ok()?;
+    text.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn status_field_kb(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+/// The system page size, inferred once by ratioing `VmRSS` (exact kB)
+/// against the `statm` resident page count — procfs exposes no direct
+/// page-size field and the build pulls in no libc crate for `sysconf`.
+/// Rounded to the nearest power of two (the two reads race against
+/// allocation, so the raw ratio jitters); falls back to 4 KiB.
+fn page_size_bytes() -> u64 {
+    static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *PAGE.get_or_init(|| {
+        let inferred = || {
+            let pages = statm_resident_pages()?;
+            let rss = status_field_kb("VmRSS:")?;
+            if pages == 0 {
+                return None;
+            }
+            let ratio = rss / pages;
+            if ratio == 0 {
+                return None;
+            }
+            let floor = 1u64 << (63 - ratio.leading_zeros());
+            let ceil = floor << 1;
+            Some(if ratio - floor < ceil - ratio { floor } else { ceil })
+        };
+        inferred().unwrap_or(4096)
+    })
+}
 
 /// Per-point load imbalance: the ratio of the slowest to the fastest
 /// point's wall time, over points completed fresh in this run.
@@ -66,6 +129,11 @@ pub fn sweep_json(
         .iter()
         .map(|o| point_json(o, &rate))
         .collect();
+    // The memory gauges: what the run peaked at, and what that peak
+    // costs per simulated 64-byte line at this scale — the number the
+    // full-scale work drives toward flat-and-small.
+    let peak_rss = peak_rss_bytes();
+    let tracked_lines = config.total_memory().lines();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("sweep".into(), Json::Str(sweep_name.into())),
@@ -100,6 +168,17 @@ pub fn sweep_json(
         (
             "imbalance".into(),
             imbalance(report).map_or(Json::Null, Json::F64),
+        ),
+        (
+            "peak_rss_bytes".into(),
+            peak_rss.map_or(Json::Null, Json::U64),
+        ),
+        (
+            "bytes_per_tracked_line".into(),
+            match (peak_rss, tracked_lines) {
+                (Some(rss), lines) if lines > 0 => Json::F64(rss as f64 / lines as f64),
+                _ => Json::Null,
+            },
         ),
         ("point_metrics".into(), Json::Arr(point_metrics)),
     ])
@@ -213,6 +292,16 @@ pub fn perf_table(doc: &Json) -> Table {
         Some(Json::F64(r)) => format!(" / imbalance {r:.2}x"),
         _ => String::new(),
     };
+    let rss_note = match doc.get("peak_rss_bytes") {
+        Some(Json::U64(rss)) => {
+            let per_line = match doc.get("bytes_per_tracked_line") {
+                Some(Json::F64(b)) => format!(" ({b:.2} B/line)"),
+                _ => String::new(),
+            };
+            format!(" / peak rss {:.1} MiB{per_line}", *rss as f64 / f64::from(1 << 20))
+        }
+        _ => String::new(),
+    };
     table.row(vec![
         format!(
             "TOTAL ({}, --jobs {})",
@@ -223,7 +312,7 @@ pub fn perf_table(doc: &Json) -> Table {
         u64_of(doc, "sim_accesses").to_string(),
         rate_cell(u64_of(doc, "sim_accesses"), wall),
         format!(
-            "{} done / {} failed / {} resumed{imbalance_note}",
+            "{} done / {} failed / {} resumed{imbalance_note}{rss_note}",
             u64_of(doc, "completed"),
             u64_of(doc, "failed"),
             u64_of(doc, "resumed"),
@@ -316,6 +405,37 @@ mod tests {
         report.outcomes[1].resumed = false;
         report.outcomes[1].wall_nanos = 0;
         assert_eq!(imbalance(&report), None);
+    }
+
+    /// On Linux the procfs probes yield sane, ordered values and the
+    /// artifact carries both memory gauges (elsewhere they render null).
+    #[test]
+    fn rss_gauges_land_in_the_artifact() {
+        let (report, config) = tiny_report();
+        let doc = sweep_json("unit-test", 1, &config, &report);
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_bytes().expect("procfs present on Linux");
+            let current = current_rss_bytes().expect("procfs present on Linux");
+            // A test process is at least a megabyte and the high-water
+            // mark can never undercut the current residency (beyond the
+            // jitter of two non-atomic procfs reads).
+            assert!(peak > 1 << 20, "peak {peak} bytes is implausibly small");
+            assert!(current > 1 << 20);
+            assert!(peak * 2 >= current, "peak {peak} < current {current}");
+            assert!(u64_of(&doc, "peak_rss_bytes") > 0);
+            let per_line = match doc.get("bytes_per_tracked_line") {
+                Some(Json::F64(b)) => *b,
+                other => panic!("bytes_per_tracked_line missing: {other:?}"),
+            };
+            let expected = u64_of(&doc, "peak_rss_bytes") as f64
+                / config.total_memory().lines() as f64;
+            assert!((per_line - expected).abs() < 1e-6);
+            let rendered = perf_table(&doc).to_string();
+            assert!(rendered.contains("peak rss"), "{rendered}");
+            assert!(rendered.contains("B/line"), "{rendered}");
+        } else {
+            assert_eq!(doc.get("peak_rss_bytes"), Some(&Json::Null));
+        }
     }
 
     #[test]

@@ -110,18 +110,58 @@ fn counter_fields(c: &EpochCounters) -> Vec<(String, Json)> {
 }
 
 /// One JSONL epoch line.
-fn epoch_line(key: &str, index: usize, epoch_cycles: u64, c: &EpochCounters) -> Json {
+fn epoch_line(key: &str, index: u64, epoch_cycles: u64, c: &EpochCounters) -> Json {
     let mut fields = vec![
         ("kind".to_owned(), Json::Str("epoch".into())),
         ("key".to_owned(), Json::Str(key.to_owned())),
-        ("epoch".to_owned(), Json::U64(index as u64)),
+        ("epoch".to_owned(), Json::U64(index)),
         (
             "start_cycle".to_owned(),
-            Json::U64((index as u64).saturating_mul(epoch_cycles)),
+            Json::U64(index.saturating_mul(epoch_cycles)),
         ),
     ];
     fields.extend(counter_fields(c));
     Json::Obj(fields)
+}
+
+/// The merged counters of every epoch the bounded ring evicted before the
+/// run finished, as one summary line — written ahead of the retained
+/// epoch lines so the file still accounts for the whole run.
+fn spilled_line(key: &str, spilled_epochs: u64, c: &EpochCounters) -> Json {
+    let mut fields = vec![
+        ("kind".to_owned(), Json::Str("epoch_spill".into())),
+        ("key".to_owned(), Json::Str(key.to_owned())),
+        ("spilled_epochs".to_owned(), Json::U64(spilled_epochs)),
+    ];
+    fields.extend(counter_fields(c));
+    Json::Obj(fields)
+}
+
+/// Opens `path` and returns a spill hook for
+/// [`cameo_sim::trace::SharedSink::with_spill`] that appends one epoch
+/// JSONL line (same shape as the dump's `"epoch"` lines, keyed by `key`)
+/// per evicted epoch, flushed per line so a kill loses nothing.
+///
+/// This is how a paper-scale run streams its epoch series to disk while
+/// the in-memory ring stays bounded: the spill file holds the evicted
+/// prefix, the end-of-run dump holds the retained tail.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error from creating the file.
+pub fn epoch_spill_writer(
+    path: &Path,
+    key: &str,
+    epoch_cycles: u64,
+) -> std::io::Result<cameo_sim::trace::EpochSpillFn> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let key = key.to_owned();
+    Ok(Box::new(move |index, c: &EpochCounters| {
+        // Spills are rare (one per epoch beyond the cap); flushing each
+        // line keeps the file whole no matter when the run dies.
+        let _ = writeln!(file, "{}", epoch_line(&key, index, epoch_cycles, c).render());
+        let _ = file.flush();
+    }))
 }
 
 /// One Chrome-trace instant event (`ph: "i"`).
@@ -163,8 +203,8 @@ fn chrome_events_of(pid: u64, key: &str, trace: &TraceData, out: &mut Vec<Json>)
         out.push(chrome_instant(pid, *now, event));
     }
     let epoch_cycles = trace.epochs.epoch_cycles();
-    for (i, c) in trace.epochs.epochs().iter().enumerate() {
-        let ts = (i as u64).saturating_mul(epoch_cycles);
+    for (i, c) in trace.epochs.retained() {
+        let ts = i.saturating_mul(epoch_cycles);
         out.push(chrome_counter(
             pid,
             "serviced",
@@ -238,7 +278,15 @@ pub fn write_trace_artifacts(
             writeln!(jsonl, "{}", event_line(key, *now, event).render())?;
         }
         let epoch_cycles = trace.epochs.epoch_cycles();
-        for (i, c) in trace.epochs.epochs().iter().enumerate() {
+        if trace.epochs.spilled_epochs() > 0 {
+            let line = spilled_line(
+                key,
+                trace.epochs.spilled_epochs(),
+                trace.epochs.spilled_totals(),
+            );
+            writeln!(jsonl, "{}", line.render())?;
+        }
+        for (i, c) in trace.epochs.retained() {
             writeln!(jsonl, "{}", epoch_line(key, i, epoch_cycles, c).render())?;
         }
         chrome_events_of(pid as u64, key, trace, &mut chrome_events);

@@ -198,7 +198,7 @@ impl<S: TraceSink> Cameo<S> {
         Self {
             map,
             llt: LineLocationTable::new(map),
-            llp: LineLocationPredictor::new(config.cores, config.llp_entries),
+            llp: LineLocationPredictor::for_ratio(config.cores, config.llp_entries, ratio as u8),
             stacked: Device::new(DramConfig::stacked(config.stacked)),
             off_chip: Device::new(DramConfig::off_chip(config.off_chip)),
             stats: CameoStats::default(),

@@ -160,36 +160,58 @@ impl PredictionCaseCounts {
 pub struct LineLocationPredictor {
     entries_per_core: usize,
     /// Total LLRs across all core tables (`cores * entries_per_core`);
-    /// kept explicitly because `nibbles` rounds up to whole bytes.
+    /// kept explicitly because `packed` rounds up to whole bytes.
     llr_count: usize,
-    /// Last-observed slot per (core, pc-hash), nibble-packed two LLRs per
-    /// byte: LLR `i` lives in the low (even `i`) or high (odd `i`) nibble
-    /// of byte `i / 2`. The paper's slots are a 4-ary choice (2 bits); a
-    /// nibble leaves headroom for the simulator's wider ratios while still
-    /// quartering the byte-per-LLR footprint of the naive layout.
-    nibbles: Vec<u8>,
+    /// Bits per LLR: 2 when every slot the tables can ever observe fits
+    /// two bits (the paper's ratio-4 configuration — host storage then
+    /// matches the hardware's 2-bit LLRs exactly), 4 for the simulator's
+    /// wider ratios.
+    bits_per_llr: u8,
+    /// Last-observed slot per (core, pc-hash), bit-packed `8 /
+    /// bits_per_llr` LLRs per byte: LLR `i` lives at bit offset
+    /// `(i % per_byte) * bits` of byte `i / per_byte`.
+    packed: Vec<u8>,
 }
 
 impl LineLocationPredictor {
-    /// Creates per-core LLR tables.
+    /// Creates per-core LLR tables with nibble-wide registers (any
+    /// supported ratio). Prefer [`LineLocationPredictor::for_ratio`] when
+    /// the group ratio is known — at ratio ≤ 4 it halves the tables.
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero or `entries_per_core` is not a power of
     /// two.
     pub fn new(cores: u16, entries_per_core: usize) -> Self {
+        Self::with_bits(cores, entries_per_core, 4)
+    }
+
+    /// Creates per-core LLR tables sized for a congruence ratio: slots are
+    /// `0..ratio`, so ratio ≤ 4 packs LLRs at the paper's true 2 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `entries_per_core` is not a power of
+    /// two.
+    pub fn for_ratio(cores: u16, entries_per_core: usize, ratio: u8) -> Self {
+        Self::with_bits(cores, entries_per_core, if ratio <= 4 { 2 } else { 4 })
+    }
+
+    fn with_bits(cores: u16, entries_per_core: usize, bits_per_llr: u8) -> Self {
         assert!(cores > 0, "need at least one core");
         assert!(
             entries_per_core.is_power_of_two(),
             "table size must be a power of two"
         );
         let llr_count = usize::from(cores) * entries_per_core;
+        let per_byte = usize::from(8 / bits_per_llr);
         Self {
             entries_per_core,
             llr_count,
+            bits_per_llr,
             // Slot 0 (stacked) is the cold-start prediction: serial access
             // is the safe default.
-            nibbles: vec![0; llr_count.div_ceil(2)],
+            packed: vec![0; llr_count.div_ceil(per_byte)],
         }
     }
 
@@ -205,7 +227,10 @@ impl LineLocationPredictor {
     /// Panics if `core` exceeds the configured core count.
     pub fn predict(&self, core: CoreId, pc: u64) -> Slot {
         let idx = self.index(core, pc);
-        Slot::new((self.nibbles[idx / 2] >> ((idx & 1) * 4)) & 0xF)
+        let per_byte = usize::from(8 / self.bits_per_llr);
+        let shift = (idx % per_byte) as u8 * self.bits_per_llr;
+        let mask = (1u8 << self.bits_per_llr) - 1;
+        Slot::new((self.packed[idx / per_byte] >> shift) & mask)
     }
 
     /// Trains the LLR with the slot the LLT actually reported.
@@ -213,21 +238,33 @@ impl LineLocationPredictor {
     /// # Panics
     ///
     /// Panics if `core` exceeds the configured core count, or if the slot
-    /// does not fit the nibble encoding (ratios above 16 — beyond any
-    /// configuration the simulator accepts).
+    /// does not fit the register encoding (a slot ≥ 4 in a table built by
+    /// [`LineLocationPredictor::for_ratio`] for ratio ≤ 4, or ≥ 16 in a
+    /// nibble table — beyond any configuration the simulator accepts).
     pub fn train(&mut self, core: CoreId, pc: u64, actual: Slot) {
         let raw = actual.raw();
-        assert!(raw <= 0xF, "slot {raw} does not fit a packed LLR nibble");
+        let mask = (1u8 << self.bits_per_llr) - 1;
+        assert!(
+            raw <= mask,
+            "slot {raw} does not fit a {}-bit packed LLR",
+            self.bits_per_llr
+        );
         let idx = self.index(core, pc);
-        let shift = (idx & 1) * 4;
-        let byte = &mut self.nibbles[idx / 2];
-        *byte = (*byte & !(0xF << shift)) | (raw << shift);
+        let per_byte = usize::from(8 / self.bits_per_llr);
+        let shift = (idx % per_byte) as u8 * self.bits_per_llr;
+        let byte = &mut self.packed[idx / per_byte];
+        *byte = (*byte & !(mask << shift)) | (raw << shift);
     }
 
     /// Hardware storage in bytes (2 bits per LLR), the paper's "512 bytes
     /// total" claim for 8 cores × 256 entries.
     pub fn storage_bytes(&self) -> usize {
         self.llr_count * 2 / 8
+    }
+
+    /// Bits of host storage per LLR (2 at the paper's ratio, 4 otherwise).
+    pub fn llr_bits(&self) -> u8 {
+        self.bits_per_llr
     }
 
     /// Entries per core table.
@@ -322,5 +359,42 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_rejected() {
         LineLocationPredictor::new(1, 100);
+    }
+
+    #[test]
+    fn ratio_sized_tables_pick_register_width() {
+        assert_eq!(LineLocationPredictor::for_ratio(8, 256, 2).llr_bits(), 2);
+        assert_eq!(LineLocationPredictor::for_ratio(8, 256, 4).llr_bits(), 2);
+        assert_eq!(LineLocationPredictor::for_ratio(8, 256, 5).llr_bits(), 4);
+        assert_eq!(LineLocationPredictor::new(8, 256).llr_bits(), 4);
+        // The paper-model gauge is width-independent: 2 bits per LLR.
+        assert_eq!(LineLocationPredictor::for_ratio(8, 256, 4).storage_bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn two_bit_table_rejects_wide_slots() {
+        let mut llp = LineLocationPredictor::for_ratio(1, 64, 4);
+        llp.train(CoreId(0), 0x100, Slot::new(4));
+    }
+
+    proptest::proptest! {
+        /// A 2-bit table trained only with ratio-4 slots is
+        /// observation-equivalent to the nibble table over arbitrary
+        /// train/predict interleavings.
+        #[test]
+        fn two_bit_packing_matches_nibbles(
+            ops in proptest::collection::vec((0u16..3, 0u64..4096, 0u8..4), 0..300),
+        ) {
+            let mut narrow = LineLocationPredictor::for_ratio(3, 64, 4);
+            let mut wide = LineLocationPredictor::new(3, 64);
+            for (core, pc, slot) in ops {
+                let core = CoreId(core);
+                narrow.train(core, pc, Slot::new(slot));
+                wide.train(core, pc, Slot::new(slot));
+                proptest::prop_assert_eq!(narrow.predict(core, pc), wide.predict(core, pc));
+                proptest::prop_assert_eq!(narrow.predict(core, pc ^ 0x40), wide.predict(core, pc ^ 0x40));
+            }
+        }
     }
 }

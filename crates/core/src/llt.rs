@@ -8,7 +8,7 @@
 //! exactly-one-copy-of-every-line invariant that distinguishes CAMEO from a
 //! cache.
 
-use cameo_types::LineAddr;
+use cameo_types::{DetHashMap, LineAddr};
 
 use crate::congruence::CongruenceMap;
 
@@ -200,17 +200,56 @@ impl LltEntry {
     }
 }
 
+/// `n!` for the group sizes the table supports (`n <= 8`).
+fn factorial(n: u8) -> u32 {
+    (1..=u32::from(n)).product()
+}
+
+/// Decodes a Lehmer (factorial-number-system) index into the packed
+/// nibble word of the permutation it names. Index 0 is the identity.
+fn packed_of_lehmer(mut index: u32, ratio: u8) -> u32 {
+    let mut remaining: Vec<u8> = (0..ratio).collect();
+    let mut packed = 0u32;
+    for way in 0..ratio {
+        let base = factorial(ratio - 1 - way);
+        let digit = (index / base) as usize;
+        index %= base;
+        let slot = remaining.remove(digit);
+        packed |= u32::from(slot) << (way * 4);
+    }
+    packed
+}
+
+/// Bits needed to name any of the `ratio!` permutations of a group:
+/// 1 bit at ratio 2, 5 bits at the paper's ratio 4, 16 bits at ratio 8.
+fn lehmer_bits(ratio: u8) -> u8 {
+    let max = factorial(ratio) - 1;
+    if max == 0 {
+        1
+    } else {
+        (32 - max.leading_zeros()) as u8
+    }
+}
+
 /// The full Line Location Table: one entry per congruence group,
 /// initialized to the identity mapping (paper Figure 5's starting state).
 ///
-/// Storage is structure-of-arrays: the table keeps only each group's
-/// packed permutation word, with the (table-wide) ratio hoisted out of
-/// the per-group entries. An array-of-[`LltEntry`] costs 8 bytes per
-/// group (4 packed + 1 ratio + padding); the flat `Vec<u32>` costs 4 —
-/// halving the table's footprint and doubling how many groups fit per
-/// cache line on the per-access `locate` path, where the simulator
-/// spends most of its time. [`LltEntry`] remains the manipulation API;
-/// [`LineLocationTable::entry`] materializes one *by value* on demand.
+/// Storage is a *permutation-index* table: a ratio-`r` group can only ever
+/// hold one of the `r!` way→slot permutations, so the store keeps a
+/// Lehmer index per group — ⌈log₂ r!⌉ bits (5 bits at the paper's ratio
+/// 4, against 16 for the packed nibbles and 32 for a whole word) —
+/// bit-packed into a flat `Vec<u64>`. A table-wide decode LUT (`r!`
+/// entries, ≤ 160 KiB at ratio 8) turns an index back into the packed
+/// nibble word in one load, and its inverse map re-encodes updated
+/// entries. At the paper's full scale (64 M ratio-4 groups) this is
+/// ~40 MiB of host memory instead of 256 MiB. [`LltEntry`] remains the
+/// manipulation API; [`LineLocationTable::entry`] materializes one *by
+/// value* on demand, and `entry()`/`locate()` behave exactly as they did
+/// over the nibble store.
+///
+/// Fault injection can leave a group holding a *non*-permutation, which
+/// no index can name; those groups are parked verbatim in a sparse
+/// override map until a scrub restores a real permutation.
 ///
 /// This is the *contents* of the table; where those contents physically
 /// live (SRAM, a reserved stacked region, or co-located LEADs) — and what
@@ -219,21 +258,48 @@ impl LltEntry {
 #[derive(Clone, Debug)]
 pub struct LineLocationTable {
     map: CongruenceMap,
-    packed: Vec<u32>,
+    /// Lehmer indices, `index_bits` bits per group, little-endian within
+    /// and across words, plus one guard word so straddling reads never
+    /// index past the end.
+    store: Vec<u64>,
+    /// Lehmer index → packed nibble word; `decode[0]` is the identity.
+    decode: Vec<u32>,
+    /// Packed nibble word → Lehmer index (the inverse of `decode`).
+    encode: DetHashMap<u32, u32>,
+    index_bits: u8,
     ratio: u8,
     swaps: u64,
+    /// Groups whose entry is not a permutation (fault injection only):
+    /// raw packed nibble words, consulted before the index store.
+    #[cfg(feature = "faults")]
+    corrupted: DetHashMap<u64, u32>,
 }
 
 impl LineLocationTable {
     /// Creates an identity-mapped table for `map`.
     pub fn new(map: CongruenceMap) -> Self {
         let ratio = map.ratio();
-        let identity = LltEntry::identity(ratio).packed_bits();
+        let index_bits = lehmer_bits(ratio);
+        let perms = factorial(ratio);
+        let decode: Vec<u32> = (0..perms).map(|i| packed_of_lehmer(i, ratio)).collect();
+        let mut encode = DetHashMap::default();
+        for (i, &packed) in decode.iter().enumerate() {
+            encode.insert(packed, i as u32);
+        }
+        debug_assert_eq!(decode[0], LltEntry::identity(ratio).packed_bits());
+        let bits = map.groups() * u64::from(index_bits);
+        // Identity is index 0, so the zeroed store *is* the initial state.
+        let store = vec![0u64; usize::try_from(bits.div_ceil(64) + 1).expect("the group count was validated to fit host memory at construction")];
         Self {
             map,
-            packed: vec![identity; map.groups() as usize],
+            store,
+            decode,
+            encode,
+            index_bits,
             ratio,
             swaps: 0,
+            #[cfg(feature = "faults")]
+            corrupted: DetHashMap::default(),
         }
     }
 
@@ -249,23 +315,87 @@ impl LineLocationTable {
         self.swaps
     }
 
-    /// Entry of `group`, materialized by value from the packed store.
+    /// Reads `group`'s Lehmer index out of the bit-packed store.
+    #[inline]
+    fn read_index(&self, group: u64) -> u32 {
+        let bits = u64::from(self.index_bits);
+        let pos = group * bits;
+        let word = usize::try_from(pos >> 6).expect("bit positions stay within the store sized for every group");
+        let shift = (pos & 63) as u32;
+        let mask = (1u64 << bits) - 1;
+        let mut v = self.store[word] >> shift;
+        if u64::from(shift) + bits > 64 {
+            // Straddles into the next word (shift > 0 here, so 64 - shift
+            // is a valid shift amount).
+            v |= self.store[word + 1] << (64 - shift);
+        }
+        (v & mask) as u32
+    }
+
+    /// Writes `group`'s Lehmer index into the bit-packed store.
+    fn write_index(&mut self, group: u64, index: u32) {
+        let bits = u64::from(self.index_bits);
+        let pos = group * bits;
+        let word = usize::try_from(pos >> 6).expect("bit positions stay within the store sized for every group");
+        let shift = (pos & 63) as u32;
+        let mask = (1u64 << bits) - 1;
+        self.store[word] =
+            (self.store[word] & !(mask << shift)) | (u64::from(index) << shift);
+        if u64::from(shift) + bits > 64 {
+            let spill = 64 - shift;
+            self.store[word + 1] =
+                (self.store[word + 1] & !(mask >> spill)) | (u64::from(index) >> spill);
+        }
+    }
+
+    /// The effective packed nibble word of `group`: the corruption
+    /// override when fault injection has broken the permutation, else the
+    /// decoded index.
+    #[inline]
+    fn packed_of(&self, group: u64) -> u32 {
+        #[cfg(feature = "faults")]
+        if !self.corrupted.is_empty() {
+            if let Some(&packed) = self.corrupted.get(&group) {
+                return packed;
+            }
+        }
+        self.decode[self.read_index(group) as usize]
+    }
+
+    /// Stores a packed nibble word for `group`: permutations re-encode to
+    /// their index; anything else (reachable only through fault
+    /// injection) parks in the override map.
+    fn write_packed(&mut self, group: u64, packed: u32) {
+        if let Some(&index) = self.encode.get(&packed) {
+            self.write_index(group, index);
+            #[cfg(feature = "faults")]
+            self.corrupted.remove(&group);
+        } else {
+            #[cfg(feature = "faults")]
+            self.corrupted.insert(group, packed);
+            #[cfg(not(feature = "faults"))]
+            unreachable!("only permutations are written without the faults feature");
+        }
+    }
+
+    /// Entry of `group`, materialized by value from the index store.
     ///
     /// # Panics
     ///
     /// Panics if `group` is out of range.
     #[inline]
     pub fn entry(&self, group: u64) -> LltEntry {
-        LltEntry::from_packed(self.packed[group as usize], self.ratio)
+        LltEntry::from_packed(self.packed_of(group), self.ratio)
     }
 
-    /// Physical slot of a requested line: one 4-byte word read and a
-    /// nibble extract — the hot path of every post-L3 access.
+    /// Physical slot of a requested line: a bit-field extract, one decode
+    /// LUT load and a nibble extract — the hot path of every post-L3
+    /// access.
     #[inline]
     pub fn locate(&self, line: LineAddr) -> Slot {
         let group = self.map.group_of(line);
         let way = self.map.way_of(line);
-        Slot::new(((self.packed[group as usize] >> (way * 4)) & 0xF) as u8)
+        Slot::new(((self.packed_of(group) >> (way * 4)) & 0xF) as u8)
     }
 
     /// Swaps `line` into its group's stacked slot, returning the requested
@@ -276,7 +406,7 @@ impl LineLocationTable {
         let way = self.map.way_of(line);
         let mut entry = self.entry(group);
         let (displaced_way, slot) = entry.promote(way)?;
-        self.packed[group as usize] = entry.packed_bits();
+        self.write_packed(group, entry.packed_bits());
         self.swaps += 1;
         Some((self.map.line_of(group, displaced_way), slot))
     }
@@ -291,7 +421,7 @@ impl LineLocationTable {
     pub fn corrupt_entry_bit(&mut self, group: u64, bit: u8) {
         let mut entry = self.entry(group);
         entry.flip_bit(bit);
-        self.packed[group as usize] = entry.packed_bits();
+        self.write_packed(group, entry.packed_bits());
     }
 
     /// Overwrites `group`'s entry wholesale — the final step of a scrub
@@ -309,20 +439,35 @@ impl LineLocationTable {
             self.ratio,
             "restored entry must match the table's ratio"
         );
-        self.packed[group as usize] = entry.packed_bits();
+        self.write_packed(group, entry.packed_bits());
     }
 
     /// Fraction of groups still in their identity mapping (useful to watch
     /// swap churn in experiments).
     pub fn identity_fraction(&self) -> f64 {
-        let identity = LltEntry::identity(self.ratio).packed_bits();
-        let n = self.packed.iter().filter(|&&p| p == identity).count();
-        n as f64 / self.packed.len() as f64
+        let identity = self.decode[0];
+        let n = (0..self.map.groups())
+            .filter(|&g| self.packed_of(g) == identity)
+            .count();
+        n as f64 / self.map.groups() as f64
     }
 
     /// Storage the table would occupy with the paper's one-byte entries.
     pub fn storage_bytes(&self) -> u64 {
-        self.packed.len() as u64
+        self.map.groups()
+    }
+
+    /// Bits of host storage per group in the permutation-index encoding
+    /// (5 at the paper's ratio 4).
+    pub fn index_bits(&self) -> u8 {
+        self.index_bits
+    }
+
+    /// Host bytes actually resident for the table's per-group state (the
+    /// bit-packed index store; the decode LUT and its inverse are
+    /// table-wide constants independent of group count).
+    pub fn host_resident_bytes(&self) -> u64 {
+        self.store.len() as u64 * 8
     }
 }
 
@@ -412,5 +557,162 @@ mod tests {
     #[should_panic(expected = "ratio must be in 2..=8")]
     fn huge_ratio_rejected() {
         LltEntry::identity(9);
+    }
+
+    #[test]
+    fn lehmer_codec_is_a_bijection_over_permutations() {
+        for ratio in 2..=8u8 {
+            let perms = factorial(ratio);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..perms {
+                let packed = packed_of_lehmer(i, ratio);
+                let entry = LltEntry::from_packed(packed, ratio);
+                assert!(entry.is_permutation(), "index {i} at ratio {ratio}");
+                assert!(seen.insert(packed), "index {i} collides at ratio {ratio}");
+            }
+        }
+        // Index 0 is the identity at every ratio (the zeroed store is the
+        // initial table state).
+        for ratio in 2..=8u8 {
+            assert_eq!(
+                packed_of_lehmer(0, ratio),
+                LltEntry::identity(ratio).packed_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn index_width_matches_group_factorial() {
+        let widths = [(2u8, 1u8), (3, 3), (4, 5), (5, 7), (6, 10), (7, 13), (8, 16)];
+        for (ratio, bits) in widths {
+            assert_eq!(lehmer_bits(ratio), bits, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn host_storage_shrinks_to_index_bits() {
+        // 4096 ratio-4 groups: 5 bits each = 20480 bits = 321 words
+        // (+ guard) against 16 KiB of packed nibbles before the recode.
+        let llt = LineLocationTable::new(CongruenceMap::new(4096, 4));
+        assert_eq!(llt.index_bits(), 5);
+        assert_eq!(llt.host_resident_bytes(), (4096 * 5u64).div_ceil(64) * 8 + 8);
+        assert!(llt.host_resident_bytes() < 4096 * 4 / 2);
+        // The paper-model gauge is unchanged: one byte per group.
+        assert_eq!(llt.storage_bytes(), 4096);
+    }
+
+    /// The nibble-packed store this PR replaced, kept verbatim as the
+    /// reference model: one u32 of packed way→slot nibbles per group.
+    struct NibbleTable {
+        map: CongruenceMap,
+        packed: Vec<u32>,
+        ratio: u8,
+    }
+
+    impl NibbleTable {
+        fn new(map: CongruenceMap) -> Self {
+            let ratio = map.ratio();
+            let identity = LltEntry::identity(ratio).packed_bits();
+            Self {
+                map,
+                packed: vec![identity; map.groups() as usize],
+                ratio,
+            }
+        }
+
+        fn entry(&self, group: u64) -> LltEntry {
+            LltEntry::from_packed(self.packed[group as usize], self.ratio)
+        }
+
+        fn locate(&self, line: LineAddr) -> Slot {
+            let group = self.map.group_of(line);
+            let way = self.map.way_of(line);
+            Slot::new(((self.packed[group as usize] >> (way * 4)) & 0xF) as u8)
+        }
+
+        fn promote(&mut self, line: LineAddr) -> Option<(LineAddr, Slot)> {
+            let group = self.map.group_of(line);
+            let way = self.map.way_of(line);
+            let mut entry = self.entry(group);
+            let (displaced_way, slot) = entry.promote(way)?;
+            self.packed[group as usize] = entry.packed_bits();
+            Some((self.map.line_of(group, displaced_way), slot))
+        }
+
+        fn identity_fraction(&self) -> f64 {
+            let identity = LltEntry::identity(self.ratio).packed_bits();
+            let n = self.packed.iter().filter(|&&p| p == identity).count();
+            n as f64 / self.packed.len() as f64
+        }
+    }
+
+    proptest::proptest! {
+        /// The permutation-index table is observation-equivalent to the
+        /// nibble table over arbitrary promote sequences: every locate,
+        /// every entry, every promote return value, and the identity
+        /// fraction agree, at every ratio (1-bit through 16-bit indices,
+        /// covering word-straddling bit fields).
+        #[test]
+        fn permutation_index_matches_nibble_table(
+            ratio in 2u8..=8,
+            groups in 1u64..50,
+            ops in proptest::collection::vec((0u64..50, 0u8..8), 0..200),
+        ) {
+            let map = CongruenceMap::new(groups, ratio);
+            let mut coded = LineLocationTable::new(map);
+            let mut nibble = NibbleTable::new(map);
+            for (g, w) in ops {
+                let line = map.line_of(g % groups, w % ratio);
+                proptest::prop_assert_eq!(coded.promote(line), nibble.promote(line));
+                proptest::prop_assert_eq!(coded.locate(line), nibble.locate(line));
+            }
+            for g in 0..groups {
+                proptest::prop_assert_eq!(coded.entry(g), nibble.entry(g));
+                proptest::prop_assert!(coded.entry(g).is_permutation());
+            }
+            for w in 0..ratio {
+                let line = map.line_of(groups - 1, w);
+                proptest::prop_assert_eq!(coded.locate(line), nibble.locate(line));
+            }
+            proptest::prop_assert_eq!(coded.identity_fraction(), nibble.identity_fraction());
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    mod faults {
+        use super::*;
+
+        /// Corrupted (non-permutation) entries cannot be index-coded; the
+        /// override map must carry them verbatim and drain on restore.
+        #[test]
+        fn corrupt_entries_round_trip_through_overrides() {
+            let map = CongruenceMap::new(16, 4);
+            let mut llt = LineLocationTable::new(map);
+            let before = llt.entry(3);
+            llt.corrupt_entry_bit(3, 2);
+            let corrupt = llt.entry(3);
+            assert_ne!(corrupt, before);
+            assert!(!corrupt.is_permutation());
+            // Reads of the corrupted group see the raw flipped word; other
+            // groups are untouched.
+            assert_eq!(llt.locate(map.line_of(3, 0)), corrupt.slot_of(0));
+            assert_eq!(llt.entry(4), LltEntry::identity(4));
+            llt.restore_entry(3, before);
+            assert_eq!(llt.entry(3), before);
+            assert!(llt.corrupted.is_empty(), "restore must drain the override");
+        }
+
+        /// A second flip of the same bit restores the permutation, which
+        /// must migrate back from the override map into the index store.
+        #[test]
+        fn double_flip_returns_to_the_index_store() {
+            let map = CongruenceMap::new(8, 4);
+            let mut llt = LineLocationTable::new(map);
+            llt.corrupt_entry_bit(5, 7);
+            assert!(!llt.corrupted.is_empty());
+            llt.corrupt_entry_bit(5, 7);
+            assert!(llt.corrupted.is_empty());
+            assert_eq!(llt.entry(5), LltEntry::identity(4));
+        }
     }
 }

@@ -632,29 +632,52 @@ fn io_error(path: &Path, op: &'static str, e: &std::io::Error) -> SimError {
 
 /// The shared body of [`load`] and [`load_and_repair`]: parses every
 /// whole record and reports — without acting on — a torn trailing line.
+///
+/// Records stream straight from a buffered reader into the resume map —
+/// one line buffer, reused — so replay memory is O(points retained), not
+/// O(file). A paper-scale sweep's checkpoint (thousands of fat `stats`
+/// records) resumes without ever holding the file's text in memory.
 fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
-    let empty = || LoadedCheckpoint {
+    let mut loaded = LoadedCheckpoint {
         records: DetHashMap::default(),
         torn_tail_offset: None,
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty()),
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(loaded),
         Err(e) => return Err(io_error(path, "read", &e)),
     };
-    // Line starts are tracked by byte offset so a torn tail can be cut
-    // off exactly where the interrupted append began.
-    let mut lines: Vec<(u64, &str)> = Vec::new();
+    let mut reader = std::io::BufReader::new(file);
+    let mut buf = String::new();
+    // A parse failure is only the torn-tail signature if no further
+    // non-blank line follows, so a failure is *parked* here and either
+    // promoted to a hard error by the next line or left as the tail.
+    // Offsets track where each line starts so repair can cut exactly at
+    // the interrupted append.
+    let mut pending_failure: Option<(u64, usize, String)> = None;
     let mut offset = 0u64;
-    for raw in text.split_inclusive('\n') {
-        let line = raw.trim_end_matches(['\n', '\r']);
-        if !line.trim().is_empty() {
-            lines.push((offset, line));
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        let read = std::io::BufRead::read_line(&mut reader, &mut buf)
+            .map_err(|e| io_error(path, "read", &e))?;
+        if read == 0 {
+            break;
         }
-        offset += raw.len() as u64;
-    }
-    let mut loaded = empty();
-    for (i, (start, line)) in lines.iter().enumerate() {
+        let start = offset;
+        offset += read as u64;
+        let line = buf.trim_end_matches(['\n', '\r']);
+        if line.trim().is_empty() {
+            continue;
+        }
+        line_no += 1;
+        if let Some((_, failed_line, e)) = pending_failure.take() {
+            return Err(SimError::Checkpoint(format!(
+                "{} line {}: {e}",
+                path.display(),
+                failed_line
+            )));
+        }
         match parse_line(line) {
             Ok(CheckpointLine::Terminal(key, record)) => {
                 loaded.records.insert(key, record);
@@ -664,18 +687,12 @@ fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
                 // no result exists, so the point simply re-runs — which
                 // is exactly what "absent from the done-map" causes.
             }
-            Err(_) if i + 1 == lines.len() => {
-                // Interrupted final append: resume will redo this point.
-                loaded.torn_tail_offset = Some(*start);
-            }
-            Err(e) => {
-                return Err(SimError::Checkpoint(format!(
-                    "{} line {}: {e}",
-                    path.display(),
-                    i + 1
-                )));
-            }
+            Err(e) => pending_failure = Some((start, line_no, e)),
         }
+    }
+    if let Some((start, _, _)) = pending_failure {
+        // Interrupted final append: resume will redo this point.
+        loaded.torn_tail_offset = Some(start);
     }
     Ok(loaded)
 }
@@ -952,6 +969,40 @@ mod tests {
             std::fs::read_to_string(&path).expect("tmp readable"),
             before,
             "mid-file corruption must be left for a human, not truncated"
+        );
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// The streaming loader's parked-failure logic: a torn record
+    /// followed only by blank lines is still the tail (skipped, offset
+    /// reported), while any later *record* promotes it to a hard error —
+    /// and a multi-record file streams into the map intact.
+    #[test]
+    fn streaming_load_parks_tail_failures_and_streams_records() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_stream_{}.jsonl", std::process::id()));
+        let mut text = String::new();
+        for i in 0..200 {
+            let rec = PointRecord::Failed {
+                attempts: 1,
+                error: format!("err {i}"),
+            };
+            text.push_str(&render_record(&format!("p{i}::x"), &rec));
+            text.push('\n');
+        }
+        let whole_len = text.len() as u64;
+        // Torn tail, then nothing but blank lines: still a torn tail.
+        text.push_str("{\"key\":\"torn::x\",\"sta\n\n  \n");
+        std::fs::write(&path, &text).expect("tmp write");
+        let map = load(&path).expect("blank lines after a torn tail stay a torn tail");
+        assert_eq!(map.len(), 200);
+        assert!(map.contains_key("p0::x") && map.contains_key("p199::x"));
+        // Repair cuts exactly at the torn append's start offset.
+        load_and_repair(&path).expect("repairable");
+        assert_eq!(
+            std::fs::metadata(&path).expect("tmp stat").len(),
+            whole_len,
+            "repair truncated at the torn line's byte offset"
         );
         std::fs::remove_file(&path).expect("tmp cleanup");
     }

@@ -48,7 +48,7 @@ use crate::experiments::{build_org, build_org_traced, OrgKind};
 use crate::org::MemoryOrganization;
 use crate::runner::{RunSession, Runner, SessionStatus};
 use crate::stats::RunStats;
-use crate::trace::{SharedSink, TraceData, TraceOptions};
+use crate::trace::{EpochSpillFn, SharedSink, TraceData, TraceOptions};
 
 /// One design point of a sweep: a benchmark and an organization.
 #[derive(Clone, PartialEq, Debug)]
@@ -319,10 +319,41 @@ pub fn run_sweep_traced(
     checkpoint_path: Option<&Path>,
     trace_opts: TraceOptions,
 ) -> Result<SweepReport, SimError> {
+    run_sweep_traced_spilling(points, opts, checkpoint_path, trace_opts, &|_| None)
+}
+
+/// Per-point epoch-spill factory for [`run_sweep_traced_spilling`].
+///
+/// Called once per *attempt*, so a retried point gets a fresh hook and a
+/// truncating writer never mixes two attempts' epochs. `Sync` because
+/// sweep workers build points concurrently. Returning `None` arms a
+/// plain (non-spilling) sink for that point.
+pub type EpochSpillFactory<'b> = dyn Fn(&SweepPoint) -> Option<EpochSpillFn> + Sync + 'b;
+
+/// [`run_sweep_traced`], with each point's sink armed to stream epochs
+/// evicted from the bounded retention ring (see
+/// [`crate::trace::EpochSeries`]) through the hook `spill` hands out.
+/// This is the flat-memory path for paper-scale runs: the epoch series
+/// reaches disk incrementally instead of accumulating per point.
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on checkpoint I/O failure. Per-point
+/// failures do *not* abort the sweep; they are recorded in the report.
+pub fn run_sweep_traced_spilling(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+    trace_opts: TraceOptions,
+    spill: &EpochSpillFactory<'_>,
+) -> Result<SweepReport, SimError> {
     run_sweep_inner(points, opts, checkpoint_path, &|point, config| {
         let bench = cameo_workloads::by_name(&point.bench)
             .expect("run_sweep resolved the benchmark before building the organization");
-        let sink = SharedSink::new(trace_opts);
+        let sink = match spill(point) {
+            Some(hook) => SharedSink::with_spill(trace_opts, hook),
+            None => SharedSink::new(trace_opts),
+        };
         let org = build_org_traced(&bench, point.kind, config, sink.clone());
         (org, Some(sink))
     })
@@ -429,7 +460,7 @@ fn run_sweep_inner(
                         return crate::pool::TaskStatus::Done;
                     }
                 }
-                *lock(&results[n]) = Some((record, task.wall_nanos, trace));
+                *lock(&results[n]) = Some((record, task.wall_nanos, trace.map(|boxed| *boxed)));
                 crate::pool::TaskStatus::Done
             }
             ChunkOutcome::InProgress => {
@@ -565,10 +596,12 @@ struct ActiveRun {
     session: RunSession<TraceGenerator>,
 }
 
-/// What one chunk invocation produced.
+/// What one chunk invocation produced. The trace rides behind a `Box`:
+/// the bounded epoch ring makes `TraceData` a wide value, and the
+/// variant would otherwise dominate the enum's size.
 enum ChunkOutcome {
     /// The point reached a terminal record (done, or failed for good).
-    Terminal(PointRecord, Option<TraceData>),
+    Terminal(PointRecord, Option<Box<TraceData>>),
     /// The point parked mid-run (or between failed attempts); re-queue.
     InProgress,
 }
@@ -641,7 +674,7 @@ fn run_chunk(
                 .active
                 .take()
                 .and_then(|active| active.sink)
-                .map(|sink| sink.take());
+                .map(|sink| Box::new(sink.take()));
             ChunkOutcome::Terminal(
                 PointRecord::Done {
                     attempts: task.attempt,

@@ -22,9 +22,20 @@
 //! assert_eq!(data.totals().swaps, 1);
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use cameo_types::{Cycle, TraceEvent, TraceSink};
+
+/// Default cap on retained epochs — generous enough that every short and
+/// medium run (goldens, quick sweeps, CI smokes) keeps its full series,
+/// while a paper-scale run spanning millions of epochs stays flat at
+/// ~360 KiB of counters per point.
+pub const DEFAULT_MAX_EPOCHS: usize = 4096;
+
+/// A hook fed each epoch the bounded ring evicts, with its absolute
+/// index. Boxed so a sweep can hand every point its own JSONL appender.
+pub type EpochSpillFn = Box<dyn FnMut(u64, &EpochCounters) + Send>;
 
 /// How an armed trace run aggregates and retains events.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,6 +48,11 @@ pub struct TraceOptions {
     /// Cap on retained raw events; later events only feed the epoch
     /// counters and bump [`TraceData::dropped_events`].
     pub max_events: usize,
+    /// Cap on retained epochs. Older epochs spill out of the ring —
+    /// merged into running totals (and streamed to the sink's spill
+    /// hook, when armed) — so a run of any length holds at most this
+    /// many [`EpochCounters`] in memory.
+    pub max_epochs: usize,
 }
 
 impl Default for TraceOptions {
@@ -45,6 +61,7 @@ impl Default for TraceOptions {
             epoch_cycles: 100_000,
             capture_events: true,
             max_events: 10_000,
+            max_epochs: DEFAULT_MAX_EPOCHS,
         }
     }
 }
@@ -149,19 +166,42 @@ impl EpochCounters {
 
 /// Per-epoch counters, indexed by `cycle / epoch_cycles` with gaps filled
 /// by zeroed epochs.
+///
+/// Retention is a bounded ring: at most `max_epochs` recent epochs stay
+/// resident. An epoch pushed out of the window is *spilled* — merged into
+/// running totals (so [`EpochSeries::totals`] and
+/// [`EpochSeries::epoch_count`] cover the whole run) and handed to the
+/// caller's spill hook, which is how a paper-scale run streams its epoch
+/// series to disk instead of accumulating it. Runs shorter than the cap
+/// behave exactly as an unbounded series did.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EpochSeries {
     epoch_cycles: u64,
-    epochs: Vec<EpochCounters>,
+    max_epochs: usize,
+    /// Absolute index of `ring[0]` — equivalently, how many epochs have
+    /// been spilled.
+    base: u64,
+    ring: VecDeque<EpochCounters>,
+    /// Every spilled epoch, merged.
+    spilled: EpochCounters,
 }
 
 impl EpochSeries {
     /// Creates an empty series with the given epoch length (clamped to at
-    /// least 1 cycle).
+    /// least 1 cycle) and the default retention cap.
     pub fn new(epoch_cycles: u64) -> Self {
+        Self::with_capacity(epoch_cycles, DEFAULT_MAX_EPOCHS)
+    }
+
+    /// Creates an empty series retaining at most `max_epochs` epochs
+    /// (clamped to at least 1).
+    pub fn with_capacity(epoch_cycles: u64, max_epochs: usize) -> Self {
         Self {
             epoch_cycles: epoch_cycles.max(1),
-            epochs: Vec::new(),
+            max_epochs: max_epochs.max(1),
+            base: 0,
+            ring: VecDeque::new(),
+            spilled: EpochCounters::default(),
         }
     }
 
@@ -170,18 +210,78 @@ impl EpochSeries {
         self.epoch_cycles
     }
 
-    /// The per-epoch counters, earliest first.
-    pub fn epochs(&self) -> &[EpochCounters] {
-        &self.epochs
+    /// Total epochs the run has covered, spilled ones included.
+    pub fn epoch_count(&self) -> u64 {
+        self.base + self.ring.len() as u64
     }
 
-    /// Folds one event into the epoch covering `now`.
-    pub fn record(&mut self, now: Cycle, event: &TraceEvent) {
-        let idx = (now.raw() / self.epoch_cycles) as usize;
-        if idx >= self.epochs.len() {
-            self.epochs.resize(idx + 1, EpochCounters::default());
+    /// How many epochs have been spilled out of the retention window.
+    pub fn spilled_epochs(&self) -> u64 {
+        self.base
+    }
+
+    /// The merged counters of every spilled epoch.
+    pub fn spilled_totals(&self) -> &EpochCounters {
+        &self.spilled
+    }
+
+    /// The retained window: `(absolute index, counters)` pairs, earliest
+    /// first. For runs shorter than the cap this is the whole series.
+    pub fn retained(&self) -> impl Iterator<Item = (u64, &EpochCounters)> {
+        self.ring
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.base + i as u64, c))
+    }
+
+    /// Whole-run counters: spilled and retained epochs merged.
+    pub fn totals(&self) -> EpochCounters {
+        let mut total = self.spilled;
+        for epoch in &self.ring {
+            total.merge(epoch);
         }
-        self.epochs[idx].record(event);
+        total
+    }
+
+    /// Folds one event into the epoch covering `now`, discarding spilled
+    /// epochs (they still reach the running totals).
+    pub fn record(&mut self, now: Cycle, event: &TraceEvent) {
+        self.record_spilling(now, event, &mut |_, _| {});
+    }
+
+    /// Folds one event into the epoch covering `now`, handing each epoch
+    /// that falls out of the retention window to `spill` (with its
+    /// absolute index) before it is discarded.
+    ///
+    /// An event older than the window — possible only with a cap smaller
+    /// than the reordering depth of the emitter — merges straight into
+    /// the spilled totals: never lost, just not attributable to a
+    /// resident epoch anymore.
+    pub fn record_spilling(
+        &mut self,
+        now: Cycle,
+        event: &TraceEvent,
+        spill: &mut dyn FnMut(u64, &EpochCounters),
+    ) {
+        let idx = now.raw() / self.epoch_cycles;
+        if idx < self.base {
+            self.spilled.record(event);
+            return;
+        }
+        while self.epoch_count() <= idx {
+            self.ring.push_back(EpochCounters::default());
+            if self.ring.len() > self.max_epochs {
+                let evicted = self
+                    .ring
+                    .pop_front()
+                    .expect("ring is non-empty: an epoch was just pushed");
+                spill(self.base, &evicted);
+                self.spilled.merge(&evicted);
+                self.base += 1;
+            }
+        }
+        let slot = usize::try_from(idx - self.base).expect("ring length is bounded by max_epochs");
+        self.ring[slot].record(event);
     }
 }
 
@@ -266,7 +366,7 @@ impl TraceData {
     /// Creates an empty recording with the given options.
     pub fn new(opts: TraceOptions) -> Self {
         Self {
-            epochs: EpochSeries::new(opts.epoch_cycles),
+            epochs: EpochSeries::with_capacity(opts.epoch_cycles, opts.max_epochs),
             events: EventBuffer::default(),
             dropped_events: 0,
             opts,
@@ -280,7 +380,18 @@ impl TraceData {
 
     /// Folds one event into the recording.
     pub fn record(&mut self, now: Cycle, event: TraceEvent) {
-        self.epochs.record(now, &event);
+        self.record_spilling(now, event, &mut |_, _| {});
+    }
+
+    /// Folds one event into the recording, handing epochs evicted from
+    /// the bounded ring to `spill` (see [`EpochSeries::record_spilling`]).
+    pub fn record_spilling(
+        &mut self,
+        now: Cycle,
+        event: TraceEvent,
+        spill: &mut dyn FnMut(u64, &EpochCounters),
+    ) {
+        self.epochs.record_spilling(now, &event, spill);
         if self.opts.capture_events {
             if self.events.len() < self.opts.max_events {
                 self.events.push(now, event);
@@ -290,13 +401,9 @@ impl TraceData {
         }
     }
 
-    /// Whole-run counters: every epoch merged.
+    /// Whole-run counters: every epoch merged, spilled ones included.
     pub fn totals(&self) -> EpochCounters {
-        let mut total = EpochCounters::default();
-        for epoch in self.epochs.epochs() {
-            total.merge(epoch);
-        }
-        total
+        self.epochs.totals()
     }
 
     /// Total events folded into the recording (retained or not).
@@ -311,9 +418,23 @@ impl TraceData {
 ///
 /// Cloning shares the underlying [`TraceData`]; [`SharedSink::take`]
 /// extracts it, leaving an empty recording behind.
-#[derive(Clone, Debug)]
+///
+/// A sink armed with [`SharedSink::with_spill`] additionally streams
+/// every epoch the bounded ring evicts to the hook, so a long run's
+/// epoch series reaches disk incrementally while memory stays flat.
+#[derive(Clone)]
 pub struct SharedSink {
     data: Arc<Mutex<TraceData>>,
+    spill: Option<Arc<Mutex<EpochSpillFn>>>,
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink")
+            .field("data", &self.data)
+            .field("spill_armed", &self.spill.is_some())
+            .finish()
+    }
 }
 
 impl SharedSink {
@@ -321,6 +442,16 @@ impl SharedSink {
     pub fn new(opts: TraceOptions) -> Self {
         Self {
             data: Arc::new(Mutex::new(TraceData::new(opts))),
+            spill: None,
+        }
+    }
+
+    /// Creates an armed sink that feeds ring-evicted epochs to `spill`
+    /// (shared by every clone).
+    pub fn with_spill(opts: TraceOptions, spill: EpochSpillFn) -> Self {
+        Self {
+            data: Arc::new(Mutex::new(TraceData::new(opts))),
+            spill: Some(Arc::new(Mutex::new(spill))),
         }
     }
 
@@ -349,11 +480,33 @@ impl TraceSink for SharedSink {
     const ENABLED: bool = true;
 
     fn emit(&mut self, now: Cycle, event: TraceEvent) {
-        let mut guard = self
-            .data
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        guard.record(now, event);
+        // Evictions are collected under the data lock and written after
+        // releasing it, so the (rare) spill I/O never extends the window
+        // in which the hot recording path is blocked. `Vec::new` does not
+        // allocate, and most emits evict nothing.
+        let mut evicted: Vec<(u64, EpochCounters)> = Vec::new();
+        {
+            let mut guard = self
+                .data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match &self.spill {
+                Some(_) => guard.record_spilling(now, event, &mut |idx, c| {
+                    evicted.push((idx, *c));
+                }),
+                None => guard.record(now, event),
+            }
+        }
+        if let Some(spill) = &self.spill {
+            if !evicted.is_empty() {
+                let mut hook = spill
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (idx, counters) in &evicted {
+                    hook(*idx, counters);
+                }
+            }
+        }
     }
 }
 
@@ -366,10 +519,80 @@ mod tests {
         let mut series = EpochSeries::new(100);
         series.record(Cycle::new(5), &TraceEvent::Swap { group: 1 });
         series.record(Cycle::new(350), &TraceEvent::Swap { group: 2 });
-        assert_eq!(series.epochs().len(), 4);
-        assert_eq!(series.epochs()[0].swaps, 1);
-        assert_eq!(series.epochs()[1].swaps, 0);
-        assert_eq!(series.epochs()[3].swaps, 1);
+        assert_eq!(series.epoch_count(), 4);
+        assert_eq!(series.spilled_epochs(), 0);
+        let retained: Vec<(u64, EpochCounters)> =
+            series.retained().map(|(i, c)| (i, *c)).collect();
+        assert_eq!(retained.len(), 4);
+        assert_eq!(retained[0].0, 0);
+        assert_eq!(retained[0].1.swaps, 1);
+        assert_eq!(retained[1].1.swaps, 0);
+        assert_eq!(retained[3].1.swaps, 1);
+    }
+
+    /// The bounded ring evicts the oldest epochs — in order, with their
+    /// absolute indices — while totals and the epoch count keep covering
+    /// the whole run.
+    #[test]
+    fn ring_spills_oldest_epochs_but_totals_cover_the_run() {
+        let mut series = EpochSeries::with_capacity(10, 4);
+        let mut spilled: Vec<(u64, u64)> = Vec::new();
+        for epoch in 0..10u64 {
+            series.record_spilling(
+                Cycle::new(epoch * 10),
+                &TraceEvent::Swap { group: epoch },
+                &mut |idx, c| spilled.push((idx, c.swaps)),
+            );
+        }
+        assert_eq!(series.epoch_count(), 10);
+        assert_eq!(series.spilled_epochs(), 6);
+        assert_eq!(spilled, vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1), (5, 1)]);
+        assert_eq!(series.spilled_totals().swaps, 6);
+        assert_eq!(series.totals().swaps, 10);
+        let retained: Vec<u64> = series.retained().map(|(i, _)| i).collect();
+        assert_eq!(retained, vec![6, 7, 8, 9]);
+    }
+
+    /// An event older than the retention window merges into the spilled
+    /// totals instead of vanishing.
+    #[test]
+    fn late_events_behind_the_window_reach_the_totals() {
+        let mut series = EpochSeries::with_capacity(10, 2);
+        series.record(Cycle::new(90), &TraceEvent::Swap { group: 0 });
+        assert!(series.spilled_epochs() > 0);
+        series.record(Cycle::new(0), &TraceEvent::Swap { group: 1 });
+        assert_eq!(series.totals().swaps, 2);
+        assert_eq!(series.epoch_count(), 10);
+    }
+
+    /// A spill-armed sink streams evicted epochs to its hook while the
+    /// recording keeps whole-run totals.
+    #[test]
+    fn shared_sink_streams_evicted_epochs_to_the_spill_hook() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let hook_seen = Arc::clone(&seen);
+        let mut sink = SharedSink::with_spill(
+            TraceOptions {
+                epoch_cycles: 10,
+                capture_events: false,
+                max_events: 0,
+                max_epochs: 2,
+            },
+            Box::new(move |idx, c: &EpochCounters| {
+                hook_seen.lock().expect("test hook").push((idx, c.swaps));
+            }),
+        );
+        for epoch in 0..5u64 {
+            sink.emit(Cycle::new(epoch * 10), TraceEvent::Swap { group: epoch });
+        }
+        assert_eq!(
+            *seen.lock().expect("test hook"),
+            vec![(0, 1), (1, 1), (2, 1)]
+        );
+        let data = sink.take();
+        assert_eq!(data.totals().swaps, 5);
+        assert_eq!(data.epochs.epoch_count(), 5);
+        assert_eq!(data.epochs.spilled_epochs(), 3);
     }
 
     #[test]
@@ -411,6 +634,7 @@ mod tests {
             epoch_cycles: 10,
             capture_events: true,
             max_events: 2,
+            max_epochs: DEFAULT_MAX_EPOCHS,
         });
         for i in 0..5u64 {
             data.record(Cycle::new(i), TraceEvent::Swap { group: i });

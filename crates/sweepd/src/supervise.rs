@@ -210,7 +210,7 @@ pub fn run_job(
                 }
                 if let Some(trace) = &outcome.trace {
                     totals.merge(&trace.totals());
-                    epochs += trace.epochs.epochs().len() as u64;
+                    epochs += trace.epochs.epoch_count();
                 }
                 records.insert(outcome.point.key.clone(), outcome.record.clone());
             }

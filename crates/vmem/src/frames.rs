@@ -1,6 +1,17 @@
 //! Physical frame pool with clock-plus-random-probe victim selection.
+//!
+//! Frame state is held in sparse two-level lazy tables: the paper-scale
+//! configuration tracks ~4 M frames, and an eager `Vec<Frame>` plus an
+//! eager free list cost ~100 MiB before the workload touches a page.
+//! Here the per-frame table allocates fixed-size leaves on first *write*
+//! (reads of untouched frames see `Frame::default()` without
+//! materializing anything), and the free list stores only its deviations
+//! from the virtual initial state, so untouched address space costs
+//! nothing. Both structures reproduce the eager versions' observable
+//! behavior exactly — same RNG draws, same pop order, same victim
+//! choices — which the property tests in this module pin.
 
-use cameo_types::{PageAddr, PhysPageAddr};
+use cameo_types::{DetHashMap, PageAddr, PhysPageAddr};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -28,11 +39,164 @@ pub enum Region {
     Any,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 struct Frame {
     resident: Option<PageAddr>,
     referenced: bool,
     dirty: bool,
+}
+
+/// Frames per leaf of the lazy frame table: 4096 × 16 B = 64 KiB leaves,
+/// so even a fully-touched paper-scale pool adds only ~1 K leaf pointers
+/// of overhead while an untouched one allocates nothing.
+const LEAF_FRAMES: usize = 4096;
+
+/// Sparse two-level table of per-frame state. Reads of frames whose leaf
+/// was never materialized return `Frame::default()`; only writes that
+/// change state allocate a leaf.
+#[derive(Clone, Debug)]
+struct FrameTable {
+    leaves: Vec<Option<Box<[Frame]>>>,
+    total: usize,
+}
+
+impl FrameTable {
+    fn new(total: usize) -> Self {
+        Self {
+            leaves: vec![None; total.div_ceil(LEAF_FRAMES)],
+            total,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Current state of frame `idx`, by value (no allocation).
+    #[inline]
+    fn get(&self, idx: usize) -> Frame {
+        debug_assert!(idx < self.total, "frame out of range");
+        match &self.leaves[idx / LEAF_FRAMES] {
+            Some(leaf) => leaf[idx % LEAF_FRAMES],
+            None => Frame::default(),
+        }
+    }
+
+    /// Mutable state of frame `idx`, materializing its leaf on first
+    /// touch.
+    #[inline]
+    fn get_mut(&mut self, idx: usize) -> &mut Frame {
+        debug_assert!(idx < self.total, "frame out of range");
+        let leaf = self.leaves[idx / LEAF_FRAMES]
+            .get_or_insert_with(|| vec![Frame::default(); LEAF_FRAMES].into_boxed_slice());
+        &mut leaf[idx % LEAF_FRAMES]
+    }
+
+    /// Referenced bit of frame `idx` (no allocation).
+    #[inline]
+    fn referenced(&self, idx: usize) -> bool {
+        match &self.leaves[idx / LEAF_FRAMES] {
+            Some(leaf) => leaf[idx % LEAF_FRAMES].referenced,
+            None => false,
+        }
+    }
+
+    /// Leaves currently materialized (host-memory gauge).
+    fn resident_leaves(&self) -> usize {
+        self.leaves.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// The free-frame list, stored as its deviation from the virtual initial
+/// state `value(i) = total - 1 - i` (the eager `(0..total).rev()` list):
+/// a logical length plus a sparse override map. `swap_remove`, `push` and
+/// in-order scans reproduce the eager `Vec<u64>` exactly, so RNG-indexed
+/// draws and region scans see identical values — while a pool whose tail
+/// was never recycled stores nothing per untouched frame.
+#[derive(Clone, Debug)]
+struct FreeList {
+    /// Virtual initial length (the pool size).
+    total: u64,
+    /// Logical length of the list.
+    len: usize,
+    /// Slots whose value differs from the virtual formula. Invariant:
+    /// keys are `< len` (shrinking removes the vacated slot's override).
+    overrides: DetHashMap<usize, u64>,
+}
+
+impl FreeList {
+    fn new(total: u64) -> Self {
+        Self {
+            total,
+            len: usize::try_from(total).expect("pool fits memory"),
+            overrides: DetHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value at slot `i` — the frame index the eager list would hold.
+    #[inline]
+    fn value(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "free-list slot out of range");
+        if self.overrides.is_empty() {
+            return self.total - 1 - i as u64;
+        }
+        match self.overrides.get(&i) {
+            Some(&v) => v,
+            None => self.total - 1 - i as u64,
+        }
+    }
+
+    /// Sets slot `i`, storing an override only when the value deviates
+    /// from the virtual formula.
+    fn set(&mut self, i: usize, v: u64) {
+        if v == self.total - 1 - i as u64 {
+            self.overrides.remove(&i);
+        } else {
+            self.overrides.insert(i, v);
+        }
+    }
+
+    /// `Vec::swap_remove` semantics: returns slot `i`'s value after
+    /// moving the last slot's value into it.
+    fn swap_remove(&mut self, i: usize) -> u64 {
+        let v = self.value(i);
+        let last = self.len - 1;
+        if i != last {
+            let last_val = self.value(last);
+            self.set(i, last_val);
+        }
+        self.overrides.remove(&last);
+        self.len = last;
+        v
+    }
+
+    /// Appends a value (a released frame index).
+    fn push(&mut self, v: u64) {
+        let at = self.len;
+        self.len += 1;
+        self.set(at, v);
+    }
+
+    /// First slot (in list order) whose value satisfies `pred`.
+    fn position(&self, mut pred: impl FnMut(u64) -> bool) -> Option<usize> {
+        (0..self.len).find(|&i| pred(self.value(i)))
+    }
+
+    /// First value (in list order) satisfying `pred`.
+    fn find(&self, mut pred: impl FnMut(u64) -> bool) -> Option<u64> {
+        (0..self.len).map(|i| self.value(i)).find(|&v| pred(v))
+    }
 }
 
 /// The frame pool: tracks residency, referenced and dirty bits, and selects
@@ -40,9 +204,9 @@ struct Frame {
 /// for a free one, then fall back to a clock sweep over referenced bits.
 #[derive(Clone, Debug)]
 pub struct FrameAllocator {
-    frames: Vec<Frame>,
+    frames: FrameTable,
     stacked_frames: u64,
-    free: Vec<u64>,
+    free: FreeList,
     clock_hand: usize,
 }
 
@@ -66,12 +230,13 @@ impl FrameAllocator {
         let total = stacked_frames + off_chip_frames;
         assert!(total > 0, "frame pool must be non-empty");
         Self {
-            frames: vec![Frame::default(); total as usize],
+            frames: FrameTable::new(usize::try_from(total).expect("pool fits memory")),
             stacked_frames,
             // Pop order: lowest index last so stacked frames are handed out
             // first when no region is requested — matching an OS that
-            // prefers fast memory while it lasts.
-            free: (0..total).rev().collect(),
+            // prefers fast memory while it lasts. (The lazy list *is* this
+            // ordering: its virtual initial state.)
+            free: FreeList::new(total),
             clock_hand: 0,
         }
     }
@@ -94,6 +259,15 @@ impl FrameAllocator {
         self.free.len()
     }
 
+    /// Host bytes resident for per-frame state: materialized leaves plus
+    /// free-list overrides — the gauge DESIGN.md §16 tracks against the
+    /// eager layout's `total_frames × 16 B`.
+    pub fn host_resident_bytes(&self) -> u64 {
+        let leaf_bytes = (self.frames.resident_leaves() * LEAF_FRAMES) as u64
+            * std::mem::size_of::<Frame>() as u64;
+        leaf_bytes + self.free.overrides.len() as u64 * 16
+    }
+
     /// Region of a given frame.
     #[inline]
     pub fn region_of(&self, frame: FrameId) -> Region {
@@ -107,12 +281,12 @@ impl FrameAllocator {
     /// Page currently resident in `frame`.
     #[inline]
     pub fn resident(&self, frame: FrameId) -> Option<PageAddr> {
-        self.frames[frame.0 as usize].resident
+        self.frames.get(frame.0 as usize).resident
     }
 
     /// Marks a frame referenced (on access) and optionally dirty.
     pub fn touch(&mut self, frame: FrameId, write: bool) {
-        let f = &mut self.frames[frame.0 as usize];
+        let f = self.frames.get_mut(frame.0 as usize);
         f.referenced = true;
         f.dirty |= write;
     }
@@ -120,7 +294,7 @@ impl FrameAllocator {
     /// Whether the page in `frame` has been written since it was loaded.
     #[inline]
     pub fn is_dirty(&self, frame: FrameId) -> bool {
-        self.frames[frame.0 as usize].dirty
+        self.frames.get(frame.0 as usize).dirty
     }
 
     /// Takes a frame for `page`, preferring `region`, evicting a victim if
@@ -133,7 +307,7 @@ impl FrameAllocator {
         let frame = self
             .take_free(region, rng)
             .unwrap_or_else(|| self.select_victim(rng));
-        let slot = &mut self.frames[frame.0 as usize];
+        let slot = self.frames.get_mut(frame.0 as usize);
         let evicted = slot.resident.map(|p| (p, slot.dirty));
         *slot = Frame {
             resident: Some(page),
@@ -150,7 +324,7 @@ impl FrameAllocator {
     ///
     /// Panics if the frame is already free.
     pub fn release(&mut self, frame: FrameId) {
-        let slot = &mut self.frames[frame.0 as usize];
+        let slot = self.frames.get_mut(frame.0 as usize);
         assert!(slot.resident.is_some(), "double free of frame {frame:?}");
         *slot = Frame::default();
         self.free.push(frame.0);
@@ -163,26 +337,28 @@ impl FrameAllocator {
     ///
     /// Panics if either frame is free.
     pub fn swap_frames(&mut self, a: FrameId, b: FrameId) {
+        let fa = self.frames.get(a.0 as usize);
+        let fb = self.frames.get(b.0 as usize);
         assert!(
-            self.frames[a.0 as usize].resident.is_some()
-                && self.frames[b.0 as usize].resident.is_some(),
+            fa.resident.is_some() && fb.resident.is_some(),
             "swap requires both frames resident"
         );
-        self.frames.swap(a.0 as usize, b.0 as usize);
+        *self.frames.get_mut(a.0 as usize) = fb;
+        *self.frames.get_mut(b.0 as usize) = fa;
     }
 
     /// Installs `page` into a specific free frame (used by oracle
     /// placement). Returns `false` if the frame is occupied.
     pub fn place_into(&mut self, page: PageAddr, frame: FrameId) -> bool {
         let idx = frame.0 as usize;
-        if self.frames[idx].resident.is_some() {
+        if self.frames.get(idx).resident.is_some() {
             return false;
         }
         // Remove from the free list.
-        if let Some(pos) = self.free.iter().position(|&f| f == frame.0) {
+        if let Some(pos) = self.free.position(|f| f == frame.0) {
             self.free.swap_remove(pos);
         }
-        self.frames[idx] = Frame {
+        *self.frames.get_mut(idx) = Frame {
             resident: Some(page),
             referenced: true,
             dirty: false,
@@ -193,18 +369,21 @@ impl FrameAllocator {
     /// Peeks at a free frame in `region` without taking it (used by
     /// migration policies that fill holes before swapping).
     pub fn find_free(&self, region: Region) -> Option<FrameId> {
-        let matches = |&&f: &&u64| match region {
-            Region::Any => true,
-            Region::Stacked => f < self.stacked_frames,
-            Region::OffChip => f >= self.stacked_frames,
-        };
-        self.free.iter().find(matches).map(|&f| FrameId(f))
+        let stacked = self.stacked_frames;
+        self.free
+            .find(|f| match region {
+                Region::Any => true,
+                Region::Stacked => f < stacked,
+                Region::OffChip => f >= stacked,
+            })
+            .map(FrameId)
     }
 
     fn take_free(&mut self, region: Region, rng: &mut SmallRng) -> Option<FrameId> {
         if self.free.is_empty() {
             return None;
         }
+        let stacked = self.stacked_frames;
         match region {
             Region::Any => {
                 // Random placement across the whole pool (TLM-Static's
@@ -213,11 +392,11 @@ impl FrameAllocator {
                 Some(FrameId(self.free.swap_remove(idx)))
             }
             Region::Stacked => {
-                let pos = self.free.iter().position(|&f| f < self.stacked_frames)?;
+                let pos = self.free.position(|f| f < stacked)?;
                 Some(FrameId(self.free.swap_remove(pos)))
             }
             Region::OffChip => {
-                let pos = self.free.iter().position(|&f| f >= self.stacked_frames)?;
+                let pos = self.free.position(|f| f >= stacked)?;
                 Some(FrameId(self.free.swap_remove(pos)))
             }
         }
@@ -227,16 +406,18 @@ impl FrameAllocator {
         // Five random probes for an unreferenced frame.
         for _ in 0..5 {
             let idx = rng.gen_range(0..self.frames.len());
-            if !self.frames[idx].referenced {
+            if !self.frames.referenced(idx) {
                 return FrameId(idx as u64);
             }
         }
-        // Clock sweep: clear referenced bits until one stays clear.
+        // Clock sweep: clear referenced bits until one stays clear. The
+        // clear only writes frames whose bit is set, so the sweep never
+        // materializes an untouched leaf.
         loop {
             let idx = self.clock_hand;
             self.clock_hand = (self.clock_hand + 1) % self.frames.len();
-            if self.frames[idx].referenced {
-                self.frames[idx].referenced = false;
+            if self.frames.referenced(idx) {
+                self.frames.get_mut(idx).referenced = false;
             } else {
                 return FrameId(idx as u64);
             }
@@ -388,5 +569,195 @@ mod tests {
         let t = fa.take(PageAddr::new(0), Region::Any, &mut r);
         fa.release(t.frame);
         fa.release(t.frame);
+    }
+
+    #[test]
+    fn untouched_pool_materializes_nothing() {
+        let fa = FrameAllocator::new(1 << 16, 3 << 16);
+        assert_eq!(fa.host_resident_bytes(), 0);
+        // Reads of untouched frames stay free.
+        assert_eq!(fa.resident(FrameId(12345)), None);
+        assert!(!fa.is_dirty(FrameId(200_000)));
+        assert!(fa.find_free(Region::Stacked).is_some());
+        assert_eq!(fa.host_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_track_touched_leaves_only() {
+        let mut fa = FrameAllocator::new(1 << 16, 3 << 16);
+        let mut r = rng();
+        // The untouched pool hands out the highest off-chip frame first
+        // (Any pops the lowest index last): one leaf materializes.
+        fa.take(PageAddr::new(0), Region::Stacked, &mut r);
+        let one_leaf = (LEAF_FRAMES * std::mem::size_of::<Frame>()) as u64;
+        assert!(fa.host_resident_bytes() >= one_leaf);
+        assert!(fa.host_resident_bytes() < 4 * one_leaf + 64);
+    }
+
+    /// The eager structures this PR replaced, kept verbatim as the
+    /// reference model for the lazy pool.
+    struct EagerPool {
+        frames: Vec<Frame>,
+        stacked_frames: u64,
+        free: Vec<u64>,
+        clock_hand: usize,
+    }
+
+    impl EagerPool {
+        fn new(stacked: u64, off_chip: u64) -> Self {
+            let total = stacked + off_chip;
+            Self {
+                frames: vec![Frame::default(); total as usize],
+                stacked_frames: stacked,
+                free: (0..total).rev().collect(),
+                clock_hand: 0,
+            }
+        }
+
+        fn take(&mut self, page: PageAddr, region: Region, rng: &mut SmallRng) -> Took {
+            let frame = self
+                .take_free(region, rng)
+                .unwrap_or_else(|| self.select_victim(rng));
+            let slot = &mut self.frames[frame.0 as usize];
+            let evicted = slot.resident.map(|p| (p, slot.dirty));
+            *slot = Frame {
+                resident: Some(page),
+                referenced: true,
+                dirty: false,
+            };
+            Took { frame, evicted }
+        }
+
+        fn take_free(&mut self, region: Region, rng: &mut SmallRng) -> Option<FrameId> {
+            if self.free.is_empty() {
+                return None;
+            }
+            match region {
+                Region::Any => {
+                    let idx = rng.gen_range(0..self.free.len());
+                    Some(FrameId(self.free.swap_remove(idx)))
+                }
+                Region::Stacked => {
+                    let pos = self.free.iter().position(|&f| f < self.stacked_frames)?;
+                    Some(FrameId(self.free.swap_remove(pos)))
+                }
+                Region::OffChip => {
+                    let pos = self.free.iter().position(|&f| f >= self.stacked_frames)?;
+                    Some(FrameId(self.free.swap_remove(pos)))
+                }
+            }
+        }
+
+        fn select_victim(&mut self, rng: &mut SmallRng) -> FrameId {
+            for _ in 0..5 {
+                let idx = rng.gen_range(0..self.frames.len());
+                if !self.frames[idx].referenced {
+                    return FrameId(idx as u64);
+                }
+            }
+            loop {
+                let idx = self.clock_hand;
+                self.clock_hand = (self.clock_hand + 1) % self.frames.len();
+                if self.frames[idx].referenced {
+                    self.frames[idx].referenced = false;
+                } else {
+                    return FrameId(idx as u64);
+                }
+            }
+        }
+
+        fn release(&mut self, frame: FrameId) {
+            self.frames[frame.0 as usize] = Frame::default();
+            self.free.push(frame.0);
+        }
+
+        fn place_into(&mut self, page: PageAddr, frame: FrameId) -> bool {
+            let idx = frame.0 as usize;
+            if self.frames[idx].resident.is_some() {
+                return false;
+            }
+            if let Some(pos) = self.free.iter().position(|&f| f == frame.0) {
+                self.free.swap_remove(pos);
+            }
+            self.frames[idx] = Frame {
+                resident: Some(page),
+                referenced: true,
+                dirty: false,
+            };
+            true
+        }
+    }
+
+    proptest::proptest! {
+        /// The lazy pool is behavior-identical to the eager one over
+        /// arbitrary operation sequences driven by the *same* RNG stream:
+        /// identical frames granted, victims evicted, free counts, dirty
+        /// bits and per-frame residency — the bit-identical-goldens
+        /// requirement in miniature.
+        #[test]
+        fn lazy_pool_matches_eager_pool(
+            seed in 0u64..1000,
+            stacked in 1u64..12,
+            off_chip in 1u64..36,
+            ops in proptest::collection::vec(
+                (0u8..6, 0u64..64, proptest::prelude::any::<bool>()),
+                0..120,
+            ),
+        ) {
+            let mut lazy = FrameAllocator::new(stacked, off_chip);
+            let mut eager = EagerPool::new(stacked, off_chip);
+            let mut lazy_rng = SmallRng::seed_from_u64(seed);
+            let mut eager_rng = SmallRng::seed_from_u64(seed);
+            let total = stacked + off_chip;
+            for (op, n, flag) in ops {
+                match op {
+                    0..=2 => {
+                        // take dominates: exercise free-pop, region scans
+                        // and victim selection.
+                        let region = match op {
+                            0 => Region::Any,
+                            1 => Region::Stacked,
+                            _ => Region::OffChip,
+                        };
+                        let a = lazy.take(PageAddr::new(n), region, &mut lazy_rng);
+                        let b = eager.take(PageAddr::new(n), region, &mut eager_rng);
+                        proptest::prop_assert_eq!(a, b);
+                    }
+                    3 => {
+                        let f = FrameId(n % total);
+                        if lazy.resident(f).is_some() {
+                            lazy.touch(f, flag);
+                            let e = &mut eager.frames[f.0 as usize];
+                            e.referenced = true;
+                            e.dirty |= flag;
+                        }
+                    }
+                    4 => {
+                        let f = FrameId(n % total);
+                        if lazy.resident(f).is_some() {
+                            lazy.release(f);
+                            eager.release(f);
+                        }
+                    }
+                    _ => {
+                        let f = FrameId(n % total);
+                        proptest::prop_assert_eq!(
+                            lazy.place_into(PageAddr::new(n + 1000), f),
+                            eager.place_into(PageAddr::new(n + 1000), f)
+                        );
+                    }
+                }
+                proptest::prop_assert_eq!(lazy.free_frames(), eager.free.len());
+            }
+            for f in 0..total {
+                let got = lazy.frames.get(f as usize);
+                let want = eager.frames[f as usize];
+                proptest::prop_assert_eq!(got, want, "frame {} diverged", f);
+                proptest::prop_assert_eq!(lazy.is_dirty(FrameId(f)), want.dirty);
+            }
+            // The free lists hold the same values in the same order.
+            let lazy_free: Vec<u64> = (0..lazy.free.len()).map(|i| lazy.free.value(i)).collect();
+            proptest::prop_assert_eq!(lazy_free, eager.free);
+        }
     }
 }

@@ -33,6 +33,14 @@ pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 /// re-serializes the sweep behind one long point, not 10 % jitter.
 pub const DEFAULT_IMBALANCE_FACTOR: f64 = 2.0;
 
+/// Default peak-RSS gate: the current run's peak resident set may grow
+/// to this multiple of the reference's before failing. RSS is less noisy
+/// than wall time but still varies with allocator behavior and jobs
+/// count, and the gate exists to catch a structural regression — an
+/// eagerly sized table sneaking back in — not a few percent of heap
+/// jitter.
+pub const DEFAULT_MAX_RSS_FACTOR: f64 = 1.5;
+
 /// The fields `bench-diff` compares, extracted from one artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPerf {
@@ -48,6 +56,9 @@ pub struct SweepPerf {
     /// field or derived from `point_metrics`; `None` when neither source
     /// yields a ratio (fewer than two fresh points, or an old artifact).
     pub imbalance: Option<f64>,
+    /// Peak resident-set size in bytes; `None` for artifacts written off
+    /// Linux or before the gauge existed.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl SweepPerf {
@@ -90,6 +101,7 @@ impl SweepPerf {
                 .get("imbalance")
                 .and_then(Value::as_f64)
                 .or_else(|| derived_imbalance(&doc)),
+            peak_rss_bytes: doc.get("peak_rss_bytes").and_then(Value::as_u64),
         })
     }
 }
@@ -122,12 +134,16 @@ pub struct Verdict {
 }
 
 /// Compares a current artifact against the reference at `threshold_pct`
-/// throughput tolerance and `imbalance_factor` load-balance tolerance.
+/// throughput tolerance, `imbalance_factor` load-balance tolerance, and
+/// `max_rss_factor` peak-memory tolerance.
 ///
 /// The imbalance gate fires when both artifacts carry a max/min point
 /// wall-time ratio and the current one exceeds the reference's by more
 /// than `imbalance_factor`; artifacts without a ratio (single-point
-/// sweeps, pre-ratio references) skip the gate rather than fail it.
+/// sweeps, pre-ratio references) skip the gate rather than fail it. The
+/// RSS gate has the same shape: it fires only when both artifacts carry
+/// `peak_rss_bytes` and the current peak exceeds the reference's by more
+/// than `max_rss_factor`.
 ///
 /// # Errors
 ///
@@ -138,6 +154,7 @@ pub fn compare(
     reference: &SweepPerf,
     threshold_pct: f64,
     imbalance_factor: f64,
+    max_rss_factor: f64,
 ) -> Result<Verdict, String> {
     if current.sweep != reference.sweep {
         return Err(format!(
@@ -159,9 +176,26 @@ pub fn compare(
         (Some(cur), _) => (format!("; imbalance {cur:.2}x (no reference ratio)"), false),
         _ => (String::new(), false),
     };
+    let mib = |bytes: u64| bytes as f64 / (1u64 << 20) as f64;
+    let (rss_note, rss_regressed) = match (current.peak_rss_bytes, reference.peak_rss_bytes) {
+        (Some(cur), Some(reference)) if reference > 0 => (
+            format!(
+                "; peak rss {:.1} vs {:.1} MiB (limit {max_rss_factor:.1}x ref)",
+                mib(cur),
+                mib(reference)
+            ),
+            cur as f64 > reference as f64 * max_rss_factor,
+        ),
+        (Some(cur), _) => (
+            format!("; peak rss {:.1} MiB (no reference)", mib(cur)),
+            false,
+        ),
+        _ => (String::new(), false),
+    };
     let summary = format!(
         "bench-diff [{}]: {:.0} vs {:.0} accesses/sec ({:+.1}% — {direction}; \
-         threshold -{threshold_pct:.0}%); {} accesses over {} point(s){imbalance_note}",
+         threshold -{threshold_pct:.0}%); {} accesses over {} point(s)\
+         {imbalance_note}{rss_note}",
         current.sweep,
         current.accesses_per_sec,
         reference.accesses_per_sec,
@@ -171,7 +205,7 @@ pub fn compare(
     );
     Ok(Verdict {
         summary,
-        regressed: throughput_regressed || imbalance_regressed,
+        regressed: throughput_regressed || imbalance_regressed || rss_regressed,
     })
 }
 
@@ -185,6 +219,7 @@ pub fn diff_files(
     reference: &Path,
     threshold_pct: f64,
     imbalance_factor: f64,
+    max_rss_factor: f64,
 ) -> Result<Verdict, String> {
     let read = |path: &Path| {
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
@@ -193,7 +228,13 @@ pub fn diff_files(
         SweepPerf::parse(&read(current)?).map_err(|e| format!("{}: {e}", current.display()))?;
     let reference =
         SweepPerf::parse(&read(reference)?).map_err(|e| format!("{}: {e}", reference.display()))?;
-    compare(&current, &reference, threshold_pct, imbalance_factor)
+    compare(
+        &current,
+        &reference,
+        threshold_pct,
+        imbalance_factor,
+        max_rss_factor,
+    )
 }
 
 #[cfg(test)]
@@ -253,19 +294,19 @@ mod tests {
     fn regression_gate_fires_only_past_the_threshold() {
         let reference = SweepPerf::parse(&artifact("s", 1000.0)).expect("ref");
         let ok = SweepPerf::parse(&artifact("s", 900.0)).expect("ok");
-        let verdict = compare(&ok, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR).expect("compare");
+        let verdict = compare(&ok, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR).expect("compare");
         assert!(!verdict.regressed, "-10% is inside a 15% threshold");
         assert!(verdict.summary.contains("-10.0%"), "{}", verdict.summary);
 
         let slow = SweepPerf::parse(&artifact("s", 800.0)).expect("slow");
         assert!(
-            compare(&slow, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR)
+            compare(&slow, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR)
                 .expect("compare")
                 .regressed
         );
 
         let fast = SweepPerf::parse(&artifact("s", 2000.0)).expect("fast");
-        let verdict = compare(&fast, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR).expect("compare");
+        let verdict = compare(&fast, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR).expect("compare");
         assert!(!verdict.regressed, "speedups never fail the gate");
         assert!(verdict.summary.contains("faster"));
     }
@@ -282,7 +323,7 @@ mod tests {
         };
         let reference = with_ratio(1.5);
         let ok = with_ratio(2.9);
-        let verdict = compare(&ok, &reference, 15.0, 2.0).expect("compare");
+        let verdict = compare(&ok, &reference, 15.0, 2.0, DEFAULT_MAX_RSS_FACTOR).expect("compare");
         assert!(!verdict.regressed, "2.9 <= 1.5 * 2.0");
         assert!(
             verdict.summary.contains("imbalance 2.90x"),
@@ -292,7 +333,7 @@ mod tests {
 
         let skewed = with_ratio(3.1);
         assert!(
-            compare(&skewed, &reference, 15.0, 2.0)
+            compare(&skewed, &reference, 15.0, 2.0, DEFAULT_MAX_RSS_FACTOR)
                 .expect("compare")
                 .regressed,
             "3.1 > 1.5 * 2.0 must fail the gate"
@@ -301,12 +342,51 @@ mod tests {
         // Either side missing a ratio skips the gate instead of failing.
         let no_ratio = SweepPerf::parse(&artifact("s", 1000.0)).expect("parses");
         assert!(
-            !compare(&skewed, &no_ratio, 15.0, 2.0)
+            !compare(&skewed, &no_ratio, 15.0, 2.0, DEFAULT_MAX_RSS_FACTOR)
                 .expect("compare")
                 .regressed
         );
         assert!(
-            !compare(&no_ratio, &reference, 15.0, 2.0)
+            !compare(&no_ratio, &reference, 15.0, 2.0, DEFAULT_MAX_RSS_FACTOR)
+                .expect("compare")
+                .regressed
+        );
+    }
+
+    #[test]
+    fn rss_gate_fires_only_past_the_factor_and_skips_when_absent() {
+        let with_rss = |bytes: u64| {
+            SweepPerf::parse(&artifact_with_tail(
+                "s",
+                1000.0,
+                &format!(",\"peak_rss_bytes\":{bytes}"),
+            ))
+            .expect("parses")
+        };
+        let reference = with_rss(1 << 30);
+        let ok = with_rss((1 << 30) + (1 << 29));
+        let verdict = compare(&ok, &reference, 15.0, 2.0, 1.5).expect("compare");
+        assert!(!verdict.regressed, "1.5 GiB <= 1 GiB * 1.5");
+        assert!(verdict.summary.contains("peak rss"), "{}", verdict.summary);
+
+        let bloated = with_rss((1 << 31) + 1);
+        assert!(
+            compare(&bloated, &reference, 15.0, 2.0, 1.5)
+                .expect("compare")
+                .regressed,
+            "2 GiB > 1 GiB * 1.5 must fail the gate"
+        );
+
+        // Either side missing the gauge skips the gate instead of failing.
+        let no_rss = SweepPerf::parse(&artifact("s", 1000.0)).expect("parses");
+        assert_eq!(no_rss.peak_rss_bytes, None);
+        assert!(
+            !compare(&bloated, &no_rss, 15.0, 2.0, 1.5)
+                .expect("compare")
+                .regressed
+        );
+        assert!(
+            !compare(&no_rss, &reference, 15.0, 2.0, 1.5)
                 .expect("compare")
                 .regressed
         );
@@ -316,9 +396,9 @@ mod tests {
     fn mismatched_sweeps_and_zero_references_are_errors() {
         let a = SweepPerf::parse(&artifact("a", 1.0)).expect("a");
         let b = SweepPerf::parse(&artifact("b", 1.0)).expect("b");
-        assert!(compare(&a, &b, 15.0, DEFAULT_IMBALANCE_FACTOR).is_err());
+        assert!(compare(&a, &b, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR).is_err());
         let zero = SweepPerf::parse(&artifact("a", 0.0)).expect("zero");
-        assert!(compare(&a, &zero, 15.0, DEFAULT_IMBALANCE_FACTOR).is_err());
+        assert!(compare(&a, &zero, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR).is_err());
     }
 
     #[test]
@@ -331,7 +411,7 @@ mod tests {
             .expect("workspace root");
         let reference = root.join("results/BENCH_sweep.json");
         if reference.is_file() {
-            let verdict = diff_files(&reference, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR)
+            let verdict = diff_files(&reference, &reference, 15.0, DEFAULT_IMBALANCE_FACTOR, DEFAULT_MAX_RSS_FACTOR)
                 .expect("self-diff parses");
             assert!(
                 !verdict.regressed,

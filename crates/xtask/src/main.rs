@@ -67,6 +67,9 @@ Bench-diff options:
                       ratio relative to the reference before failing;
                       artifacts without a ratio skip the gate
                       (default: 2).
+  --max-rss-factor F  Allowed growth of peak RSS relative to the
+                      reference before failing; artifacts without the
+                      gauge skip the gate (default: 1.5).
 
 Suppress a finding in place with `// lint: allow(<rule>)` (or
 `# lint: allow(<rule>)` in Cargo.toml) on the same line or alone on the
@@ -233,6 +236,7 @@ fn bench_diff(flags: &[String]) -> ExitCode {
     let mut reference: Option<PathBuf> = None;
     let mut threshold = xtask::benchdiff::DEFAULT_THRESHOLD_PCT;
     let mut imbalance_factor = xtask::benchdiff::DEFAULT_IMBALANCE_FACTOR;
+    let mut max_rss_factor = xtask::benchdiff::DEFAULT_MAX_RSS_FACTOR;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         let mut need = |name: &str| {
@@ -253,6 +257,11 @@ fn bench_diff(flags: &[String]) -> ExitCode {
                     .map_err(|_| format!("`--imbalance-factor {v}` is not a number"))
                     .map(|v| imbalance_factor = v)
             }),
+            "--max-rss-factor" => need("--max-rss-factor").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("`--max-rss-factor {v}` is not a number"))
+                    .map(|v| max_rss_factor = v)
+            }),
             other => Err(format!("unknown flag `{other}` for `bench-diff`")),
         };
         if let Err(msg) = result {
@@ -270,13 +279,19 @@ fn bench_diff(flags: &[String]) -> ExitCode {
             }
         },
     };
-    match xtask::benchdiff::diff_files(&current, &reference, threshold, imbalance_factor) {
+    match xtask::benchdiff::diff_files(
+        &current,
+        &reference,
+        threshold,
+        imbalance_factor,
+        max_rss_factor,
+    ) {
         Ok(verdict) => {
             println!("{}", verdict.summary);
             if verdict.regressed {
                 eprintln!(
                     "error: regressed past the gate (throughput threshold {threshold}%, \
-                     imbalance factor {imbalance_factor}x)"
+                     imbalance factor {imbalance_factor}x, rss factor {max_rss_factor}x)"
                 );
                 ExitCode::FAILURE
             } else {

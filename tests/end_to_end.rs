@@ -230,10 +230,7 @@ mod golden {
         Json::Obj(vec![
             ("key".to_owned(), Json::Str(key.to_owned())),
             ("events".to_owned(), Json::U64(trace.event_count())),
-            (
-                "epochs".to_owned(),
-                Json::U64(trace.epochs.epochs().len() as u64),
-            ),
+            ("epochs".to_owned(), Json::U64(trace.epochs.epoch_count())),
             ("swaps".to_owned(), Json::U64(t.swaps)),
             ("llt_probes".to_owned(), Json::U64(t.llt_probes)),
             ("predicts".to_owned(), Json::U64(t.predicts)),
