@@ -37,6 +37,7 @@ use cameo_sim::trace::TraceOptions;
 use cameo_sim::{RunStats, SystemConfig};
 use cameo_workloads::{suite, BenchSpec, Category};
 
+pub mod designs;
 pub mod fullscale;
 pub mod perf;
 pub mod trace_export;

@@ -185,6 +185,39 @@ impl<S: TraceSink> Cameo<S> {
     ///
     /// Same conditions as [`Cameo::new`].
     pub fn with_sink(config: CameoConfig, sink: S) -> Self {
+        Self::with_sink_on(
+            config,
+            DramConfig::stacked(config.stacked),
+            DramConfig::off_chip(config.off_chip),
+            sink,
+        )
+    }
+
+    /// Builds a CAMEO system on explicit device models — the seam that
+    /// lets ablations swap in non-Table-I devices (tiered-latency
+    /// TL-DRAM, closed-page policies, refresh) without touching the
+    /// controller. [`Cameo::with_sink`] delegates here with the paper's
+    /// Table I devices.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Cameo::new`], plus the device capacities must
+    /// match the controller configuration (the congruence map is sized
+    /// from `config`, and a mismatched device would silently alias rows).
+    pub fn with_sink_on(
+        config: CameoConfig,
+        stacked_dev: DramConfig,
+        off_chip_dev: DramConfig,
+        sink: S,
+    ) -> Self {
+        assert_eq!(
+            stacked_dev.capacity, config.stacked,
+            "stacked device capacity must match the controller configuration"
+        );
+        assert_eq!(
+            off_chip_dev.capacity, config.off_chip,
+            "off-chip device capacity must match the controller configuration"
+        );
         let stacked_lines = config.stacked.lines();
         let off_lines = config.off_chip.lines();
         assert!(stacked_lines > 0, "stacked capacity must be non-zero");
@@ -199,8 +232,8 @@ impl<S: TraceSink> Cameo<S> {
             map,
             llt: LineLocationTable::new(map),
             llp: LineLocationPredictor::for_ratio(config.cores, config.llp_entries, ratio as u8),
-            stacked: Device::new(DramConfig::stacked(config.stacked)),
-            off_chip: Device::new(DramConfig::off_chip(config.off_chip)),
+            stacked: Device::new(stacked_dev),
+            off_chip: Device::new(off_chip_dev),
             stats: CameoStats::default(),
             config,
             swap_policy: SwapPolicy::Always,

@@ -113,6 +113,66 @@ impl RefreshParams {
     }
 }
 
+/// Tiered-latency (TL-DRAM, Lee et al., HPCA 2013) segment parameters.
+///
+/// Each bank's rows are split into a small *near* segment close to the
+/// sense amplifiers (shorter bitlines, faster tRCD/tRP/tRAS) and a large
+/// *far* segment behind the isolation transistor. Rows
+/// `0..near_rows_per_bank` of every bank sit in the near segment by
+/// default; [`crate::Dram::promote_row_to_near`] is the placement hook
+/// that moves a hot far row into the near segment's reserved window.
+///
+/// Setting `near == far == DramConfig::timings` makes the tiered device
+/// bit-identical to the flat one (pinned by the `tl_dram_properties`
+/// suite), so the model composes with every organization at zero risk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlDramParams {
+    /// Rows per bank that sit in the near segment by default.
+    pub near_rows_per_bank: u64,
+    /// Timings for near-segment rows.
+    pub near: DramTimings,
+    /// Timings for far-segment rows.
+    pub far: DramTimings,
+}
+
+impl TlDramParams {
+    /// TL-DRAM paper-flavored segment timings at a given CPU:bus clock
+    /// ratio: the near segment trims tRCD/tRP/tRAS (short bitlines), the
+    /// far segment pays a small penalty for the isolation transistor.
+    /// tCAS is unchanged — column access does not cross the bitline.
+    pub fn paper(cpu_per_bus: u64, near_rows_per_bank: u64) -> Self {
+        assert!(cpu_per_bus > 0, "clock ratio must be non-zero");
+        Self {
+            near_rows_per_bank,
+            near: DramTimings {
+                t_cas: 9,
+                t_rcd: 5,
+                t_rp: 6,
+                t_ras: 24,
+                cpu_per_bus,
+            },
+            far: DramTimings {
+                t_cas: 9,
+                t_rcd: 10,
+                t_rp: 10,
+                t_ras: 39,
+                cpu_per_bus,
+            },
+        }
+    }
+
+    /// Degenerate tiering where both segments use `timings`: structurally
+    /// tiered but timing-identical to a flat device. Useful to prove the
+    /// tiered path is a refinement, not a fork.
+    pub fn uniform(timings: DramTimings, near_rows_per_bank: u64) -> Self {
+        Self {
+            near_rows_per_bank,
+            near: timings,
+            far: timings,
+        }
+    }
+}
+
 /// Full geometry + timing description of one DRAM device.
 ///
 /// Constructed via [`DramConfig::stacked`] / [`DramConfig::off_chip`] for the
@@ -135,6 +195,11 @@ pub struct DramConfig {
     pub row_policy: RowPolicy,
     /// Optional all-bank refresh; `None` (the default) matches the paper.
     pub refresh: Option<RefreshParams>,
+    /// Optional tiered-latency segmentation; `None` (the default) is the
+    /// paper's flat device. When set, `timings` remains the bus clock /
+    /// burst reference and per-row command latencies come from the
+    /// segment the row sits in.
+    pub tl_dram: Option<TlDramParams>,
 }
 
 impl DramConfig {
@@ -151,7 +216,23 @@ impl DramConfig {
             timings: DramTimings::ddr_9_9_9_36(2),
             row_policy: RowPolicy::OpenPage,
             refresh: None,
+            tl_dram: None,
         }
+    }
+
+    /// The stacked device with TL-DRAM paper-flavored tiering: 1/16 of
+    /// each bank's rows form the near segment (the TL-DRAM paper's
+    /// 32-of-512 proportion), remaining geometry identical to
+    /// [`DramConfig::stacked`].
+    pub fn stacked_tiered(capacity: ByteSize) -> Self {
+        let mut config = Self::stacked(capacity);
+        let rows_per_bank =
+            capacity.bytes() / u64::from(config.row_bytes) / u64::from(config.total_banks());
+        config.tl_dram = Some(TlDramParams::paper(
+            config.timings.cpu_per_bus,
+            (rows_per_bank / 16).max(1),
+        ));
+        config
     }
 
     /// The paper's off-chip DDR device: 8 channels, 8 banks/channel,
@@ -166,6 +247,7 @@ impl DramConfig {
             timings: DramTimings::ddr_9_9_9_36(4),
             row_policy: RowPolicy::OpenPage,
             refresh: None,
+            tl_dram: None,
         }
     }
 

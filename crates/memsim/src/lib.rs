@@ -13,6 +13,12 @@
 //! half the latency and ~8× the peak bandwidth of the off-chip device, and
 //! page-granularity migration (TLM-Dynamic) saturates both.
 //!
+//! Either device can additionally be configured as a **tiered-latency**
+//! (TL-DRAM) part via [`TlDramParams`]: each bank's rows split into a fast
+//! near segment and a slower far segment, with a
+//! [`Dram::promote_row_to_near`] hook for hot-page placement policies.
+//! A `tl_dram: None` config is bit-identical to the flat device.
+//!
 //! Latency is expressed in CPU cycles of the 3.2 GHz cores so that all crates
 //! share one clock domain.
 //!
@@ -38,6 +44,6 @@ pub mod faults;
 pub mod specs;
 mod stats;
 
-pub use config::{DramConfig, DramTimings, RefreshParams, RowPolicy};
+pub use config::{DramConfig, DramTimings, RefreshParams, RowPolicy, TlDramParams};
 pub use device::{Dram, RowBufferOutcome};
 pub use stats::DramStats;

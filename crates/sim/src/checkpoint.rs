@@ -583,6 +583,47 @@ pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
     Ok(load_lines(path)?.records)
 }
 
+/// The resume-relevant view of a checkpoint: terminal records, plus the
+/// keys whose *only* trace in the file is a `"chunk"` progress marker.
+///
+/// Such a key was mid-run when the sweep was killed (or the marker was
+/// forged — see [`load_resume`]). Either way no result exists, so the
+/// point must re-run from scratch; the harness uses the parked set to
+/// avoid appending a *second* marker for a point the checkpoint already
+/// flags as in-flight.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ResumeState {
+    /// Terminal `key → record` outcomes, exactly as [`load`] returns.
+    pub records: DetHashMap<String, PointRecord>,
+    /// Keys with a progress marker but no terminal record by EOF, mapped
+    /// to the attempt number the (last) marker recorded. These points
+    /// were parked mid-run; they resume as fresh runs, never as results.
+    pub parked: DetHashMap<String, u32>,
+}
+
+/// Loads the full resume state of a checkpoint: terminal records *and*
+/// the parked keys — progress markers never followed by a terminal
+/// record at EOF.
+///
+/// Plain [`load`] deliberately drops the markers (a result map must not
+/// mistake "in flight" for a result), but resume paths need them: a
+/// marker whose point never finished — whether the sweep was killed or
+/// the marker was forged into the file — identifies a point that must
+/// re-run from scratch and must not be silently indistinguishable from
+/// "never started".
+///
+/// # Errors
+///
+/// Returns [`SimError::CheckpointIo`] on I/O failure and
+/// [`SimError::Checkpoint`] on non-trailing corruption.
+pub fn load_resume(path: &Path) -> Result<ResumeState, SimError> {
+    let loaded = load_lines(path)?;
+    Ok(ResumeState {
+        records: loaded.records,
+        parked: loaded.parked,
+    })
+}
+
 /// Like [`load`], but *repairs* a trailing torn record instead of merely
 /// skipping it: the file is truncated back to the last whole line (and
 /// the repair logged to stderr), so a subsequent [`Writer::append`]
@@ -596,6 +637,19 @@ pub fn load(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
 /// Returns [`SimError::CheckpointIo`] on read/truncate failure and
 /// [`SimError::Checkpoint`] on non-trailing corruption.
 pub fn load_and_repair(path: &Path) -> Result<DetHashMap<String, PointRecord>, SimError> {
+    Ok(load_and_repair_resume(path)?.records)
+}
+
+/// [`load_resume`] with the torn-tail repair of [`load_and_repair`]:
+/// the resume state *and* a file safe to append to. This is what the
+/// sweep engine calls — it needs the parked set (to re-run those points
+/// without double-marking them) and will append fresh outcomes.
+///
+/// # Errors
+///
+/// Returns [`SimError::CheckpointIo`] on read/truncate failure and
+/// [`SimError::Checkpoint`] on non-trailing corruption.
+pub fn load_and_repair_resume(path: &Path) -> Result<ResumeState, SimError> {
     let loaded = load_lines(path)?;
     if let Some(tail_offset) = loaded.torn_tail_offset {
         eprintln!(
@@ -610,13 +664,17 @@ pub fn load_and_repair(path: &Path) -> Result<DetHashMap<String, PointRecord>, S
         file.set_len(tail_offset)
             .map_err(|e| io_error(path, "truncate", &e))?;
     }
-    Ok(loaded.records)
+    Ok(ResumeState {
+        records: loaded.records,
+        parked: loaded.parked,
+    })
 }
 
 /// A parsed checkpoint plus the byte offset of a torn trailing record,
 /// when one was found.
 struct LoadedCheckpoint {
     records: DetHashMap<String, PointRecord>,
+    parked: DetHashMap<String, u32>,
     torn_tail_offset: Option<u64>,
 }
 
@@ -640,6 +698,7 @@ fn io_error(path: &Path, op: &'static str, e: &std::io::Error) -> SimError {
 fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
     let mut loaded = LoadedCheckpoint {
         records: DetHashMap::default(),
+        parked: DetHashMap::default(),
         torn_tail_offset: None,
     };
     let file = match File::open(path) {
@@ -680,12 +739,19 @@ fn load_lines(path: &Path) -> Result<LoadedCheckpoint, SimError> {
         }
         match parse_line(line) {
             Ok(CheckpointLine::Terminal(key, record)) => {
+                // A terminal record supersedes any earlier in-flight
+                // marker for its key: the point is no longer parked.
+                loaded.parked.remove(&key);
                 loaded.records.insert(key, record);
             }
-            Ok(CheckpointLine::Progress { .. }) => {
+            Ok(CheckpointLine::Progress { key, attempts }) => {
                 // In-flight marker from a chunked sweep that was killed:
-                // no result exists, so the point simply re-runs — which
-                // is exactly what "absent from the done-map" causes.
+                // no result exists yet, so the key is *parked* — unless a
+                // terminal record follows later in the file. A parked
+                // point re-runs from scratch; the resume loaders surface
+                // the set so the harness can tell "was mid-run" from
+                // "never started" (and avoid double-marking the file).
+                loaded.parked.insert(key, attempts);
             }
             Err(e) => pending_failure = Some((start, line_no, e)),
         }
@@ -1050,6 +1116,38 @@ mod tests {
                 .len()
                 == 1
         );
+        std::fs::remove_file(&path).expect("tmp cleanup");
+    }
+
+    /// The parked-resume contract: a progress marker for a key with no
+    /// terminal record by EOF surfaces in [`ResumeState::parked`], a
+    /// later terminal record un-parks its key, and [`load`] stays a
+    /// results-only view in both cases.
+    #[test]
+    fn resume_loader_parks_dangling_progress_markers() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cameo_ckpt_parked_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let writer = Writer::open(&path).expect("tmp dir is writable");
+        writer.append_progress("dangling::x", 2).expect("marker");
+        writer.append_progress("finished::y", 1).expect("marker");
+        let rec = PointRecord::Done {
+            attempts: 1,
+            stats: Box::new(sample_stats(false)),
+        };
+        writer.append("finished::y", &rec).expect("append");
+
+        let resume = load_resume(&path).expect("markers never corrupt a load");
+        assert_eq!(resume.parked.len(), 1, "only the dangling key is parked");
+        assert_eq!(resume.parked.get("dangling::x"), Some(&2));
+        assert_eq!(resume.records.get("finished::y"), Some(&rec));
+        assert!(!resume.records.contains_key("dangling::x"));
+
+        // The repairing variant sees the same state, and the plain map
+        // view still drops markers entirely.
+        let repaired = load_and_repair_resume(&path).expect("clean file");
+        assert_eq!(repaired, resume);
+        assert_eq!(load(&path).expect("loads").len(), 1);
         std::fs::remove_file(&path).expect("tmp cleanup");
     }
 

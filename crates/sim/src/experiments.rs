@@ -2,15 +2,16 @@
 //! examples.
 
 use cameo::{LltDesign, PredictorKind};
-use cameo_types::{DetHashMap, PageAddr};
+use cameo_memsim::DramConfig;
+use cameo_types::{ByteSize, DetHashMap, DeviceKind, NopSink, PageAddr};
 use cameo_vmem::tlm::{DynamicMigrator, FreqMigrator, OracleProfile};
 use cameo_workloads::{BenchSpec, TraceGenerator};
 
 use crate::config::SystemConfig;
 use crate::error::SimError;
 use crate::org::{
-    AlloyCacheOrg, BaselineOrg, CameoOrg, DoubleUseOrg, LohHillCacheOrg, MemoryOrganization,
-    TlmOrg, TlmPolicy,
+    AlloyCacheOrg, BaselineOrg, CameoOrg, DoubleUseOrg, LohHillCacheOrg, MemCacheOrg,
+    MemoryOrganization, TlmOrg, TlmPolicy,
 };
 use crate::runner::{trace_configs, Runner};
 use crate::stats::RunStats;
@@ -41,6 +42,12 @@ pub enum OrgKind {
         llt: LltDesign,
         /// Location-prediction scheme.
         predictor: PredictorKind,
+    },
+    /// The MemCache hybrid: stacked DRAM part OS-visible memory, part
+    /// hardware cache, split at a configurable percentage.
+    MemCache {
+        /// Percentage of stacked capacity that is OS-visible memory.
+        split_percent: u8,
     },
     /// The idealistic cache-plus-extra-capacity upper bound.
     DoubleUse,
@@ -89,6 +96,12 @@ impl OrgKind {
                 llt: LltDesign::CoLocated,
                 predictor: PredictorKind::Perfect,
             } => "CAMEO(Perfect)",
+            OrgKind::MemCache { split_percent: 25 } => "MemCache@25",
+            OrgKind::MemCache { split_percent: 50 } => "MemCache@50",
+            OrgKind::MemCache { split_percent: 75 } => "MemCache@75",
+            // Ad-hoc splits share one label; only the sweep's three
+            // canonical splits are addressable by name.
+            OrgKind::MemCache { .. } => "MemCache",
             OrgKind::DoubleUse => "DoubleUse",
         }
     }
@@ -113,6 +126,9 @@ impl OrgKind {
             cameo(LltDesign::CoLocated, PredictorKind::SerialAccess),
             OrgKind::cameo_default(),
             cameo(LltDesign::CoLocated, PredictorKind::Perfect),
+            OrgKind::MemCache { split_percent: 25 },
+            OrgKind::MemCache { split_percent: 50 },
+            OrgKind::MemCache { split_percent: 75 },
             OrgKind::DoubleUse,
         ]
     }
@@ -144,49 +160,106 @@ pub fn page_profile(bench: &BenchSpec, config: &SystemConfig) -> Vec<(PageAddr, 
     counts.into_iter().collect()
 }
 
-/// Builds a fresh organization of `kind` for one benchmark run.
+/// The (stacked, off-chip) device models of one point on the device axis.
+///
+/// `TlDram` tiers the stacked die ([`DramConfig::stacked_tiered`]); the
+/// off-chip DDR device stays flat on both axes.
+pub fn device_configs(
+    device: DeviceKind,
+    stacked: ByteSize,
+    off_chip: ByteSize,
+) -> (DramConfig, DramConfig) {
+    let stacked_dev = match device {
+        DeviceKind::Flat => DramConfig::stacked(stacked),
+        DeviceKind::TlDram => DramConfig::stacked_tiered(stacked),
+    };
+    (stacked_dev, DramConfig::off_chip(off_chip))
+}
+
+/// Builds a fresh organization of `kind` for one benchmark run, on the
+/// paper's flat Table I devices.
 pub fn build_org(
     bench: &BenchSpec,
     kind: OrgKind,
     config: &SystemConfig,
 ) -> Box<dyn MemoryOrganization> {
+    build_org_on(bench, kind, DeviceKind::Flat, config)
+}
+
+/// Builds a fresh organization of `kind` on the chosen device axis.
+///
+/// [`DeviceKind::Flat`] constructs exactly what [`build_org`] does. The
+/// baseline has no stacked device, and the LH cache and DoubleUse sit
+/// outside the design-comparison sweep, so those three always use the
+/// flat devices regardless of `device`.
+pub fn build_org_on(
+    bench: &BenchSpec,
+    kind: OrgKind,
+    device: DeviceKind,
+    config: &SystemConfig,
+) -> Box<dyn MemoryOrganization> {
     let stacked = config.stacked();
     let off_chip = config.off_chip();
+    let (stacked_dev, off_chip_dev) = device_configs(device, stacked, off_chip);
     let seed = config.seed ^ 0xBEEF;
     match kind {
         OrgKind::Baseline => Box::new(BaselineOrg::new(off_chip, seed)),
-        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::new(stacked, off_chip, config.cores, seed)),
+        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
+            config.cores,
+            seed,
+            NopSink,
+        )),
         OrgKind::LhCache => Box::new(LohHillCacheOrg::new(stacked, off_chip, seed)),
-        OrgKind::TlmStatic => Box::new(TlmOrg::new(stacked, off_chip, TlmPolicy::Static, seed)),
-        OrgKind::TlmDynamic => Box::new(TlmOrg::new(
-            stacked,
-            off_chip,
+        OrgKind::TlmStatic => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
+            TlmPolicy::Static,
+            seed,
+            NopSink,
+        )),
+        OrgKind::TlmDynamic => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             TlmPolicy::Dynamic(DynamicMigrator::new()),
             seed,
+            NopSink,
         )),
-        OrgKind::TlmFreq => Box::new(TlmOrg::new(
-            stacked,
-            off_chip,
+        OrgKind::TlmFreq => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             TlmPolicy::Freq(FreqMigrator::new(config.freq_epoch)),
             seed,
+            NopSink,
         )),
         OrgKind::TlmOracle => {
             let profile = OracleProfile::from_counts(page_profile(bench, config), stacked.pages());
-            Box::new(TlmOrg::new(
-                stacked,
-                off_chip,
+            Box::new(TlmOrg::with_sink_on(
+                stacked_dev,
+                off_chip_dev,
                 TlmPolicy::Oracle(profile),
                 seed,
+                NopSink,
             ))
         }
-        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::new(
-            stacked,
-            off_chip,
+        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             llt,
             predictor,
             config.cores,
             config.llp_entries,
             seed,
+            NopSink,
+        )),
+        OrgKind::MemCache { split_percent } => Box::new(MemCacheOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
+            split_percent,
+            config.cores,
+            seed,
+            NopSink,
         )),
         OrgKind::DoubleUse => Box::new(DoubleUseOrg::new(stacked, off_chip, config.cores, seed)),
     }
@@ -206,56 +279,80 @@ pub fn build_org_traced(
     config: &SystemConfig,
     sink: SharedSink,
 ) -> Box<dyn MemoryOrganization> {
+    build_org_traced_on(bench, kind, DeviceKind::Flat, config, sink)
+}
+
+/// Builds a fresh traced organization of `kind` on the chosen device
+/// axis; the same fallback rules as [`build_org_on`] and
+/// [`build_org_traced`] apply.
+pub fn build_org_traced_on(
+    bench: &BenchSpec,
+    kind: OrgKind,
+    device: DeviceKind,
+    config: &SystemConfig,
+    sink: SharedSink,
+) -> Box<dyn MemoryOrganization> {
     let stacked = config.stacked();
     let off_chip = config.off_chip();
+    let (stacked_dev, off_chip_dev) = device_configs(device, stacked, off_chip);
     let seed = config.seed ^ 0xBEEF;
     match kind {
-        OrgKind::Baseline | OrgKind::LhCache | OrgKind::DoubleUse => build_org(bench, kind, config),
-        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::with_sink(
-            stacked,
-            off_chip,
+        OrgKind::Baseline | OrgKind::LhCache | OrgKind::DoubleUse => {
+            build_org_on(bench, kind, device, config)
+        }
+        OrgKind::AlloyCache => Box::new(AlloyCacheOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             config.cores,
             seed,
             sink,
         )),
-        OrgKind::TlmStatic => Box::new(TlmOrg::with_sink(
-            stacked,
-            off_chip,
+        OrgKind::TlmStatic => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             TlmPolicy::Static,
             seed,
             sink,
         )),
-        OrgKind::TlmDynamic => Box::new(TlmOrg::with_sink(
-            stacked,
-            off_chip,
+        OrgKind::TlmDynamic => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             TlmPolicy::Dynamic(DynamicMigrator::new()),
             seed,
             sink,
         )),
-        OrgKind::TlmFreq => Box::new(TlmOrg::with_sink(
-            stacked,
-            off_chip,
+        OrgKind::TlmFreq => Box::new(TlmOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             TlmPolicy::Freq(FreqMigrator::new(config.freq_epoch)),
             seed,
             sink,
         )),
         OrgKind::TlmOracle => {
             let profile = OracleProfile::from_counts(page_profile(bench, config), stacked.pages());
-            Box::new(TlmOrg::with_sink(
-                stacked,
-                off_chip,
+            Box::new(TlmOrg::with_sink_on(
+                stacked_dev,
+                off_chip_dev,
                 TlmPolicy::Oracle(profile),
                 seed,
                 sink,
             ))
         }
-        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::with_sink(
-            stacked,
-            off_chip,
+        OrgKind::Cameo { llt, predictor } => Box::new(CameoOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
             llt,
             predictor,
             config.cores,
             config.llp_entries,
+            seed,
+            sink,
+        )),
+        OrgKind::MemCache { split_percent } => Box::new(MemCacheOrg::with_sink_on(
+            stacked_dev,
+            off_chip_dev,
+            split_percent,
+            config.cores,
             seed,
             sink,
         )),
@@ -307,7 +404,7 @@ mod tests {
     #[test]
     fn org_labels_round_trip_through_parse() {
         let all = OrgKind::all();
-        assert_eq!(all.len(), 14, "one entry per distinct label");
+        assert_eq!(all.len(), 17, "one entry per distinct label");
         for kind in &all {
             assert_eq!(
                 OrgKind::parse(kind.label()),
@@ -333,12 +430,63 @@ mod tests {
             OrgKind::TlmFreq,
             OrgKind::TlmOracle,
             OrgKind::cameo_default(),
+            OrgKind::MemCache { split_percent: 50 },
             OrgKind::DoubleUse,
         ];
         for kind in kinds {
             let stats = run_benchmark(&bench, kind, &cfg);
             assert!(stats.instructions > 0, "{}", kind.label());
             assert!(stats.execution_cycles > 0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn device_axis_builds_every_swept_org() {
+        let cfg = quick();
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
+        for device in DeviceKind::all() {
+            for kind in [
+                OrgKind::AlloyCache,
+                OrgKind::TlmDynamic,
+                OrgKind::cameo_default(),
+                OrgKind::MemCache { split_percent: 25 },
+                OrgKind::MemCache { split_percent: 75 },
+            ] {
+                let mut org = build_org_on(&bench, kind, device, &cfg);
+                let stats = Runner::new(bench, &cfg)
+                    .expect("valid config")
+                    .try_run(org.as_mut(), None)
+                    .expect("run completes");
+                assert!(
+                    stats.demand_reads > 0,
+                    "{}@{}",
+                    kind.label(),
+                    device.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_device_axis_is_identical_to_plain_build() {
+        // The device-axis builder with DeviceKind::Flat must construct
+        // byte-identical systems to build_org: golden suites depend on it.
+        let cfg = quick();
+        let bench = cameo_workloads::require("astar").expect("suite benchmark");
+        for kind in [
+            OrgKind::cameo_default(),
+            OrgKind::AlloyCache,
+            OrgKind::MemCache { split_percent: 50 },
+        ] {
+            let run = |mut org: Box<dyn MemoryOrganization>| {
+                Runner::new(bench, &cfg)
+                    .expect("valid config")
+                    .try_run(org.as_mut(), None)
+                    .expect("run completes")
+            };
+            let plain = run(build_org(&bench, kind, &cfg));
+            let on_flat = run(build_org_on(&bench, kind, DeviceKind::Flat, &cfg));
+            assert_eq!(plain, on_flat, "{}", kind.label());
         }
     }
 

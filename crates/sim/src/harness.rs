@@ -270,11 +270,15 @@ pub type OrgBuilder<'b> =
     dyn Fn(&SweepPoint, &SystemConfig) -> Box<dyn MemoryOrganization> + Sync + 'b;
 
 /// An organization plus the armed sink it emits into, when tracing.
-type TracedBuild = (Box<dyn MemoryOrganization>, Option<SharedSink>);
+/// Builders that run untraced return `None` for the sink.
+pub type TracedBuild = (Box<dyn MemoryOrganization>, Option<SharedSink>);
 
-/// Internal builder shape: every sweep path funnels through this, with
-/// untraced paths returning `None` for the sink.
-type TracedOrgBuilder<'b> = dyn Fn(&SweepPoint, &SystemConfig) -> TracedBuild + Sync + 'b;
+/// Builds the organization *and* its trace sink for one point — the
+/// builder shape every sweep path funnels through internally, exposed
+/// for sweeps whose points encode axes [`OrgKind`] alone cannot (e.g.
+/// the design-comparison sweep's device axis riding in the point key).
+/// `Sync` because sweep workers call the builder concurrently.
+pub type TracedOrgBuilder<'b> = dyn Fn(&SweepPoint, &SystemConfig) -> TracedBuild + Sync + 'b;
 
 /// Runs a sweep with the default organization builder
 /// ([`build_org`]).
@@ -386,6 +390,27 @@ pub fn run_sweep_with(
     })
 }
 
+/// Runs a sweep with a caller-provided *traced* builder: the caller
+/// constructs both the organization and (optionally) the armed
+/// [`SharedSink`] it emits into, so one sweep can vary axes the
+/// [`OrgKind`] enum does not encode — the design-comparison sweep
+/// builds its points per `(organization, device model)` pair from the
+/// point key. Recordings of successful fresh points land on
+/// [`PointOutcome::trace`] exactly as in [`run_sweep_traced`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] on checkpoint I/O failure. Per-point
+/// failures do *not* abort the sweep; they are recorded in the report.
+pub fn run_sweep_traced_with(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint_path: Option<&Path>,
+    build: &TracedOrgBuilder<'_>,
+) -> Result<SweepReport, SimError> {
+    run_sweep_inner(points, opts, checkpoint_path, build)
+}
+
 /// The sweep engine: resume lookup, work queue, crash isolation,
 /// checkpoint appends. Both the traced and untraced public entry points
 /// land here; only the builder differs.
@@ -400,8 +425,8 @@ fn run_sweep_inner(
     // trailing record (killed mid-append) must be truncated away first —
     // plain `load` would leave the unterminated tail for the first fresh
     // append to corrupt.
-    let done_map = match checkpoint_path {
-        Some(path) => checkpoint::load_and_repair(path)?,
+    let resume = match checkpoint_path {
+        Some(path) => checkpoint::load_and_repair_resume(path)?,
         None => Default::default(),
     };
     let writer = match checkpoint_path {
@@ -414,7 +439,7 @@ fn run_sweep_inner(
     // the rest are indexed into the work queue.
     let mut slots: Vec<Option<PointOutcome>> = points
         .iter()
-        .map(|point| match done_map.get(&point.key) {
+        .map(|point| match resume.records.get(&point.key) {
             Some(record @ PointRecord::Done { .. }) => Some(PointOutcome {
                 point: point.clone(),
                 record: record.clone(),
@@ -438,7 +463,16 @@ fn run_sweep_inner(
     // state (organization + paused session) between workers.
     let tasks: Vec<Mutex<Option<PointTask>>> = pending
         .iter()
-        .map(|_| Mutex::new(Some(PointTask::new(opts))))
+        .map(|&i| {
+            let mut task = PointTask::new(opts);
+            // A point the checkpoint parks (a dangling in-flight marker,
+            // whether left by a kill or forged into the file) re-runs
+            // from scratch with fresh attempt accounting — but its
+            // marker is already on disk, so appending another would
+            // duplicate it.
+            task.progress_written = resume.parked.contains_key(&points[i].key);
+            Mutex::new(Some(task))
+        })
         .collect();
     let checkpoint_failure: Mutex<Option<SimError>> = Mutex::new(None);
     crate::pool::run_chunked(opts.jobs.max(1), pending.len(), |n, cancel| {

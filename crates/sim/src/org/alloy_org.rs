@@ -65,6 +65,27 @@ impl<S: TraceSink> AlloyCacheOrg<S> {
         seed: u64,
         sink: S,
     ) -> Self {
+        Self::with_sink_on(
+            DramConfig::stacked(stacked),
+            DramConfig::off_chip(off_chip),
+            cores,
+            seed,
+            sink,
+        )
+    }
+
+    /// Creates the organization on explicit device models (e.g. a
+    /// tiered-latency TL-DRAM stacked die); capacities are taken from the
+    /// configs.
+    pub fn with_sink_on(
+        stacked_dev: DramConfig,
+        off_chip_dev: DramConfig,
+        cores: u16,
+        seed: u64,
+        sink: S,
+    ) -> Self {
+        let stacked = stacked_dev.capacity;
+        let off_chip = off_chip_dev.capacity;
         Self {
             vmm: Vmm::new(VmmConfig {
                 stacked: ByteSize::ZERO,
@@ -72,8 +93,8 @@ impl<S: TraceSink> AlloyCacheOrg<S> {
                 placement: Placement::Random,
                 seed,
             }),
-            stacked: Dram::new(DramConfig::stacked(stacked)),
-            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
+            stacked: Dram::new(stacked_dev),
+            off_chip: Dram::new(off_chip_dev),
             directory: AlloyDirectory::new(stacked.lines()),
             predictor: HitPredictor::new(cores, 256),
             hits: 0,

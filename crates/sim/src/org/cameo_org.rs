@@ -59,15 +59,43 @@ impl<S: TraceSink> CameoOrg<S> {
         seed: u64,
         sink: S,
     ) -> Self {
-        let cameo = Cameo::with_sink(
+        Self::with_sink_on(
+            cameo_memsim::DramConfig::stacked(stacked),
+            cameo_memsim::DramConfig::off_chip(off_chip),
+            llt,
+            predictor,
+            cores,
+            llp_entries,
+            seed,
+            sink,
+        )
+    }
+
+    /// Creates a CAMEO system on explicit device models (e.g. a
+    /// tiered-latency TL-DRAM stacked die); capacities are taken from the
+    /// configs and passed through to the controller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_sink_on(
+        stacked_dev: cameo_memsim::DramConfig,
+        off_chip_dev: cameo_memsim::DramConfig,
+        llt: LltDesign,
+        predictor: PredictorKind,
+        cores: u16,
+        llp_entries: usize,
+        seed: u64,
+        sink: S,
+    ) -> Self {
+        let cameo = Cameo::with_sink_on(
             CameoConfig {
-                stacked,
-                off_chip,
+                stacked: stacked_dev.capacity,
+                off_chip: off_chip_dev.capacity,
                 llt,
                 predictor,
                 cores,
                 llp_entries,
             },
+            stacked_dev,
+            off_chip_dev,
             sink,
         );
         let vmm = Vmm::new(VmmConfig {

@@ -7,6 +7,7 @@
 //! | [`AlloyCacheOrg`] | off-chip only | hardware cache (Alloy) |
 //! | [`LohHillCacheOrg`] | off-chip only | hardware cache (Loh-Hill + MissMap) |
 //! | [`TlmOrg`] (Static/Dynamic/Freq/Oracle) | stacked + off-chip | OS-managed fast region |
+//! | [`MemCacheOrg`] | split of stacked + off-chip | part OS memory, part hardware cache |
 //! | [`CameoOrg`] | stacked + off-chip − LLT reserve | hardware-swapped memory |
 //! | [`DoubleUseOrg`] | stacked + off-chip | cache *and* extra capacity (idealistic) |
 //!
@@ -18,6 +19,7 @@ mod baseline;
 mod cameo_org;
 mod double_use;
 mod lh_org;
+mod memcache_org;
 mod paging;
 mod tlm_org;
 
@@ -26,6 +28,7 @@ pub use baseline::BaselineOrg;
 pub use cameo_org::CameoOrg;
 pub use double_use::DoubleUseOrg;
 pub use lh_org::LohHillCacheOrg;
+pub use memcache_org::MemCacheOrg;
 pub use tlm_org::{TlmOrg, TlmPolicy};
 
 use cameo::PredictionCaseCounts;

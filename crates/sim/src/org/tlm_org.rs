@@ -76,6 +76,27 @@ impl<S: TraceSink> TlmOrg<S> {
         seed: u64,
         sink: S,
     ) -> Self {
+        Self::with_sink_on(
+            DramConfig::stacked(stacked),
+            DramConfig::off_chip(off_chip),
+            policy,
+            seed,
+            sink,
+        )
+    }
+
+    /// Creates a TLM system on explicit device models (e.g. a
+    /// tiered-latency TL-DRAM stacked die); capacities are taken from the
+    /// configs.
+    pub fn with_sink_on(
+        stacked_dev: DramConfig,
+        off_chip_dev: DramConfig,
+        policy: TlmPolicy,
+        seed: u64,
+        sink: S,
+    ) -> Self {
+        let stacked = stacked_dev.capacity;
+        let off_chip = off_chip_dev.capacity;
         let placement = match policy {
             // Oracle decides per page at fault time; others place randomly.
             TlmPolicy::Oracle(_) => Placement::OffChipFirst,
@@ -88,8 +109,8 @@ impl<S: TraceSink> TlmOrg<S> {
                 placement,
                 seed,
             }),
-            stacked: Dram::new(DramConfig::stacked(stacked)),
-            off_chip: Dram::new(DramConfig::off_chip(off_chip)),
+            stacked: Dram::new(stacked_dev),
+            off_chip: Dram::new(off_chip_dev),
             stacked_lines: stacked.lines(),
             policy,
             reads_stacked: 0,

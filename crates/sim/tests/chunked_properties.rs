@@ -136,3 +136,57 @@ proptest! {
         std::fs::remove_file(&path).expect("tmp cleanup");
     }
 }
+
+/// Regression: a checkpoint holding a progress marker for a key that
+/// never appears as a terminal record at EOF — the forged-artifact shape
+/// — must surface as a *parked* resume, not be silently accepted. The
+/// parked point re-runs from scratch to bit-identical stats, and the
+/// re-run does not append a duplicate marker for the already-marked key.
+#[test]
+fn forged_progress_marker_parks_instead_of_resuming() {
+    let points = points();
+    let truth = run_sweep(&points, &opts(99, 1, None), None).expect("no checkpoint I/O involved");
+
+    // Forge the artifact: a marker for point 0, no terminal record ever.
+    let path = scratch("forged");
+    let writer = checkpoint::Writer::open(&path).expect("tmp dir is writable");
+    writer
+        .append_progress(&points[0].key, 1)
+        .expect("tmp dir is writable");
+    drop(writer);
+
+    // The loader reports the dangling marker as parked, not as a result.
+    let state = checkpoint::load_resume(&path).expect("markers never corrupt a load");
+    assert!(state.records.is_empty(), "a marker is not a result");
+    assert_eq!(state.parked.get(points[0].key.as_str()), Some(&1));
+
+    // Resuming re-runs everything (nothing terminal exists) and the
+    // parked point converges to the uninterrupted run's stats.
+    let resumed =
+        run_sweep(&points, &opts(99, 1, Some(16)), Some(&path)).expect("checkpoint is readable");
+    assert_eq!(resumed.resumed(), 0, "a parked point never resumes as done");
+    assert_eq!(resumed.completed(), points.len());
+    for point in &points {
+        assert_eq!(
+            resumed.stats_of(&point.key),
+            truth.stats_of(&point.key),
+            "{} differs after parked re-run",
+            &point.key
+        );
+    }
+
+    // The pre-existing marker was not duplicated by the chunked re-run:
+    // exactly one marker line carries point 0's key.
+    let text = std::fs::read_to_string(&path).expect("tmp readable");
+    let markers = text
+        .lines()
+        .filter(|line| {
+            matches!(
+                checkpoint::parse_line(line),
+                Ok(checkpoint::CheckpointLine::Progress { ref key, .. }) if *key == points[0].key
+            )
+        })
+        .count();
+    assert_eq!(markers, 1, "parked key must not be double-marked");
+    std::fs::remove_file(&path).expect("tmp cleanup");
+}

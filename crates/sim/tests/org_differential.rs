@@ -1,0 +1,152 @@
+//! Cross-organization differential property suite.
+//!
+//! Every memory organization is a different answer to the same question —
+//! how to service one post-L3 access stream from two DRAM regions — so
+//! properties that quantify over *all* of them pin the contracts no
+//! single-org test can: conservation of serviced accesses on a shared
+//! stream, bit-exact determinism per `(org, seed)`, and (when the
+//! `deep-audit` feature is on) a clean invariant auditor for every org,
+//! since any audit violation panics the run.
+
+use cameo_sim::experiments::{build_org_on, run_benchmark, OrgKind};
+use cameo_sim::runner::Runner;
+use cameo_sim::SystemConfig;
+use cameo_types::DeviceKind;
+use cameo_workloads::require;
+use proptest::prelude::*;
+
+/// The five organization families of the design sweep, one representative
+/// each: off-chip baseline, hardware cache, OS-managed two-level memory,
+/// CAMEO, and the MemCache hybrid.
+fn families() -> [OrgKind; 5] {
+    [
+        OrgKind::Baseline,
+        OrgKind::AlloyCache,
+        OrgKind::TlmDynamic,
+        OrgKind::cameo_default(),
+        OrgKind::MemCache { split_percent: 50 },
+    ]
+}
+
+fn cfg(seed: u64) -> SystemConfig {
+    SystemConfig {
+        scale: 4096,
+        cores: 2,
+        instructions_per_core: 20_000,
+        warmup_fraction: 0.2,
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+/// Like [`cfg`], but measuring from the first instruction: with no
+/// warmup boundary, the measured window is the whole fixed-length
+/// per-core stream, so demand totals are *exactly* org-independent.
+/// (A nonzero warmup flips measurement on when the last core crosses
+/// the boundary, and how far the other cores have run by then depends
+/// on each org's timing — cross-org totals then differ by a few
+/// boundary accesses.)
+fn cfg_full_window(seed: u64) -> SystemConfig {
+    SystemConfig {
+        warmup_fraction: 0.0,
+        ..cfg(seed)
+    }
+}
+
+/// The per-org conservation claim: every measured read is serviced by
+/// stacked DRAM, off-chip DRAM, or — iff it page-faulted — storage.
+/// `RunStats` does not split faults by access kind, so the storage share
+/// is bounded by the total fault count rather than pinned exactly.
+fn assert_serviced_partitions_demand(stats: &cameo_sim::RunStats, label: &str) {
+    let serviced = stats.serviced_stacked + stats.serviced_off_chip;
+    assert!(
+        serviced <= stats.demand_reads,
+        "{label}: serviced {serviced} exceeds demand {}",
+        stats.demand_reads
+    );
+    let storage_reads = stats.demand_reads - serviced;
+    assert!(
+        storage_reads <= stats.faults,
+        "{label}: {storage_reads} unserviced reads but only {} faults",
+        stats.faults
+    );
+}
+
+/// A small, behaviorally diverse slice of the Table II suite.
+fn bench_names() -> [&'static str; 4] {
+    ["astar", "mcf", "milc", "libquantum"]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Conservation across organizations: on the same access stream
+    /// (same bench, same seed, full measurement window), every org sees
+    /// the identical demand totals, and each org's serviced split
+    /// accounts for every read — stacked, off-chip, or storage via a
+    /// page fault; no access lost, none double-counted. Under
+    /// `deep-audit` this run also exercises every org's internal auditor.
+    #[test]
+    fn serviced_accesses_conserved_across_all_orgs(
+        seed in 1u64..500,
+        bench_idx in 0usize..4,
+    ) {
+        let bench = require(bench_names()[bench_idx]).expect("suite benchmark");
+        let config = cfg_full_window(seed);
+        let mut demand: Option<(u64, u64)> = None;
+        for kind in families() {
+            let stats = run_benchmark(&bench, kind, &config);
+            prop_assert!(stats.demand_reads > 0, "{} issued no reads", kind.label());
+            assert_serviced_partitions_demand(&stats, kind.label());
+            match demand {
+                None => demand = Some((stats.demand_reads, stats.demand_writes)),
+                Some(expected) => prop_assert_eq!(
+                    (stats.demand_reads, stats.demand_writes),
+                    expected,
+                    "{} saw a different access stream",
+                    kind.label()
+                ),
+            }
+        }
+    }
+
+    /// Determinism per `(org, seed)`: two fresh runs of the same point
+    /// are bit-identical — `RunStats` is `Eq`, so this covers every
+    /// counter, the bandwidth report, and the full latency histogram.
+    #[test]
+    fn same_org_and_seed_is_bit_identical(
+        seed in 1u64..500,
+        bench_idx in 0usize..4,
+        family_idx in 0usize..5,
+    ) {
+        let bench = require(bench_names()[bench_idx]).expect("suite benchmark");
+        let kind = families()[family_idx];
+        let config = cfg(seed);
+        let a = run_benchmark(&bench, kind, &config);
+        let b = run_benchmark(&bench, kind, &config);
+        prop_assert_eq!(a, b, "{} diverged at seed {}", kind.label(), seed);
+    }
+
+    /// The device axis preserves both contracts: on the tiered-latency
+    /// stacked die, conservation still partitions demand and repeat runs
+    /// stay bit-identical, for every org that has a stacked die.
+    #[test]
+    fn tiered_device_preserves_conservation_and_determinism(
+        seed in 1u64..500,
+        family_idx in 1usize..5, // skip Baseline: no stacked die to tier
+    ) {
+        let bench = require("mcf").expect("suite benchmark");
+        let kind = families()[family_idx];
+        let config = cfg_full_window(seed);
+        let run = || {
+            let mut org = build_org_on(&bench, kind, DeviceKind::TlDram, &config);
+            Runner::new(bench, &config)
+                .expect("valid test config")
+                .run(org.as_mut())
+        };
+        let a = run();
+        assert_serviced_partitions_demand(&a, &format!("{} on tldram", kind.label()));
+        let b = run();
+        prop_assert_eq!(a, b, "{} on tldram diverged at seed {}", kind.label(), seed);
+    }
+}

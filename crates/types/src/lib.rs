@@ -28,6 +28,7 @@
 mod addr;
 mod capacity;
 mod cycle;
+mod device;
 mod events;
 mod hash;
 mod request;
@@ -37,6 +38,7 @@ pub use addr::{
 };
 pub use capacity::ByteSize;
 pub use cycle::Cycle;
+pub use device::DeviceKind;
 pub use events::{NopSink, RecoveryKind, TraceEvent, TraceSink, VecSink};
 pub use hash::{DetBuildHasher, DetHashMap, DetHashSet, DetHasher, SplitMix64};
 pub use request::{Access, AccessKind, CoreId, MemKind, ServiceLocation};

@@ -89,6 +89,20 @@ impl BenchSpec {
     pub fn scaled_footprint(&self, scale: u64) -> ByteSize {
         self.footprint.scale_down(scale)
     }
+
+    /// The static memory/cache split (percent of the stacked die left as
+    /// OS-visible memory) this benchmark's Table II profile predicts a
+    /// MemCache hybrid prefers: capacity-limited workloads page against
+    /// off-chip memory, so every stacked gigabyte spent on cache costs
+    /// them visible capacity — they want the largest memory split.
+    /// Latency-limited workloads fit in memory regardless, so the die
+    /// earns more as cache — they want the smallest.
+    pub fn preferred_memcache_split(&self) -> u8 {
+        match self.category {
+            Category::CapacityLimited => 75,
+            Category::LatencyLimited => 25,
+        }
+    }
 }
 
 const fn gb(tenths: u64) -> ByteSize {
@@ -459,6 +473,20 @@ mod tests {
                 capacity_limited,
                 b.category == Category::CapacityLimited,
                 "{}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn preferred_split_follows_category() {
+        for b in suite() {
+            let split = b.preferred_memcache_split();
+            assert!(matches!(split, 25 | 75), "{}: {split}", b.name);
+            assert_eq!(
+                split == 75,
+                b.category == Category::CapacityLimited,
+                "{}: capacity-limited workloads want the die as memory",
                 b.name
             );
         }
